@@ -1,0 +1,78 @@
+// Command patchbench regenerates the tables and figures of the paper's
+// evaluation at a configurable scale.
+//
+// Usage:
+//
+//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory]
+//	           [-rows N] [-customer-rows N] [-sales-rows N]
+//	           [-partitions N] [-reps N] [-parallel] [-quick]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"patchindex/internal/bench"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id or 'all': "+strings.Join(bench.All(), ", "))
+	rows := flag.Int("rows", 0, "custom dataset rows (default 10M, quick 200K)")
+	customerRows := flag.Int("customer-rows", 0, "customer table rows (default 1.2M)")
+	salesRows := flag.Int("sales-rows", 0, "catalog_sales rows (default 10M)")
+	partitions := flag.Int("partitions", 0, "table partitions (default 24)")
+	reps := flag.Int("reps", 0, "repetitions per measurement (median reported)")
+	parallel := flag.Bool("parallel", false, "parallel partition scans")
+	quick := flag.Bool("quick", false, "small quick configuration")
+	rates := flag.String("rates", "", "comma-separated exception rates, e.g. 0,0.1,0.5")
+	flag.Parse()
+
+	cfg := bench.DefaultConfig()
+	if *quick {
+		cfg = bench.QuickConfig()
+	}
+	if *rows > 0 {
+		cfg.Rows = *rows
+	}
+	if *customerRows > 0 {
+		cfg.CustomerRows = *customerRows
+	}
+	if *salesRows > 0 {
+		cfg.SalesRows = *salesRows
+	}
+	if *partitions > 0 {
+		cfg.Partitions = *partitions
+	}
+	if *reps > 0 {
+		cfg.Reps = *reps
+	}
+	cfg.Parallel = *parallel
+	if *rates != "" {
+		cfg.Rates = nil
+		for _, part := range strings.Split(*rates, ",") {
+			f, err := strconv.ParseFloat(strings.TrimSpace(part), 64)
+			if err != nil || f < 0 || f > 1 {
+				fmt.Fprintf(os.Stderr, "patchbench: invalid rate %q\n", part)
+				os.Exit(2)
+			}
+			cfg.Rates = append(cfg.Rates, f)
+		}
+	}
+
+	ids := bench.All()
+	if *exp != "all" {
+		ids = strings.Split(*exp, ",")
+	}
+	for i, id := range ids {
+		if i > 0 {
+			fmt.Println()
+		}
+		if err := bench.Run(strings.TrimSpace(id), cfg, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "patchbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+}

@@ -1,0 +1,160 @@
+// Command patchcli is an interactive SQL shell for the patchindex engine.
+// It can pre-load the demo datasets so PatchIndex behaviour is explorable
+// interactively:
+//
+//	patchcli                       # empty engine
+//	patchcli -demo tpcds           # customer, catalog_sales, date_dim
+//	patchcli -demo custom -rows N  # the custom exception-rate table
+//	patchcli -wal engine.wal       # enable WAL logging / recovery
+//	patchcli -e "SELECT ..."       # execute one statement and exit
+//
+// Inside the shell, statements end with ';'. Try:
+//
+//	SHOW TABLES;
+//	CREATE PATCHINDEX ON customer(c_email_address) UNIQUE THRESHOLD 0.1;
+//	EXPLAIN SELECT COUNT(DISTINCT c_email_address) FROM customer;
+//	SELECT COUNT(DISTINCT c_email_address) FROM customer;
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"patchindex"
+	"patchindex/internal/datagen"
+)
+
+func main() {
+	demo := flag.String("demo", "", "preload dataset: tpcds or custom")
+	rows := flag.Int("rows", 1_000_000, "rows for -demo custom / sales rows for -demo tpcds")
+	partitions := flag.Int("partitions", 8, "partitions for preloaded tables")
+	uniqueRate := flag.Float64("unique-rate", 0.05, "uniqueness exception rate for -demo custom")
+	sortedRate := flag.Float64("sorted-rate", 0.05, "sortedness exception rate for -demo custom")
+	walPath := flag.String("wal", "", "write-ahead log path (enables durability of index definitions)")
+	indexDir := flag.String("indexdir", "", "directory for materialized PatchIndex payloads (fast recovery)")
+	execStmt := flag.String("e", "", "execute one statement and exit")
+	parallel := flag.Bool("parallel", false, "parallel partition scans")
+	flag.Parse()
+
+	eng, err := patchindex.New(patchindex.Config{
+		DefaultPartitions: *partitions,
+		Parallel:          *parallel,
+		WALPath:           *walPath,
+		IndexDir:          *indexDir,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	switch *demo {
+	case "":
+	case "tpcds":
+		cfg := datagen.TPCDSConfig{
+			CustomerRows: *rows / 8,
+			SalesRows:    *rows,
+			Partitions:   *partitions,
+			Seed:         1,
+		}
+		fmt.Fprintf(os.Stderr, "loading tpcds-lite (customer=%d, catalog_sales=%d, date_dim=%d)...\n",
+			cfg.CustomerRows, cfg.SalesRows, datagen.DateDimRows)
+		cust, err := datagen.GenCustomer(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.Catalog().AddTable(cust); err != nil {
+			fatal(err)
+		}
+		sales, err := datagen.GenCatalogSales(cfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.Catalog().AddTable(sales); err != nil {
+			fatal(err)
+		}
+		dates, err := datagen.GenDateDim()
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.Catalog().AddTable(dates); err != nil {
+			fatal(err)
+		}
+	case "custom":
+		fmt.Fprintf(os.Stderr, "loading custom table data(u,s,payload) with %d rows...\n", *rows)
+		t, err := datagen.LoadCustom("data", *rows, *partitions, *uniqueRate, *sortedRate, 1)
+		if err != nil {
+			fatal(err)
+		}
+		if err := eng.Catalog().AddTable(t); err != nil {
+			fatal(err)
+		}
+	default:
+		fatal(fmt.Errorf("unknown demo %q (tpcds, custom)", *demo))
+	}
+
+	if *walPath != "" && *demo != "" {
+		if err := eng.Recover(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: WAL recovery failed: %v\n", err)
+		}
+	}
+
+	if *execStmt != "" {
+		if err := runStatement(eng, *execStmt); err != nil {
+			fatal(err)
+		}
+		return
+	}
+
+	fmt.Println("patchindex shell — statements end with ';', \\q quits")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sql> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "\\q" || trimmed == "quit" || trimmed == "exit") {
+			break
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			prompt = "sql> "
+			if err := runStatement(eng, stmt); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		} else if buf.Len() > 0 {
+			prompt = "...> "
+		}
+	}
+}
+
+func runStatement(eng *patchindex.Engine, stmt string) error {
+	start := time.Now()
+	res, err := eng.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	elapsed := time.Since(start)
+	fmt.Print(res.String())
+	if !strings.HasSuffix(res.String(), "\n") {
+		fmt.Println()
+	}
+	fmt.Printf("-- %s\n", elapsed.Round(time.Microsecond))
+	return nil
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "patchcli: %v\n", err)
+	os.Exit(1)
+}

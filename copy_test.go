@@ -1,0 +1,118 @@
+package patchindex
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func writeCSV(t *testing.T, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), "data.csv")
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestCopyFromCSV(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE people (id BIGINT, name VARCHAR, score DOUBLE, active BOOLEAN, joined DATE) PARTITIONS 2")
+	path := writeCSV(t, `id,name,score,active,joined
+1,ann,9.5,true,2020-02-01
+2,bob,7.25,false,2021-03-15
+3,,5.0,t,2019-12-31
+4,dee,,no,
+`)
+	res := mustExec(t, e, "COPY people FROM '"+path+"' WITH HEADER")
+	if res.Message != "4 rows copied into people" {
+		t.Errorf("message = %q", res.Message)
+	}
+	rows := mustExec(t, e, "SELECT id, name, score, active, joined FROM people ORDER BY id")
+	if len(rows.Rows) != 4 {
+		t.Fatalf("rows = %v", rows.Rows)
+	}
+	if rows.Rows[0][1].Str != "ann" || rows.Rows[0][2].F64 != 9.5 || !rows.Rows[0][3].B {
+		t.Errorf("row 0 = %v", rows.Rows[0])
+	}
+	if rows.Rows[0][4].String() != "2020-02-01" {
+		t.Errorf("date = %v", rows.Rows[0][4])
+	}
+	if !rows.Rows[2][1].Null {
+		t.Error("empty field must be NULL")
+	}
+	if !rows.Rows[3][2].Null || !rows.Rows[3][4].Null {
+		t.Error("empty score/date must be NULL")
+	}
+}
+
+func TestCopyWithoutHeader(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE nums (v BIGINT)")
+	path := writeCSV(t, "1\n2\n3\n")
+	mustExec(t, e, "COPY nums FROM '"+path+"'")
+	res := mustExec(t, e, "SELECT SUM(v) FROM nums")
+	if res.Rows[0][0].I64 != 6 {
+		t.Errorf("sum = %v", res.Rows[0][0])
+	}
+}
+
+func TestCopyMaintainsIndexes(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE t (v BIGINT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1), (2), (3)")
+	mustExec(t, e, "CREATE PATCHINDEX ON t(v) UNIQUE THRESHOLD 0.5")
+	path := writeCSV(t, "2\n9\n") // 2 duplicates an existing value
+	mustExec(t, e, "COPY t FROM '"+path+"'")
+	ix := e.Catalog().Index("t", "v")
+	if ix.Cardinality() != 2 { // old 2 and new 2
+		t.Errorf("cardinality after COPY = %d, want 2", ix.Cardinality())
+	}
+	res := mustExec(t, e, "SELECT COUNT(DISTINCT v) FROM t")
+	if res.Rows[0][0].I64 != 4 { // 1,2,3,9
+		t.Errorf("count distinct = %v", res.Rows[0][0])
+	}
+}
+
+func TestCopyErrors(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE t (v BIGINT)")
+	if _, err := e.Exec("COPY t FROM '/no/such/file.csv'"); err == nil {
+		t.Error("missing file must fail")
+	}
+	bad := writeCSV(t, "notanumber\n")
+	if _, err := e.Exec("COPY t FROM '" + bad + "'"); err == nil {
+		t.Error("unparseable field must fail")
+	}
+	ragged := writeCSV(t, "1,2\n")
+	if _, err := e.Exec("COPY t FROM '" + ragged + "'"); err == nil {
+		t.Error("wrong column count must fail")
+	}
+	if _, err := e.Exec("COPY nosuch FROM '" + bad + "'"); err == nil {
+		t.Error("unknown table must fail")
+	}
+}
+
+// TestCopyRoundTripWithDatagen: datagen CSV output loads back losslessly.
+func TestCopyRoundTripWithDatagen(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE orig (u BIGINT, s BIGINT, payload BIGINT) PARTITIONS 2")
+	uniq, _ := loadExceptionTable(t, e, "data", 2000, 2, 0.05, 3)
+	// Export via SELECT is not supported; write the CSV manually from the
+	// loaded values instead.
+	var sb []byte
+	res := mustExec(t, e, "SELECT u, s, payload FROM data")
+	for _, row := range res.Rows {
+		line := row[0].String() + "," + row[1].String() + "," + row[2].String() + "\n"
+		sb = append(sb, line...)
+	}
+	path := filepath.Join(t.TempDir(), "roundtrip.csv")
+	if err := os.WriteFile(path, sb, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "COPY orig FROM '"+path+"'")
+	a := mustExec(t, e, "SELECT COUNT(DISTINCT u) FROM orig")
+	if a.Rows[0][0].I64 != distinctCount(uniq) {
+		t.Errorf("round trip distinct = %v, want %v", a.Rows[0][0].I64, distinctCount(uniq))
+	}
+}

@@ -1,0 +1,60 @@
+package patchindex
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCostBasedRewrites: with cost gating on, low-exception-rate rewrites
+// must still fire and results must stay identical to the baseline.
+func TestCostBasedRewrites(t *testing.T) {
+	e, err := New(Config{DefaultPartitions: 2, CostBasedRewrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	uniq, _ := loadExceptionTable(t, e, "data", 20000, 2, 0.02, 13)
+	mustExec(t, e, "CREATE PATCHINDEX ON data(u) UNIQUE THRESHOLD 0.5")
+
+	exp := mustExec(t, e, "EXPLAIN SELECT COUNT(DISTINCT u) FROM data")
+	if !strings.Contains(exp.Message, "PatchedScan") {
+		t.Errorf("cost model rejected a clearly beneficial rewrite:\n%s", exp.Message)
+	}
+	res := mustExec(t, e, "SELECT COUNT(DISTINCT u) FROM data")
+	if res.Rows[0][0].I64 != distinctCount(uniq) {
+		t.Errorf("result %v, want %v", res.Rows[0][0].I64, distinctCount(uniq))
+	}
+}
+
+// TestCostBasedRejectsUselessRewrite: at a 100% exception rate (forced
+// index) the rewrite cannot help; the cost model must fall back to the
+// baseline plan while the unconditional optimizer still rewrites.
+func TestCostBasedRejectsUselessRewrite(t *testing.T) {
+	build := func(costBased bool) *Engine {
+		e, err := New(Config{DefaultPartitions: 2, CostBasedRewrites: costBased})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		mustExec(t, e, "CREATE TABLE allsame (v BIGINT) PARTITIONS 2")
+		mustExec(t, e, "INSERT INTO allsame VALUES (1), (1), (1), (1), (1), (1)")
+		mustExec(t, e, "CREATE PATCHINDEX ON allsame(v) UNIQUE THRESHOLD 1.0 FORCE")
+		return e
+	}
+	gated := build(true)
+	exp := mustExec(t, gated, "EXPLAIN SELECT COUNT(DISTINCT v) FROM allsame")
+	if strings.Contains(exp.Message, "PatchedScan") {
+		t.Errorf("cost model accepted a rewrite with 100%% exceptions:\n%s", exp.Message)
+	}
+	ungated := build(false)
+	exp = mustExec(t, ungated, "EXPLAIN SELECT COUNT(DISTINCT v) FROM allsame")
+	if !strings.Contains(exp.Message, "PatchedScan") {
+		t.Errorf("unconditional optimizer should still rewrite:\n%s", exp.Message)
+	}
+	// Both must agree on the answer.
+	a := mustExec(t, gated, "SELECT COUNT(DISTINCT v) FROM allsame")
+	b := mustExec(t, ungated, "SELECT COUNT(DISTINCT v) FROM allsame")
+	if a.Rows[0][0].I64 != 1 || b.Rows[0][0].I64 != 1 {
+		t.Errorf("results: gated=%v ungated=%v", a.Rows[0][0], b.Rows[0][0])
+	}
+}

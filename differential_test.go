@@ -1,0 +1,147 @@
+package patchindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// TestDifferentialRandomQueries is a differential fuzz: random tables with
+// NUC and NSC indexes, random predicates, and every interesting query shape
+// executed four ways — {patch rewrites on, off} × {scan-range pruning on,
+// off} — must agree exactly. This stresses the interaction of rewrites,
+// range pruning, partitioning and both patch-set representations at once.
+func TestDifferentialRandomQueries(t *testing.T) {
+	seeds := []int64{1, 2, 3, 4, 5}
+	if testing.Short() {
+		seeds = seeds[:2]
+	}
+	for _, seed := range seeds {
+		seed := seed
+		t.Run(fmt.Sprintf("seed=%d", seed), func(t *testing.T) {
+			rng := rand.New(rand.NewSource(seed))
+			parts := 1 + rng.Intn(4)
+			n := 2000 + rng.Intn(12000)
+			uniqueRate := rng.Float64() * 0.3
+			kind := []string{"IDENTIFIER", "BITMAP", "AUTO"}[rng.Intn(3)]
+
+			type variant struct {
+				name string
+				e    *Engine
+				opts ExecOptions
+			}
+			var variants []variant
+			for _, pruning := range []bool{false, true} {
+				e, err := New(Config{DefaultPartitions: parts, DisableScanRanges: !pruning})
+				if err != nil {
+					t.Fatal(err)
+				}
+				t.Cleanup(func() { e.Close() })
+				loadExceptionTable(t, e, "data", n, parts, uniqueRate, seed*7)
+				mustExec(t, e, "CREATE PATCHINDEX ON data(u) UNIQUE THRESHOLD 1.0 FORCE KIND "+kind)
+				mustExec(t, e, "CREATE PATCHINDEX ON data(s) SORTED THRESHOLD 1.0 FORCE KIND "+kind)
+				for _, rewrites := range []bool{true, false} {
+					variants = append(variants, variant{
+						name: fmt.Sprintf("pruning=%v/rewrites=%v", pruning, rewrites),
+						e:    e,
+						opts: ExecOptions{DisablePatchRewrites: !rewrites},
+					})
+				}
+			}
+
+			lo := rng.Int63n(int64(n))
+			hi := lo + rng.Int63n(int64(n)/2)
+			queries := []string{
+				"SELECT COUNT(DISTINCT u) FROM data",
+				"SELECT COUNT(*) FROM data",
+				fmt.Sprintf("SELECT COUNT(DISTINCT u) FROM data WHERE s >= %d AND s < %d", lo, hi),
+				fmt.Sprintf("SELECT MIN(s), MAX(s), COUNT(s) FROM data WHERE u > %d", lo),
+				fmt.Sprintf("SELECT s FROM data WHERE s >= %d AND s < %d ORDER BY s LIMIT 100", lo, hi),
+				"SELECT s FROM data ORDER BY s LIMIT 500",
+				fmt.Sprintf("SELECT COUNT(*) FROM data WHERE payload > %d AND s < %d", rng.Intn(1000), hi),
+			}
+			for _, q := range queries {
+				var ref string
+				for i, v := range variants {
+					res, err := v.e.ExecWith(q, v.opts)
+					if err != nil {
+						t.Fatalf("%s [%s]: %v", q, v.name, err)
+					}
+					got := fmt.Sprint(res.Rows)
+					if i == 0 {
+						ref = got
+						continue
+					}
+					if got != ref {
+						t.Fatalf("%s: variant %s disagrees\n  ref: %.200s\n  got: %.200s",
+							q, v.name, ref, got)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestDifferentialAppendsAndQueries interleaves maintained appends with the
+// same four-way differential check.
+func TestDifferentialAppendsAndQueries(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	mk := func(rewrites bool) (*Engine, ExecOptions) {
+		e, err := New(Config{DefaultPartitions: 2})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		loadExceptionTable(t, e, "data", 4000, 2, 0.05, 321)
+		mustExec(t, e, "CREATE PATCHINDEX ON data(u) UNIQUE THRESHOLD 1.0 FORCE")
+		mustExec(t, e, "CREATE PATCHINDEX ON data(s) SORTED THRESHOLD 1.0 FORCE")
+		return e, ExecOptions{DisablePatchRewrites: !rewrites}
+	}
+	eA, optsA := mk(true)
+	eB, optsB := mk(false)
+
+	for round := 0; round < 5; round++ {
+		// Append the same random rows to both engines (indexes maintained).
+		m := 100 + rng.Intn(300)
+		u := vector.New(vector.Int64, m)
+		s := vector.New(vector.Int64, m)
+		pay := vector.New(vector.Float64, m)
+		for i := 0; i < m; i++ {
+			u.AppendInt64(rng.Int63n(20_000))
+			s.AppendInt64(rng.Int63n(20_000))
+			pay.AppendFloat64(float64(rng.Intn(100)))
+		}
+		part := rng.Intn(2)
+		for _, e := range []*Engine{eA, eB} {
+			cu := vector.New(vector.Int64, m)
+			cu.AppendRange(u, 0, m)
+			cs := vector.New(vector.Int64, m)
+			cs.AppendRange(s, 0, m)
+			cp := vector.New(vector.Float64, m)
+			cp.AppendRange(pay, 0, m)
+			if err := e.Append("data", part, []*vector.Vector{cu, cs, cp}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for _, q := range []string{
+			"SELECT COUNT(DISTINCT u) FROM data",
+			"SELECT s FROM data ORDER BY s LIMIT 50",
+			"SELECT COUNT(*), MIN(u) FROM data WHERE u >= 10000",
+		} {
+			a, err := eA.ExecWith(q, optsA)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := eB.ExecWith(q, optsB)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+				t.Fatalf("round %d, %s: rewritten %.150s vs baseline %.150s",
+					round, q, fmt.Sprint(a.Rows), fmt.Sprint(b.Rows))
+			}
+		}
+	}
+}

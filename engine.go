@@ -1,0 +1,740 @@
+// Package patchindex is a vectorized, in-memory analytical SQL engine with
+// PatchIndex support: approximate constraints ("nearly unique" and "nearly
+// sorted" columns) whose exceptions are kept in a per-column set of patches
+// and exploited during query optimization and execution, reproducing
+//
+//	Kläbe, Sattler, Baumann: "PatchIndex — Exploiting Approximate
+//	Constraints in Self-managing Databases", ICDE 2020.
+//
+// The Engine type is the public entry point: create tables, load data, run
+// SQL, create PatchIndexes (manually or via the Advisor) and observe the
+// distinct/sort/join rewrites of the paper in EXPLAIN output and runtimes.
+package patchindex
+
+import (
+	"bufio"
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"sync"
+	"time"
+
+	"patchindex/internal/catalog"
+	"patchindex/internal/discovery"
+	"patchindex/internal/exec"
+	"patchindex/internal/maintain"
+	"patchindex/internal/patch"
+	"patchindex/internal/plan"
+	"patchindex/internal/sql"
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+	"patchindex/internal/wal"
+)
+
+// Config configures an Engine.
+type Config struct {
+	// DefaultPartitions is the partition count for CREATE TABLE without a
+	// PARTITIONS clause (default 1).
+	DefaultPartitions int
+	// Parallel executes partition scans concurrently where order allows.
+	Parallel bool
+	// DisablePatchRewrites turns the optimizer's PatchIndex rewrites off
+	// globally (per-query control is available via ExecOptions).
+	DisablePatchRewrites bool
+	// CostBasedRewrites gates every PatchIndex rewrite on the cost model:
+	// a rewrite is applied only when the rewritten plan is estimated
+	// cheaper. Off by default (the paper applies rewrites unconditionally).
+	CostBasedRewrites bool
+	// DisableScanRanges turns off SMA-based block pruning.
+	DisableScanRanges bool
+	// WALPath, when non-empty, enables write-ahead logging of PatchIndex
+	// definitions to the given file.
+	WALPath string
+	// IndexDir, when non-empty, materializes PatchIndex data to disk (one
+	// file per index) — the first design alternative of Section V. Recover
+	// restores materialized indexes in O(|P_c|) and falls back to
+	// re-discovery when a file is missing or corrupt.
+	IndexDir string
+}
+
+// ExecOptions tune a single statement execution.
+type ExecOptions struct {
+	// DisablePatchRewrites runs the statement without PatchIndex rewrites
+	// (the baseline plan), regardless of existing indexes.
+	DisablePatchRewrites bool
+}
+
+// Engine is a self-contained database instance.
+type Engine struct {
+	cfg Config
+	cat *catalog.Catalog
+	log *wal.Log
+
+	maintMu     sync.Mutex
+	maintainers map[string]*maintain.Set // per table, lazily built
+}
+
+// New creates an engine. If cfg.WALPath is set the log is opened (or
+// created); call Recover after reloading table data to re-create the
+// PatchIndexes recorded in the log.
+func New(cfg Config) (*Engine, error) {
+	if cfg.DefaultPartitions <= 0 {
+		cfg.DefaultPartitions = 1
+	}
+	e := &Engine{cfg: cfg, cat: catalog.New(), maintainers: map[string]*maintain.Set{}}
+	if cfg.WALPath != "" {
+		l, err := wal.Open(cfg.WALPath)
+		if err != nil {
+			return nil, err
+		}
+		e.log = l
+	}
+	return e, nil
+}
+
+// Close releases the WAL (if any).
+func (e *Engine) Close() error {
+	if e.log != nil {
+		return e.log.Close()
+	}
+	return nil
+}
+
+// Catalog exposes the table and index registry.
+func (e *Engine) Catalog() *catalog.Catalog { return e.cat }
+
+// Result is a materialized query result.
+type Result struct {
+	Columns []string
+	Rows    [][]vector.Value
+	// Message is set for non-query statements ("table created", ...).
+	Message string
+}
+
+// String renders the result as an aligned text table (for the CLI and the
+// examples).
+func (r *Result) String() string {
+	if len(r.Columns) == 0 {
+		return r.Message
+	}
+	widths := make([]int, len(r.Columns))
+	for i, c := range r.Columns {
+		widths[i] = len(c)
+	}
+	rendered := make([][]string, len(r.Rows))
+	for ri, row := range r.Rows {
+		rendered[ri] = make([]string, len(row))
+		for ci, v := range row {
+			s := v.String()
+			rendered[ri][ci] = s
+			if ci < len(widths) && len(s) > widths[ci] {
+				widths[ci] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	writeRow := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(c)
+			for p := len(c); p < widths[i]; p++ {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteByte('\n')
+	}
+	writeRow(r.Columns)
+	seps := make([]string, len(r.Columns))
+	for i := range seps {
+		seps[i] = strings.Repeat("-", widths[i])
+	}
+	writeRow(seps)
+	for _, row := range rendered {
+		writeRow(row)
+	}
+	sb.WriteString(fmt.Sprintf("(%d rows)\n", len(r.Rows)))
+	return sb.String()
+}
+
+// Exec parses and executes one SQL statement with default options.
+func (e *Engine) Exec(query string) (*Result, error) {
+	return e.ExecWith(query, ExecOptions{})
+}
+
+// ExecWith parses and executes one SQL statement.
+func (e *Engine) ExecWith(query string, opts ExecOptions) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return e.runSelect(s, opts)
+	case *sql.ExplainStmt:
+		text, err := e.explain(s.Query, opts)
+		if err != nil {
+			return nil, err
+		}
+		return &Result{Message: text}, nil
+	case *sql.CreateTableStmt:
+		return e.runCreateTable(s)
+	case *sql.DropTableStmt:
+		if err := e.cat.DropTable(s.Name); err != nil {
+			return nil, err
+		}
+		e.invalidateMaintainers(s.Name)
+		return &Result{Message: fmt.Sprintf("table %s dropped", s.Name)}, nil
+	case *sql.InsertStmt:
+		return e.runInsert(s)
+	case *sql.CreatePatchIndexStmt:
+		return e.runCreatePatchIndex(s)
+	case *sql.DropPatchIndexStmt:
+		if err := e.cat.DropIndex(s.Table, s.Column); err != nil {
+			return nil, err
+		}
+		e.invalidateMaintainers(s.Table)
+		if e.cfg.IndexDir != "" {
+			for _, c := range []patch.Constraint{patch.NearlyUnique, patch.NearlySorted} {
+				os.Remove(e.indexPath(s.Table, s.Column, c))
+			}
+		}
+		if e.log != nil {
+			if err := e.log.AppendDropIndex(wal.DropIndexRecord{Table: s.Table, Column: s.Column}); err != nil {
+				return nil, err
+			}
+		}
+		return &Result{Message: fmt.Sprintf("PatchIndex on %s.%s dropped", s.Table, s.Column)}, nil
+	case *sql.CopyStmt:
+		return e.runCopy(s)
+	case *sql.ShowStmt:
+		return e.runShow(s)
+	default:
+		return nil, fmt.Errorf("patchindex: unsupported statement %T", stmt)
+	}
+}
+
+// DrainWith executes a SELECT and returns only its row count, without
+// materializing the result. Benchmarks use it so that timing covers query
+// execution rather than result buffering.
+func (e *Engine) DrainWith(query string, opts ExecOptions) (int, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return 0, err
+	}
+	s, ok := stmt.(*sql.SelectStmt)
+	if !ok {
+		return 0, fmt.Errorf("patchindex: DrainWith requires a SELECT statement")
+	}
+	node, err := e.planSelect(s, opts)
+	if err != nil {
+		return 0, err
+	}
+	op, err := plan.Build(node, plan.Config{Parallel: e.cfg.Parallel, DisableScanRanges: e.cfg.DisableScanRanges})
+	if err != nil {
+		return 0, err
+	}
+	return exec.Drain(op)
+}
+
+// Query is a convenience wrapper returning an error for non-SELECT input.
+func (e *Engine) Query(query string) (*Result, error) {
+	res, err := e.Exec(query)
+	if err != nil {
+		return nil, err
+	}
+	if res.Columns == nil {
+		return nil, fmt.Errorf("patchindex: statement produced no result set")
+	}
+	return res, nil
+}
+
+func (e *Engine) planSelect(s *sql.SelectStmt, opts ExecOptions) (plan.Node, error) {
+	b := &sql.Binder{Cat: e.cat}
+	node, err := b.BindSelect(s)
+	if err != nil {
+		return nil, err
+	}
+	opt := &plan.Optimizer{
+		Cat:                  e.cat,
+		DisablePatchRewrites: e.cfg.DisablePatchRewrites || opts.DisablePatchRewrites,
+		CostBased:            e.cfg.CostBasedRewrites,
+	}
+	return opt.Optimize(node)
+}
+
+func (e *Engine) runSelect(s *sql.SelectStmt, opts ExecOptions) (*Result, error) {
+	node, err := e.planSelect(s, opts)
+	if err != nil {
+		return nil, err
+	}
+	op, err := plan.Build(node, plan.Config{Parallel: e.cfg.Parallel, DisableScanRanges: e.cfg.DisableScanRanges})
+	if err != nil {
+		return nil, err
+	}
+	rows, err := exec.Collect(op)
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]string, len(node.Schema()))
+	for i, c := range node.Schema() {
+		cols[i] = c.Name
+	}
+	return &Result{Columns: cols, Rows: rows}, nil
+}
+
+func (e *Engine) explain(s *sql.SelectStmt, opts ExecOptions) (string, error) {
+	node, err := e.planSelect(s, opts)
+	if err != nil {
+		return "", err
+	}
+	return plan.Explain(node), nil
+}
+
+func (e *Engine) runCreateTable(s *sql.CreateTableStmt) (*Result, error) {
+	cols := make([]storage.Column, len(s.Columns))
+	for i, c := range s.Columns {
+		cols[i] = storage.Column{Name: c.Name, Typ: c.Typ}
+	}
+	parts := s.Partitions
+	if parts == 0 {
+		parts = e.cfg.DefaultPartitions
+	}
+	t, err := storage.NewTable(s.Name, storage.NewSchema(cols...), parts)
+	if err != nil {
+		return nil, err
+	}
+	if s.SortKey != "" {
+		if err := t.SetSortKey(s.SortKey); err != nil {
+			return nil, err
+		}
+	}
+	if err := e.cat.AddTable(t); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("table %s created (%d partitions)", s.Name, parts)}, nil
+}
+
+func (e *Engine) runInsert(s *sql.InsertStmt) (*Result, error) {
+	t, err := e.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	base := t.NumRows()
+	n := 0
+	for _, row := range s.Rows {
+		if len(row) != len(schema.Columns) {
+			return nil, fmt.Errorf("patchindex: row has %d values, table %s has %d columns", len(row), s.Table, len(schema.Columns))
+		}
+		vals := make([]vector.Value, len(row))
+		for i, re := range row {
+			lit, ok := re.(*sql.Lit)
+			if !ok {
+				return nil, fmt.Errorf("patchindex: INSERT supports only literal values")
+			}
+			v, err := coerce(lit.Val, schema.Columns[i].Typ)
+			if err != nil {
+				return nil, fmt.Errorf("patchindex: column %s: %w", schema.Columns[i].Name, err)
+			}
+			vals[i] = v
+		}
+		// Round-robin rows across partitions (base is captured once so the
+		// growing row count does not cancel the alternation).
+		part := (base + n) % t.NumPartitions()
+		if err := t.AppendRow(part, vals); err != nil {
+			return nil, err
+		}
+		n++
+	}
+	return &Result{Message: fmt.Sprintf("%d rows inserted", n)}, nil
+}
+
+// runCopy bulk-loads a CSV file. Empty fields are NULLs; rows are appended
+// in chunks rotating across partitions; PatchIndexes on the table are
+// incrementally maintained via the same path as Engine.Append.
+func (e *Engine) runCopy(s *sql.CopyStmt) (*Result, error) {
+	t, err := e.cat.Table(s.Table)
+	if err != nil {
+		return nil, err
+	}
+	f, err := os.Open(s.Path)
+	if err != nil {
+		return nil, fmt.Errorf("patchindex: COPY: %w", err)
+	}
+	defer f.Close()
+	r := csv.NewReader(bufio.NewReaderSize(f, 1<<20))
+	r.ReuseRecord = true
+	schema := t.Schema()
+	r.FieldsPerRecord = len(schema.Columns)
+
+	const chunkRows = 64 * 1024
+	newChunk := func() []*vector.Vector {
+		cols := make([]*vector.Vector, len(schema.Columns))
+		for i, c := range schema.Columns {
+			cols[i] = vector.New(c.Typ, chunkRows)
+		}
+		return cols
+	}
+	chunk := newChunk()
+	part, total, lineNo := 0, 0, 0
+	flush := func() error {
+		if chunk[0].Len() == 0 {
+			return nil
+		}
+		if err := e.Append(s.Table, part, chunk); err != nil {
+			return err
+		}
+		part = (part + 1) % t.NumPartitions()
+		chunk = newChunk()
+		return nil
+	}
+	first := true
+	for {
+		rec, err := r.Read()
+		if err == io.EOF {
+			break
+		}
+		if err != nil {
+			return nil, fmt.Errorf("patchindex: COPY line %d: %w", lineNo+1, err)
+		}
+		lineNo++
+		if first {
+			first = false
+			if s.Header {
+				continue
+			}
+		}
+		for i, field := range rec {
+			if field == "" {
+				chunk[i].AppendNull()
+				continue
+			}
+			if err := appendCSVField(chunk[i], schema.Columns[i].Typ, field); err != nil {
+				return nil, fmt.Errorf("patchindex: COPY line %d column %s: %w", lineNo, schema.Columns[i].Name, err)
+			}
+		}
+		total++
+		if chunk[0].Len() >= chunkRows {
+			if err := flush(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("%d rows copied into %s", total, s.Table)}, nil
+}
+
+// appendCSVField parses one CSV field into a column vector.
+func appendCSVField(v *vector.Vector, t vector.Type, field string) error {
+	switch t {
+	case vector.Int64:
+		x, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return err
+		}
+		v.AppendInt64(x)
+	case vector.Float64:
+		x, err := strconv.ParseFloat(field, 64)
+		if err != nil {
+			return err
+		}
+		v.AppendFloat64(x)
+	case vector.String:
+		v.AppendString(field)
+	case vector.Bool:
+		switch strings.ToLower(field) {
+		case "true", "t", "1", "yes":
+			v.AppendBool(true)
+		case "false", "f", "0", "no":
+			v.AppendBool(false)
+		default:
+			return fmt.Errorf("invalid boolean %q", field)
+		}
+	case vector.Date:
+		if tm, err := time.Parse("2006-01-02", field); err == nil {
+			v.AppendInt64(vector.DateFromTime(tm).I64)
+			return nil
+		}
+		x, err := strconv.ParseInt(field, 10, 64)
+		if err != nil {
+			return fmt.Errorf("invalid date %q", field)
+		}
+		v.AppendInt64(x)
+	default:
+		return fmt.Errorf("unsupported column type %v", t)
+	}
+	return nil
+}
+
+// coerce adapts a literal to a column type (int→float, int↔date).
+func coerce(v vector.Value, t vector.Type) (vector.Value, error) {
+	if v.Null {
+		return vector.NullValue(t), nil
+	}
+	if v.Typ == t {
+		return v, nil
+	}
+	switch {
+	case t == vector.Float64 && v.Typ == vector.Int64:
+		return vector.FloatValue(float64(v.I64)), nil
+	case t == vector.Date && v.Typ == vector.Int64:
+		return vector.DateValue(v.I64), nil
+	case t == vector.Int64 && v.Typ == vector.Date:
+		return vector.IntValue(v.I64), nil
+	default:
+		return vector.Value{}, fmt.Errorf("cannot store %s value in %s column", v.Typ, t)
+	}
+}
+
+func (e *Engine) runCreatePatchIndex(s *sql.CreatePatchIndexStmt) (*Result, error) {
+	constraint := patch.NearlySorted
+	if s.Unique {
+		constraint = patch.NearlyUnique
+	}
+	var kind patch.Kind
+	switch s.Kind {
+	case "identifier":
+		kind = patch.Identifier
+	case "bitmap":
+		kind = patch.Bitmap
+	default:
+		kind = patch.Auto
+	}
+	ix, err := e.CreatePatchIndex(s.Table, s.Column, constraint, discovery.BuildOptions{
+		Kind:       kind,
+		Threshold:  s.Threshold,
+		Descending: s.Descending,
+		Force:      s.Force,
+	})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Message: fmt.Sprintf("%s created: %d patches (%.2f%% exceptions, %d bytes)",
+		ix, ix.Cardinality(), 100*ix.ExceptionRate(), ix.MemoryBytes())}, nil
+}
+
+// CreatePatchIndex discovers the constraint on table.column, builds the
+// PatchIndex, registers it in the catalog, and logs its creation to the WAL
+// ("the determined patches are not written to the WAL in order to keep it
+// slim", Section V).
+func (e *Engine) CreatePatchIndex(table, column string, c patch.Constraint, opts discovery.BuildOptions) (*patch.Index, error) {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := discovery.BuildIndex(t, column, c, opts)
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cat.AddIndex(ix); err != nil {
+		return nil, err
+	}
+	e.invalidateMaintainers(table)
+	if e.cfg.IndexDir != "" {
+		if err := ix.Save(e.indexPath(table, column, c)); err != nil {
+			return nil, fmt.Errorf("patchindex: materializing index: %w", err)
+		}
+	}
+	if e.log != nil {
+		rec := wal.CreateIndexRecord{
+			Table:      table,
+			Column:     column,
+			Constraint: uint8(c),
+			Kind:       uint8(ix.RequestedKind()),
+			Threshold:  opts.Threshold,
+			Descending: opts.Descending,
+		}
+		if err := e.log.AppendCreateIndex(rec); err != nil {
+			return nil, err
+		}
+	}
+	return ix, nil
+}
+
+// Recover replays the WAL and re-creates every PatchIndex it records, using
+// the same discovery mechanisms as the original creation. Tables must
+// already contain their data (the engine stores tables in memory; only index
+// definitions are durable).
+func (e *Engine) Recover() error {
+	if e.cfg.WALPath == "" {
+		return fmt.Errorf("patchindex: recovery requires a WAL path")
+	}
+	return wal.Replay(e.cfg.WALPath, func(entry wal.Entry) error {
+		switch entry.Kind {
+		case wal.RecordCreateIndex:
+			r := entry.Create
+			if e.cat.Lookup(r.Table, r.Column, patch.Constraint(r.Constraint)) != nil {
+				return nil // already present
+			}
+			_, err := e.createIndexNoLog(r)
+			return err
+		case wal.RecordDropIndex:
+			r := entry.Drop
+			if e.cat.Index(r.Table, r.Column) == nil {
+				return nil
+			}
+			return e.cat.DropIndex(r.Table, r.Column)
+		default:
+			return nil
+		}
+	})
+}
+
+func (e *Engine) createIndexNoLog(r *wal.CreateIndexRecord) (*patch.Index, error) {
+	t, err := e.cat.Table(r.Table)
+	if err != nil {
+		return nil, err
+	}
+	// Prefer the materialized index (Section V alternative): restoring the
+	// patch payload is O(|P_c|) instead of re-running discovery over the
+	// data. Fall back to re-discovery when the file is missing, corrupt, or
+	// does not match the reloaded table.
+	if e.cfg.IndexDir != "" {
+		path := e.indexPath(r.Table, r.Column, patch.Constraint(r.Constraint))
+		if ix, err := patch.Load(path); err == nil {
+			if e.materializedMatches(ix, t) {
+				if err := e.cat.AddIndex(ix); err != nil {
+					return nil, err
+				}
+				return ix, nil
+			}
+		}
+	}
+	ix, err := discovery.BuildIndex(t, r.Column, patch.Constraint(r.Constraint), discovery.BuildOptions{
+		Kind:       patch.Kind(r.Kind),
+		Threshold:  r.Threshold,
+		Descending: r.Descending,
+		Force:      true, // the threshold was already validated at creation
+	})
+	if err != nil {
+		return nil, err
+	}
+	if err := e.cat.AddIndex(ix); err != nil {
+		return nil, err
+	}
+	return ix, nil
+}
+
+// indexPath names the materialization file of one index.
+func (e *Engine) indexPath(table, column string, c patch.Constraint) string {
+	kind := "nuc"
+	if c == patch.NearlySorted {
+		kind = "nsc"
+	}
+	return filepath.Join(e.cfg.IndexDir, fmt.Sprintf("%s.%s.%s.pidx", table, column, kind))
+}
+
+// materializedMatches verifies a loaded index against the current table
+// shape (partition count and per-partition row counts).
+func (e *Engine) materializedMatches(ix *patch.Index, t *storage.Table) bool {
+	if ix.NumPartitions() != t.NumPartitions() {
+		return false
+	}
+	for p := 0; p < t.NumPartitions(); p++ {
+		set := ix.Partition(p)
+		if set == nil || set.NumRows() != t.Partition(p).NumRows() {
+			return false
+		}
+	}
+	return true
+}
+
+func (e *Engine) runShow(s *sql.ShowStmt) (*Result, error) {
+	switch s.What {
+	case "tables":
+		res := &Result{Columns: []string{"table", "rows", "partitions", "sortkey"}}
+		for _, name := range e.cat.TableNames() {
+			t, err := e.cat.Table(name)
+			if err != nil {
+				return nil, err
+			}
+			res.Rows = append(res.Rows, []vector.Value{
+				vector.StringValue(name),
+				vector.IntValue(int64(t.NumRows())),
+				vector.IntValue(int64(t.NumPartitions())),
+				vector.StringValue(t.SortKey()),
+			})
+		}
+		return res, nil
+	case "patchindexes":
+		res := &Result{Columns: []string{"table", "column", "constraint", "kind", "patches", "rate", "bytes"}}
+		for _, ix := range e.cat.Indexes() {
+			res.Rows = append(res.Rows, []vector.Value{
+				vector.StringValue(ix.Table()),
+				vector.StringValue(ix.Column()),
+				vector.StringValue(ix.Constraint().String()),
+				vector.StringValue(ix.RequestedKind().String()),
+				vector.IntValue(int64(ix.Cardinality())),
+				vector.FloatValue(ix.ExceptionRate()),
+				vector.IntValue(int64(ix.MemoryBytes())),
+			})
+		}
+		return res, nil
+	default:
+		return nil, fmt.Errorf("patchindex: unknown SHOW target %q", s.What)
+	}
+}
+
+// Advise runs the constraint advisor over a table.
+func (e *Engine) Advise(table string, cfg discovery.AdvisorConfig) ([]discovery.Proposal, error) {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	return discovery.Advise(t, cfg), nil
+}
+
+// LoadColumns bulk-appends whole column vectors into one partition of a
+// table (the fast path used by generators and loaders). Existing
+// PatchIndexes are NOT maintained — use Append for that.
+func (e *Engine) LoadColumns(table string, part int, cols []*vector.Vector) error {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	return t.AppendColumns(part, cols)
+}
+
+// Append appends whole column vectors into one partition of a table while
+// incrementally maintaining every PatchIndex defined on it — the paper's
+// future-work insert support, without a full table scan. The first Append
+// after an index change scans once to (re)build the maintenance state.
+func (e *Engine) Append(table string, part int, cols []*vector.Vector) error {
+	t, err := e.cat.Table(table)
+	if err != nil {
+		return err
+	}
+	e.maintMu.Lock()
+	defer e.maintMu.Unlock()
+	set, ok := e.maintainers[table]
+	if !ok {
+		var indexes []*patch.Index
+		for _, ix := range e.cat.Indexes() {
+			if ix.Table() == table {
+				indexes = append(indexes, ix)
+			}
+		}
+		set, err = maintain.NewSet(t, indexes)
+		if err != nil {
+			return err
+		}
+		e.maintainers[table] = set
+	}
+	return set.Append(part, cols)
+}
+
+// invalidateMaintainers drops cached maintenance state for a table after its
+// index set changed.
+func (e *Engine) invalidateMaintainers(table string) {
+	e.maintMu.Lock()
+	delete(e.maintainers, table)
+	e.maintMu.Unlock()
+}

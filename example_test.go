@@ -1,0 +1,42 @@
+package patchindex_test
+
+import (
+	"fmt"
+	"log"
+
+	"patchindex"
+)
+
+// Example demonstrates the full PatchIndex lifecycle on unclean data: a
+// perfect UNIQUE constraint is impossible (the value 7 repeats and one row
+// is NULL), but an approximate one can be discovered and exploited — with
+// exact results.
+func Example() {
+	eng, err := patchindex.New(patchindex.Config{DefaultPartitions: 2})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	mustExec := func(q string) *patchindex.Result {
+		res, err := eng.Exec(q)
+		if err != nil {
+			log.Fatal(err)
+		}
+		return res
+	}
+	mustExec("CREATE TABLE events (id BIGINT, kind VARCHAR)")
+	mustExec("INSERT INTO events VALUES (1,'a'), (2,'b'), (7,'c'), (3,'d'), (7,'e'), (NULL,'f'), (4,'g')")
+
+	// Discovery finds the exceptions: both 7s and the NULL row.
+	res := mustExec("CREATE PATCHINDEX ON events(id) UNIQUE THRESHOLD 0.5")
+	fmt.Println(res.Message)
+
+	// The rewritten count-distinct is exact.
+	res = mustExec("SELECT COUNT(DISTINCT id) FROM events")
+	fmt.Printf("distinct ids: %s\n", res.Rows[0][0])
+
+	// Output:
+	// PatchIndex(events.id NEARLY UNIQUE kind=auto |P|=3 rate=0.4286) created: 3 patches (42.86% exceptions, 16 bytes)
+	// distinct ids: 5
+}

@@ -1,0 +1,90 @@
+// Dashboard: the motivation workload of the paper's Figure 1. Dashboard
+// tools translate every widget (drop-down, selector, facet) into a distinct
+// sub-query over some column. This example runs such a batch of distinct
+// queries over a customer table, then lets the advisor define PatchIndexes
+// and runs the batch again.
+//
+//	go run ./examples/dashboard
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"patchindex"
+	"patchindex/internal/datagen"
+	"patchindex/internal/discovery"
+	"patchindex/internal/patch"
+)
+
+// The "dashboard" — each entry is one widget's backing query.
+var widgets = []string{
+	"SELECT COUNT(DISTINCT c_email_address) FROM customer",
+	"SELECT COUNT(DISTINCT c_customer_sk) FROM customer",
+	"SELECT DISTINCT c_birth_year FROM customer ORDER BY c_birth_year",
+	"SELECT c_birth_year, COUNT(*) AS n FROM customer GROUP BY c_birth_year HAVING COUNT(*) > 100",
+	"SELECT COUNT(*) FROM customer WHERE c_birth_year >= 1990",
+}
+
+func runBatch(eng *patchindex.Engine) (time.Duration, error) {
+	start := time.Now()
+	for _, q := range widgets {
+		if _, err := eng.DrainWith(q, patchindex.ExecOptions{}); err != nil {
+			return 0, fmt.Errorf("%s: %w", q, err)
+		}
+	}
+	return time.Since(start), nil
+}
+
+func main() {
+	eng, err := patchindex.New(patchindex.Config{DefaultPartitions: 8})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	cust, err := datagen.GenCustomer(datagen.TPCDSConfig{CustomerRows: 600_000, Partitions: 8, Seed: 7})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Catalog().AddTable(cust); err != nil {
+		log.Fatal(err)
+	}
+
+	before, err := runBatch(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dashboard refresh without PatchIndexes: %s\n\n", before.Round(time.Millisecond))
+
+	// Self-management step: the advisor scans the table and proposes
+	// approximate constraints; we accept everything under 10 % exceptions.
+	proposals, err := eng.Advise("customer", discovery.AdvisorConfig{
+		NUCThreshold: 0.10,
+		NSCThreshold: 0.10,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("advisor proposals:")
+	for _, p := range proposals {
+		fmt.Printf("  %-20s %-14s %5.2f%% exceptions  -> %s, ~%d bytes\n",
+			p.Column, p.Constraint, 100*p.ExceptionRate, p.RecommendedKind, p.EstimatedBytes)
+		if _, err := eng.CreatePatchIndex(p.Table, p.Column, p.Constraint, discovery.BuildOptions{
+			Kind:       patch.Auto,
+			Threshold:  0.10,
+			Descending: p.Descending,
+		}); err != nil {
+			log.Fatal(err)
+		}
+	}
+	fmt.Println()
+
+	after, err := runBatch(eng)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("dashboard refresh with PatchIndexes:    %s  (%.2fx)\n",
+		after.Round(time.Millisecond), float64(before)/float64(after))
+}

@@ -1,0 +1,72 @@
+// Quickstart: create a table, load slightly unclean data, let the engine
+// discover an approximate constraint, and watch the same query get faster.
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"patchindex"
+	"patchindex/internal/datagen"
+)
+
+func main() {
+	eng, err := patchindex.New(patchindex.Config{DefaultPartitions: 4})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer eng.Close()
+
+	// Load 2M rows whose column u is ~97 % unique and column s is ~97 %
+	// sorted — the kind of "unclean" data a cloud warehouse ingests.
+	const rows = 2_000_000
+	table, err := datagen.LoadCustom("events", rows, 4, 0.03, 0.03, 42)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := eng.Catalog().AddTable(table); err != nil {
+		log.Fatal(err)
+	}
+
+	query := "SELECT COUNT(DISTINCT u) FROM events"
+
+	// 1. Baseline: a full hash-based distinct aggregation.
+	start := time.Now()
+	res, err := eng.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("without PatchIndex: %-12s  (%s)\n", res.Rows[0][0], time.Since(start).Round(time.Millisecond))
+
+	// 2. A perfect UNIQUE constraint cannot be defined — but an approximate
+	//    one can. The discovery runs automatically at index creation.
+	msg, err := eng.Exec("CREATE PATCHINDEX ON events(u) UNIQUE THRESHOLD 0.1")
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(msg.Message)
+
+	// 3. The optimizer now splits the scan into exclude_patches (already
+	//    unique, skips the aggregation) and use_patches (aggregated).
+	explain, err := eng.Exec("EXPLAIN " + query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("rewritten plan:")
+	fmt.Print(explain.Message)
+
+	start = time.Now()
+	res2, err := eng.Query(query)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("with PatchIndex:    %-12s  (%s)\n", res2.Rows[0][0], time.Since(start).Round(time.Millisecond))
+
+	if res.Rows[0][0].I64 != res2.Rows[0][0].I64 {
+		log.Fatalf("results differ: %v vs %v", res.Rows[0][0], res2.Rows[0][0])
+	}
+	fmt.Println("results are identical — the rewrite is exact, not approximate.")
+}

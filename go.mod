@@ -1,0 +1,3 @@
+module patchindex
+
+go 1.22

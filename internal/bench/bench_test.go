@@ -1,0 +1,88 @@
+package bench
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+// tinyConfig keeps the smoke runs fast.
+func tinyConfig() Config {
+	return Config{
+		Rows:         20_000,
+		CustomerRows: 10_000,
+		SalesRows:    20_000,
+		Partitions:   2,
+		Rates:        []float64{0, 0.5},
+		Reps:         1,
+		Seed:         1,
+	}
+}
+
+func TestAllExperimentsRun(t *testing.T) {
+	cfg := tinyConfig()
+	for _, id := range All() {
+		var buf bytes.Buffer
+		if err := Run(id, cfg, &buf); err != nil {
+			t.Fatalf("%s: %v", id, err)
+		}
+		if buf.Len() == 0 {
+			t.Errorf("%s produced no output", id)
+		}
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Run("nope", tinyConfig(), &buf); err == nil {
+		t.Error("unknown experiment must fail")
+	}
+}
+
+func TestTable1ReportsBothColumns(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Table1(tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"c_email_address", "c_current_addr_sk", "speedup"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestNSCJoinReportsSpeedup(t *testing.T) {
+	var buf bytes.Buffer
+	if err := NSCJoin(tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, frag := range []string{"HashJoin", "MergeJoin", "speedup"} {
+		if !strings.Contains(out, frag) {
+			t.Errorf("missing %q in:\n%s", frag, out)
+		}
+	}
+}
+
+func TestMemoryReportsCrossover(t *testing.T) {
+	var buf bytes.Buffer
+	if err := Memory(tinyConfig(), &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	if !strings.Contains(out, "identifier") || !strings.Contains(out, "bitmap") {
+		t.Errorf("memory report incomplete:\n%s", out)
+	}
+}
+
+func TestConfigDefaults(t *testing.T) {
+	d := DefaultConfig()
+	if d.Rows <= 0 || d.Partitions != 24 || len(d.Rates) == 0 {
+		t.Errorf("defaults = %+v", d)
+	}
+	q := QuickConfig()
+	if q.Rows >= d.Rows {
+		t.Error("quick config should be smaller than default")
+	}
+}

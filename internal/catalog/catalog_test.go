@@ -1,0 +1,147 @@
+package catalog
+
+import (
+	"testing"
+
+	"patchindex/internal/patch"
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+)
+
+func newTable(t *testing.T, name string) *storage.Table {
+	t.Helper()
+	tab, err := storage.NewTable(name, storage.NewSchema(storage.Column{Name: "c", Typ: vector.Int64}), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab
+}
+
+func builtIndex(t *testing.T, table, col string, c patch.Constraint) *patch.Index {
+	t.Helper()
+	ix, err := patch.NewIndex(table, col, c, patch.Auto, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SetPartition(0, nil, 0); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestTableRegistry(t *testing.T) {
+	c := New()
+	tab := newTable(t, "t")
+	if err := c.AddTable(tab); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddTable(tab); err == nil {
+		t.Error("duplicate table must fail")
+	}
+	got, err := c.Table("t")
+	if err != nil || got != tab {
+		t.Errorf("lookup failed: %v", err)
+	}
+	if _, err := c.Table("missing"); err == nil {
+		t.Error("missing table must fail")
+	}
+	names := c.TableNames()
+	if len(names) != 1 || names[0] != "t" {
+		t.Errorf("names = %v", names)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t"); err == nil {
+		t.Error("double drop must fail")
+	}
+}
+
+func TestIndexRegistry(t *testing.T) {
+	c := New()
+	if err := c.AddTable(newTable(t, "t")); err != nil {
+		t.Fatal(err)
+	}
+	nuc := builtIndex(t, "t", "c", patch.NearlyUnique)
+	nsc := builtIndex(t, "t", "c", patch.NearlySorted)
+	if err := c.AddIndex(nuc); err != nil {
+		t.Fatal(err)
+	}
+	// Same column, different constraint: allowed.
+	if err := c.AddIndex(nsc); err != nil {
+		t.Fatalf("NUC+NSC on same column must be allowed: %v", err)
+	}
+	// Same constraint twice: rejected.
+	if err := c.AddIndex(builtIndex(t, "t", "c", patch.NearlyUnique)); err == nil {
+		t.Error("duplicate constraint index must fail")
+	}
+	// Unknown table rejected.
+	if err := c.AddIndex(builtIndex(t, "zzz", "c", patch.NearlyUnique)); err == nil {
+		t.Error("index on unknown table must fail")
+	}
+	if got := c.Lookup("t", "c", patch.NearlyUnique); got != nuc {
+		t.Error("lookup NUC failed")
+	}
+	if got := c.Lookup("t", "c", patch.NearlySorted); got != nsc {
+		t.Error("lookup NSC failed")
+	}
+	if got := c.IndexFor("t", "c", patch.NearlyUnique); got != nuc {
+		t.Error("IndexFor should return built index")
+	}
+	if got := c.Index("t", "c"); got != nuc {
+		t.Error("Index prefers NUC")
+	}
+	if got := c.Index("t", "zzz"); got != nil {
+		t.Error("unknown column should be nil")
+	}
+	all := c.Indexes()
+	if len(all) != 2 || all[0].Constraint() != patch.NearlyUnique {
+		t.Errorf("Indexes() = %v", all)
+	}
+	// Drop removes both constraints on the column.
+	if err := c.DropIndex("t", "c"); err != nil {
+		t.Fatal(err)
+	}
+	if c.Lookup("t", "c", patch.NearlyUnique) != nil || c.Lookup("t", "c", patch.NearlySorted) != nil {
+		t.Error("drop left indexes behind")
+	}
+	if err := c.DropIndex("t", "c"); err == nil {
+		t.Error("dropping a non-existent index must fail")
+	}
+}
+
+func TestIndexForRequiresReady(t *testing.T) {
+	c := New()
+	if err := c.AddTable(newTable(t, "t")); err != nil {
+		t.Fatal(err)
+	}
+	unbuilt, err := patch.NewIndex("t", "c", patch.NearlyUnique, patch.Auto, 1.0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(unbuilt); err != nil {
+		t.Fatal(err)
+	}
+	if c.IndexFor("t", "c", patch.NearlyUnique) != nil {
+		t.Error("IndexFor must not return an unbuilt index")
+	}
+	if c.Lookup("t", "c", patch.NearlyUnique) != unbuilt {
+		t.Error("Lookup should return unbuilt indexes")
+	}
+}
+
+func TestDropTableDropsIndexes(t *testing.T) {
+	c := New()
+	if err := c.AddTable(newTable(t, "t")); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.AddIndex(builtIndex(t, "t", "c", patch.NearlyUnique)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.DropTable("t"); err != nil {
+		t.Fatal(err)
+	}
+	if len(c.Indexes()) != 0 {
+		t.Error("table drop must remove its indexes")
+	}
+}

@@ -1,0 +1,314 @@
+package compress
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"patchindex/internal/discovery"
+	"patchindex/internal/patch"
+	"patchindex/internal/vector"
+)
+
+func intVec(vals ...int64) *vector.Vector {
+	v := vector.New(vector.Int64, len(vals))
+	for _, x := range vals {
+		v.AppendInt64(x)
+	}
+	return v
+}
+
+func vecEqual(a, b *vector.Vector) bool {
+	if a.Len() != b.Len() {
+		return false
+	}
+	for i := 0; i < a.Len(); i++ {
+		if a.IsNull(i) != b.IsNull(i) {
+			return false
+		}
+		if !a.IsNull(i) && a.I64[i] != b.I64[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func TestPFORRoundTrip(t *testing.T) {
+	v := intVec(100, 101, 103, 99, 1_000_000, 102, 104)
+	enc, err := EncodePFOR(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEqual(v, DecodePFOR(enc)) {
+		t.Error("round trip failed")
+	}
+	if enc.Len() != v.Len() {
+		t.Errorf("len = %d", enc.Len())
+	}
+}
+
+func TestPFORDeltaRoundTrip(t *testing.T) {
+	v := intVec(10, 12, 15, 15, 20, 19, 25)
+	enc, err := EncodePFORDelta(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEqual(v, DecodePFORDelta(enc)) {
+		t.Error("round trip failed")
+	}
+}
+
+func TestPFORNulls(t *testing.T) {
+	v := vector.New(vector.Int64, 0)
+	v.AppendInt64(5)
+	v.AppendNull()
+	v.AppendInt64(7)
+	v.AppendNull()
+	for _, mode := range []string{"pfor", "delta"} {
+		var enc *PFOR
+		var err error
+		var dec *vector.Vector
+		if mode == "pfor" {
+			enc, err = EncodePFOR(v)
+			if err == nil {
+				dec = DecodePFOR(enc)
+			}
+		} else {
+			enc, err = EncodePFORDelta(v)
+			if err == nil {
+				dec = DecodePFORDelta(enc)
+			}
+		}
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vecEqual(v, dec) {
+			t.Errorf("%s: null round trip failed", mode)
+		}
+	}
+}
+
+func TestPFORRejectsNonInteger(t *testing.T) {
+	v := vector.New(vector.Float64, 0)
+	v.AppendFloat64(1)
+	if _, err := EncodePFOR(v); err == nil {
+		t.Error("float input must be rejected")
+	}
+}
+
+func TestPFOREmptyAndSingle(t *testing.T) {
+	for _, v := range []*vector.Vector{intVec(), intVec(42)} {
+		enc, err := EncodePFOR(v)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !vecEqual(v, DecodePFOR(enc)) {
+			t.Error("round trip failed")
+		}
+	}
+}
+
+// TestPFORRoundTripProperty: arbitrary inputs must survive both encodings.
+func TestPFORRoundTripProperty(t *testing.T) {
+	f := func(raw []int64, nullsRaw []uint8, delta bool) bool {
+		v := vector.New(vector.Int64, len(raw))
+		isNull := map[int]bool{}
+		for _, n := range nullsRaw {
+			if len(raw) > 0 {
+				isNull[int(n)%len(raw)] = true
+			}
+		}
+		for i, x := range raw {
+			if isNull[i] {
+				v.AppendNull()
+			} else {
+				v.AppendInt64(x)
+			}
+		}
+		var enc *PFOR
+		var err error
+		if delta {
+			enc, err = EncodePFORDelta(v)
+		} else {
+			enc, err = EncodePFOR(v)
+		}
+		if err != nil {
+			return false
+		}
+		if delta {
+			return vecEqual(v, DecodePFORDelta(enc))
+		}
+		return vecEqual(v, DecodePFOR(enc))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPFORMultipleBlocks(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	v := vector.New(vector.Int64, 0)
+	for i := 0; i < 5000; i++ {
+		v.AppendInt64(rng.Int63n(1 << 40))
+	}
+	enc, err := EncodePFOR(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEqual(v, DecodePFOR(enc)) {
+		t.Error("multi-block round trip failed")
+	}
+}
+
+func TestPFORCompressesSmallRange(t *testing.T) {
+	// Small-range values with rare huge outliers: the patched scheme must
+	// stay near the small width.
+	rng := rand.New(rand.NewSource(4))
+	v := vector.New(vector.Int64, 0)
+	n := 100_000
+	for i := 0; i < n; i++ {
+		if rng.Intn(100) == 0 {
+			v.AppendInt64(rng.Int63()) // outlier
+		} else {
+			v.AppendInt64(1000 + rng.Int63n(255)) // 8-bit range
+		}
+	}
+	enc, err := EncodePFOR(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := Ratio(RawBytes(n), enc.CompressedBytes())
+	if ratio < 3 {
+		t.Errorf("outlier-robust compression ratio %.2f, want >= 3 (PFOR's whole point)", ratio)
+	}
+	if !vecEqual(v, DecodePFOR(enc)) {
+		t.Error("round trip failed")
+	}
+}
+
+func TestEncodeWithPatchesRoundTrip(t *testing.T) {
+	// Nearly sorted column with NULLs; patches from real discovery.
+	rng := rand.New(rand.NewSource(5))
+	v := vector.New(vector.Int64, 0)
+	n := 20_000
+	for i := 0; i < n; i++ {
+		switch {
+		case rng.Intn(200) == 0:
+			v.AppendNull()
+		case rng.Intn(50) == 0:
+			v.AppendInt64(rng.Int63n(int64(n) * 10)) // misplaced
+		default:
+			v.AppendInt64(int64(i * 3))
+		}
+	}
+	res := discovery.DiscoverNSC(v, false)
+	set, err := patch.Build(patch.Auto, res.Patches, v.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := EncodeWithPatches(v, set, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEqual(v, pc.Decode()) {
+		t.Fatal("patched round trip failed")
+	}
+	// The patched encoding must beat plain PFOR on nearly sorted data: the
+	// sorted majority delta-compresses to a few bits per value.
+	plain, err := EncodePFOR(v)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.CompressedBytes() >= plain.CompressedBytes() {
+		t.Errorf("patched %d B >= plain PFOR %d B — property-aware compression should win",
+			pc.CompressedBytes(), plain.CompressedBytes())
+	}
+}
+
+func TestEncodeWithPatchesDescending(t *testing.T) {
+	v := intVec(100, 90, 95, 80, 70)
+	res := discovery.DiscoverNSC(v, true)
+	set, err := patch.Build(patch.Auto, res.Patches, v.Len())
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := EncodeWithPatches(v, set, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !vecEqual(v, pc.Decode()) {
+		t.Error("descending round trip failed")
+	}
+}
+
+func TestEncodeWithPatchesValidation(t *testing.T) {
+	v := intVec(1, 2, 3)
+	set, _ := patch.Build(patch.Identifier, nil, 5) // wrong row count
+	if _, err := EncodeWithPatches(v, set, false); err == nil {
+		t.Error("row count mismatch must fail")
+	}
+	// NULL outside the patch set must fail.
+	nv := vector.New(vector.Int64, 0)
+	nv.AppendInt64(1)
+	nv.AppendNull()
+	badSet, _ := patch.Build(patch.Identifier, nil, 2)
+	if _, err := EncodeWithPatches(nv, badSet, false); err == nil {
+		t.Error("uncovered NULL must fail")
+	}
+	f := vector.New(vector.Float64, 0)
+	f.AppendFloat64(1)
+	fset, _ := patch.Build(patch.Identifier, nil, 1)
+	if _, err := EncodeWithPatches(f, fset, false); err == nil {
+		t.Error("non-integer column must fail")
+	}
+}
+
+// TestPatchedColumnProperty: random nearly sorted columns round-trip through
+// the patched encoding for both set representations.
+func TestPatchedColumnProperty(t *testing.T) {
+	f := func(seed int64, nRaw uint16, noise uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%3000 + 1
+		v := vector.New(vector.Int64, 0)
+		for i := 0; i < n; i++ {
+			switch {
+			case rng.Intn(40) == 0:
+				v.AppendNull()
+			case rng.Intn(int(noise)%20+2) == 0:
+				v.AppendInt64(rng.Int63n(int64(n) * 4))
+			default:
+				v.AppendInt64(int64(i))
+			}
+		}
+		res := discovery.DiscoverNSC(v, false)
+		for _, kind := range []patch.Kind{patch.Identifier, patch.Bitmap} {
+			set, err := patch.Build(kind, res.Patches, v.Len())
+			if err != nil {
+				return false
+			}
+			pc, err := EncodeWithPatches(v, set, false)
+			if err != nil {
+				return false
+			}
+			if !vecEqual(v, pc.Decode()) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRatioAndSummary(t *testing.T) {
+	if Ratio(100, 0) != 0 {
+		t.Error("zero compressed size guards division")
+	}
+	if Ratio(100, 50) != 2 {
+		t.Error("ratio math")
+	}
+	if SizesSummary("x", 100, 50) == "" {
+		t.Error("summary rendering")
+	}
+}

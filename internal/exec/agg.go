@@ -1,0 +1,332 @@
+package exec
+
+import (
+	"encoding/binary"
+	"fmt"
+	"math"
+
+	"patchindex/internal/vector"
+)
+
+// AggFunc enumerates aggregate functions.
+type AggFunc uint8
+
+// Aggregate functions.
+const (
+	// CountStar counts rows.
+	CountStar AggFunc = iota
+	// Count counts non-NULL values of a column.
+	Count
+	// CountDistinct counts distinct non-NULL values of a column.
+	CountDistinct
+	// Sum sums a numeric column (NULLs ignored).
+	Sum
+	// Min returns the minimum non-NULL value.
+	Min
+	// Max returns the maximum non-NULL value.
+	Max
+)
+
+// String names the function.
+func (f AggFunc) String() string {
+	return [...]string{"COUNT(*)", "COUNT", "COUNT(DISTINCT)", "SUM", "MIN", "MAX"}[f]
+}
+
+// AggSpec is one aggregate computation over input column Col (ignored for
+// CountStar).
+type AggSpec struct {
+	Func AggFunc
+	Col  int
+}
+
+// ResultType returns the output type of the aggregate given its input type.
+func (a AggSpec) ResultType(input []vector.Type) vector.Type {
+	switch a.Func {
+	case CountStar, Count, CountDistinct:
+		return vector.Int64
+	case Sum:
+		if input[a.Col] == vector.Float64 {
+			return vector.Float64
+		}
+		return vector.Int64
+	case Min, Max:
+		return input[a.Col]
+	default:
+		panic("exec: unknown aggregate")
+	}
+}
+
+// aggState is the running state of the aggregates of one group.
+type aggState struct {
+	counts   []int64
+	sumsI    []int64
+	sumsF    []float64
+	minmax   []vector.Value
+	distinct []map[string]struct{}
+	// resolved marks states produced by the specialized fast paths, whose
+	// final values already sit in counts.
+	resolved bool
+}
+
+// HashAgg is a hash-based grouping aggregation. With no aggregate specs it
+// degenerates to DISTINCT over the group columns — the "very expensive
+// hash-based aggregation" the distinct-rewrite of the paper avoids for the
+// non-patch part of the data.
+type HashAgg struct {
+	child     Operator
+	groupCols []int
+	aggs      []AggSpec
+	types     []vector.Type
+
+	groups map[string]int
+	keys   [][]vector.Value
+	states []*aggState
+	outPos int
+	opened bool
+}
+
+// NewHashAgg creates a hash aggregation. groupCols may be empty (global
+// aggregation, emits exactly one row), aggs may be empty (pure DISTINCT).
+func NewHashAgg(child Operator, groupCols []int, aggs []AggSpec) (*HashAgg, error) {
+	in := child.Types()
+	if len(groupCols) == 0 && len(aggs) == 0 {
+		return nil, fmt.Errorf("exec: hash aggregation needs group columns or aggregates")
+	}
+	var types []vector.Type
+	for _, c := range groupCols {
+		if c < 0 || c >= len(in) {
+			return nil, fmt.Errorf("exec: group column %d out of range", c)
+		}
+		types = append(types, in[c])
+	}
+	for _, a := range aggs {
+		if a.Func != CountStar && (a.Col < 0 || a.Col >= len(in)) {
+			return nil, fmt.Errorf("exec: aggregate column %d out of range", a.Col)
+		}
+		types = append(types, a.ResultType(in))
+	}
+	return &HashAgg{child: child, groupCols: groupCols, aggs: aggs, types: types}, nil
+}
+
+// Name returns the operator name.
+func (h *HashAgg) Name() string {
+	if len(h.aggs) == 0 {
+		return "Distinct"
+	}
+	return "HashAgg"
+}
+
+// Types returns group column types followed by aggregate result types.
+func (h *HashAgg) Types() []vector.Type { return h.types }
+
+// Open builds the entire hash table (pipeline breaker).
+func (h *HashAgg) Open() error {
+	if err := h.child.Open(); err != nil {
+		return err
+	}
+	h.groups = make(map[string]int)
+	h.keys = h.keys[:0]
+	h.states = h.states[:0]
+	h.outPos = 0
+	h.opened = true
+
+	if done, err := h.openFast(); done || err != nil {
+		return err
+	}
+
+	in := h.child.Types()
+	var keyBuf []byte
+	var elemBuf []byte
+	for {
+		b, err := h.child.Next()
+		if err != nil {
+			return errOp(h, err)
+		}
+		if b == nil {
+			break
+		}
+		n := b.Len()
+		for i := 0; i < n; i++ {
+			keyBuf = keyBuf[:0]
+			for _, c := range h.groupCols {
+				keyBuf = encodeValue(keyBuf, b.Vecs[c], i)
+			}
+			gi, ok := h.groups[string(keyBuf)]
+			if !ok {
+				gi = len(h.keys)
+				h.groups[string(keyBuf)] = gi
+				key := make([]vector.Value, len(h.groupCols))
+				for k, c := range h.groupCols {
+					key[k] = b.Vecs[c].Value(i)
+				}
+				h.keys = append(h.keys, key)
+				h.states = append(h.states, newAggState(h.aggs, in))
+			}
+			st := h.states[gi]
+			for ai, a := range h.aggs {
+				switch a.Func {
+				case CountStar:
+					st.counts[ai]++
+				case Count:
+					if !b.Vecs[a.Col].IsNull(i) {
+						st.counts[ai]++
+					}
+				case CountDistinct:
+					if !b.Vecs[a.Col].IsNull(i) {
+						elemBuf = encodeValue(elemBuf[:0], b.Vecs[a.Col], i)
+						if _, seen := st.distinct[ai][string(elemBuf)]; !seen {
+							st.distinct[ai][string(elemBuf)] = struct{}{}
+						}
+					}
+				case Sum:
+					v := b.Vecs[a.Col]
+					if !v.IsNull(i) {
+						st.counts[ai]++
+						if v.Typ == vector.Float64 {
+							st.sumsF[ai] += v.F64[i]
+						} else {
+							st.sumsI[ai] += v.I64[i]
+						}
+					}
+				case Min:
+					v := b.Vecs[a.Col]
+					if !v.IsNull(i) {
+						val := v.Value(i)
+						if st.minmax[ai].Null || val.Compare(st.minmax[ai]) < 0 {
+							st.minmax[ai] = val
+						}
+					}
+				case Max:
+					v := b.Vecs[a.Col]
+					if !v.IsNull(i) {
+						val := v.Value(i)
+						if st.minmax[ai].Null || val.Compare(st.minmax[ai]) > 0 {
+							st.minmax[ai] = val
+						}
+					}
+				}
+			}
+		}
+	}
+	// Global aggregation over zero rows still yields one row.
+	if len(h.groupCols) == 0 && len(h.keys) == 0 {
+		h.keys = append(h.keys, nil)
+		h.states = append(h.states, newAggState(h.aggs, in))
+	}
+	return nil
+}
+
+func newAggState(aggs []AggSpec, in []vector.Type) *aggState {
+	st := &aggState{
+		counts: make([]int64, len(aggs)),
+		sumsI:  make([]int64, len(aggs)),
+		sumsF:  make([]float64, len(aggs)),
+		minmax: make([]vector.Value, len(aggs)),
+	}
+	st.distinct = make([]map[string]struct{}, len(aggs))
+	for i, a := range aggs {
+		if a.Func == CountDistinct {
+			st.distinct[i] = make(map[string]struct{})
+		}
+		if a.Func == Min || a.Func == Max || a.Func == Sum {
+			st.minmax[i] = vector.NullValue(in[max0(a.Col)])
+		}
+	}
+	return st
+}
+
+func max0(c int) int {
+	if c < 0 {
+		return 0
+	}
+	return c
+}
+
+// Next emits result groups in hash-table insertion order.
+func (h *HashAgg) Next() (*vector.Batch, error) {
+	if !h.opened {
+		return nil, errOp(h, fmt.Errorf("not opened"))
+	}
+	if h.outPos >= len(h.keys) {
+		return nil, nil
+	}
+	end := h.outPos + vector.BatchSize
+	if end > len(h.keys) {
+		end = len(h.keys)
+	}
+	out := vector.NewBatch(h.types)
+	in := h.child.Types()
+	for g := h.outPos; g < end; g++ {
+		col := 0
+		for k := range h.groupCols {
+			if err := out.Vecs[col].AppendValue(h.keys[g][k]); err != nil {
+				return nil, errOp(h, err)
+			}
+			col++
+		}
+		st := h.states[g]
+		for ai, a := range h.aggs {
+			switch a.Func {
+			case CountStar, Count:
+				out.Vecs[col].AppendInt64(st.counts[ai])
+			case CountDistinct:
+				if st.resolved {
+					out.Vecs[col].AppendInt64(st.counts[ai])
+				} else {
+					out.Vecs[col].AppendInt64(int64(len(st.distinct[ai])))
+				}
+			case Sum:
+				if st.counts[ai] == 0 {
+					out.Vecs[col].AppendNull()
+				} else if in[a.Col] == vector.Float64 {
+					out.Vecs[col].AppendFloat64(st.sumsF[ai])
+				} else {
+					out.Vecs[col].AppendInt64(st.sumsI[ai])
+				}
+			case Min, Max:
+				if err := out.Vecs[col].AppendValue(st.minmax[ai]); err != nil {
+					return nil, errOp(h, err)
+				}
+			}
+			col++
+		}
+	}
+	h.outPos = end
+	return out, nil
+}
+
+// Close closes the child and drops the hash table.
+func (h *HashAgg) Close() error {
+	h.groups = nil
+	h.keys = nil
+	h.states = nil
+	return h.child.Close()
+}
+
+// encodeValue appends a canonical, type-tagged binary encoding of value i of
+// v to buf. Encodings are injective per type, so they are usable as hash map
+// keys for grouping and distinct counting. NULL encodes as a dedicated tag.
+func encodeValue(buf []byte, v *vector.Vector, i int) []byte {
+	if v.IsNull(i) {
+		return append(buf, 0)
+	}
+	switch v.Typ {
+	case vector.Int64, vector.Date:
+		buf = append(buf, 1)
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(v.I64[i]))
+	case vector.Float64:
+		buf = append(buf, 2)
+		buf = binary.LittleEndian.AppendUint64(buf, math.Float64bits(v.F64[i]))
+	case vector.String:
+		buf = append(buf, 3)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(v.Str[i])))
+		buf = append(buf, v.Str[i]...)
+	case vector.Bool:
+		if v.B[i] {
+			buf = append(buf, 4, 1)
+		} else {
+			buf = append(buf, 4, 0)
+		}
+	}
+	return buf
+}

@@ -1,0 +1,330 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// kv builds a two-column (int64 group, int64 value) batch.
+func kv(pairs ...[2]int64) *vector.Batch {
+	b := vector.NewBatch([]vector.Type{vector.Int64, vector.Int64})
+	for _, p := range pairs {
+		b.Vecs[0].AppendInt64(p[0])
+		b.Vecs[1].AppendInt64(p[1])
+	}
+	return b
+}
+
+func TestHashAggGroupByCounts(t *testing.T) {
+	src := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		kv([2]int64{1, 10}, [2]int64{2, 20}, [2]int64{1, 30}),
+		kv([2]int64{2, 40}, [2]int64{3, 50}),
+	)
+	agg, err := NewHashAgg(src, []int{0}, []AggSpec{
+		{Func: CountStar, Col: -1},
+		{Func: Sum, Col: 1},
+		{Func: Min, Col: 1},
+		{Func: Max, Col: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := map[int64][4]int64{}
+	for _, r := range rows {
+		got[r[0].I64] = [4]int64{r[1].I64, r[2].I64, r[3].I64, r[4].I64}
+	}
+	want := map[int64][4]int64{
+		1: {2, 40, 10, 30},
+		2: {2, 60, 20, 40},
+		3: {1, 50, 50, 50},
+	}
+	if len(got) != len(want) {
+		t.Fatalf("groups = %v", got)
+	}
+	for k, w := range want {
+		if got[k] != w {
+			t.Errorf("group %d = %v, want %v", k, got[k], w)
+		}
+	}
+}
+
+func TestHashAggNullHandling(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.Int64, vector.Int64})
+	b.Vecs[0].AppendInt64(1)
+	b.Vecs[1].AppendNull()
+	b.Vecs[0].AppendInt64(1)
+	b.Vecs[1].AppendInt64(5)
+	b.Vecs[0].AppendNull() // NULL group key forms its own group
+	b.Vecs[1].AppendInt64(7)
+	src := newMemOp([]vector.Type{vector.Int64, vector.Int64}, b)
+	agg, err := NewHashAgg(src, []int{0}, []AggSpec{
+		{Func: CountStar, Col: -1},
+		{Func: Count, Col: 1},
+		{Func: Sum, Col: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 2 {
+		t.Fatalf("groups = %v", rows)
+	}
+	for _, r := range rows {
+		if r[0].Null {
+			if r[1].I64 != 1 || r[2].I64 != 1 || r[3].I64 != 7 {
+				t.Errorf("NULL group = %v", r)
+			}
+		} else {
+			// COUNT(*)=2 but COUNT(v)=1: NULL not counted; SUM skips NULL.
+			if r[1].I64 != 2 || r[2].I64 != 1 || r[3].I64 != 5 {
+				t.Errorf("group 1 = %v", r)
+			}
+		}
+	}
+}
+
+func TestHashAggGlobalEmptyInput(t *testing.T) {
+	src := newMemOp([]vector.Type{vector.Int64, vector.Int64})
+	agg, err := NewHashAgg(src, nil, []AggSpec{
+		{Func: CountStar, Col: -1},
+		{Func: Sum, Col: 1},
+		{Func: Min, Col: 1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("global agg over empty input must yield one row, got %d", len(rows))
+	}
+	if rows[0][0].I64 != 0 || !rows[0][1].Null || !rows[0][2].Null {
+		t.Errorf("row = %v (want 0, NULL, NULL)", rows[0])
+	}
+}
+
+func TestHashAggCountDistinctGeneric(t *testing.T) {
+	// Two aggregates force the generic path (fast path is single-agg only).
+	src := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		kv([2]int64{1, 10}, [2]int64{1, 10}, [2]int64{1, 20}, [2]int64{2, 10}),
+	)
+	agg, err := NewHashAgg(src, nil, []AggSpec{
+		{Func: CountDistinct, Col: 1},
+		{Func: CountStar, Col: -1},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I64 != 2 || rows[0][1].I64 != 4 {
+		t.Errorf("count distinct = %v", rows[0])
+	}
+}
+
+// TestCountDistinctFastVsGeneric: the specialized global count-distinct path
+// must agree with the generic implementation for random inputs with NULLs.
+func TestCountDistinctFastVsGeneric(t *testing.T) {
+	rng := rand.New(rand.NewSource(21))
+	for trial := 0; trial < 30; trial++ {
+		n := rng.Intn(3000)
+		b := vector.NewBatch([]vector.Type{vector.Int64, vector.Int64})
+		for i := 0; i < n; i++ {
+			if rng.Intn(10) == 0 {
+				b.Vecs[0].AppendNull()
+			} else {
+				b.Vecs[0].AppendInt64(rng.Int63n(200))
+			}
+			b.Vecs[1].AppendInt64(1)
+		}
+		// Fast path: single CountDistinct agg.
+		fast, err := NewHashAgg(newMemOp(b.Types(), b), nil, []AggSpec{{Func: CountDistinct, Col: 0}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		fastRows, err := Collect(fast)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Generic path: an extra CountStar forces it.
+		gen, err := NewHashAgg(newMemOp(b.Types(), b), nil, []AggSpec{{Func: CountDistinct, Col: 0}, {Func: CountStar, Col: -1}})
+		if err != nil {
+			t.Fatal(err)
+		}
+		genRows, err := Collect(gen)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fastRows[0][0].I64 != genRows[0][0].I64 {
+			t.Fatalf("fast %d vs generic %d", fastRows[0][0].I64, genRows[0][0].I64)
+		}
+	}
+}
+
+func TestDistinctFastPathInt64(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.Int64})
+	for _, v := range []int64{3, 1, 3, 2, 1} {
+		b.Vecs[0].AppendInt64(v)
+	}
+	b.Vecs[0].AppendNull()
+	b.Vecs[0].AppendNull()
+	src := newMemOp(b.Types(), b)
+	agg, err := NewHashAgg(src, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Distinct: 1, 2, 3 and a single NULL group.
+	if len(rows) != 4 {
+		t.Fatalf("distinct rows = %v", rows)
+	}
+	nulls := 0
+	seen := map[int64]bool{}
+	for _, r := range rows {
+		if r[0].Null {
+			nulls++
+		} else {
+			seen[r[0].I64] = true
+		}
+	}
+	if nulls != 1 || len(seen) != 3 {
+		t.Errorf("distinct = %v", rows)
+	}
+}
+
+func TestDistinctFastPathString(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.String})
+	for _, s := range []string{"b", "a", "b", "c", "a"} {
+		b.Vecs[0].AppendString(s)
+	}
+	src := newMemOp(b.Types(), b)
+	agg, err := NewHashAgg(src, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, r := range rows {
+		got = append(got, r[0].Str)
+	}
+	sort.Strings(got)
+	if len(got) != 3 || got[0] != "a" || got[1] != "b" || got[2] != "c" {
+		t.Errorf("distinct strings = %v", got)
+	}
+}
+
+func TestCountDistinctStringFast(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.String})
+	for _, s := range []string{"x", "y", "x"} {
+		b.Vecs[0].AppendString(s)
+	}
+	b.Vecs[0].AppendNull()
+	src := newMemOp(b.Types(), b)
+	agg, err := NewHashAgg(src, nil, []AggSpec{{Func: CountDistinct, Col: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].I64 != 2 {
+		t.Errorf("count distinct strings = %v, want 2 (NULL not counted)", rows[0][0])
+	}
+}
+
+func TestHashAggFloatSum(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.Float64})
+	b.Vecs[0].AppendFloat64(1.5)
+	b.Vecs[0].AppendFloat64(2.25)
+	src := newMemOp(b.Types(), b)
+	agg, err := NewHashAgg(src, nil, []AggSpec{{Func: Sum, Col: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rows[0][0].F64 != 3.75 {
+		t.Errorf("float sum = %v", rows[0][0])
+	}
+}
+
+func TestHashAggValidation(t *testing.T) {
+	src := newMemOp([]vector.Type{vector.Int64})
+	if _, err := NewHashAgg(src, nil, nil); err == nil {
+		t.Error("no groups and no aggs must fail")
+	}
+	if _, err := NewHashAgg(src, []int{3}, nil); err == nil {
+		t.Error("bad group column must fail")
+	}
+	if _, err := NewHashAgg(src, nil, []AggSpec{{Func: Sum, Col: 9}}); err == nil {
+		t.Error("bad agg column must fail")
+	}
+}
+
+func TestHashAggMultiColumnGroups(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.Int64, vector.String})
+	add := func(i int64, s string) {
+		b.Vecs[0].AppendInt64(i)
+		b.Vecs[1].AppendString(s)
+	}
+	add(1, "a")
+	add(1, "b")
+	add(1, "a")
+	add(2, "a")
+	src := newMemOp(b.Types(), b)
+	agg, err := NewHashAgg(src, []int{0, 1}, []AggSpec{{Func: CountStar, Col: -1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("groups = %v", rows)
+	}
+}
+
+func TestAggSpecResultType(t *testing.T) {
+	in := []vector.Type{vector.Int64, vector.Float64, vector.String}
+	cases := []struct {
+		spec AggSpec
+		want vector.Type
+	}{
+		{AggSpec{Func: CountStar, Col: -1}, vector.Int64},
+		{AggSpec{Func: Count, Col: 2}, vector.Int64},
+		{AggSpec{Func: CountDistinct, Col: 2}, vector.Int64},
+		{AggSpec{Func: Sum, Col: 0}, vector.Int64},
+		{AggSpec{Func: Sum, Col: 1}, vector.Float64},
+		{AggSpec{Func: Min, Col: 2}, vector.String},
+		{AggSpec{Func: Max, Col: 1}, vector.Float64},
+	}
+	for _, c := range cases {
+		if got := c.spec.ResultType(in); got != c.want {
+			t.Errorf("%v result type = %v, want %v", c.spec, got, c.want)
+		}
+	}
+}

@@ -1,0 +1,182 @@
+package exec
+
+import (
+	"fmt"
+
+	"patchindex/internal/expr"
+	"patchindex/internal/vector"
+)
+
+// Filter passes rows for which the predicate evaluates to true (NULL counts
+// as false, per SQL semantics).
+type Filter struct {
+	child Operator
+	pred  expr.Expr
+	out   *vector.Batch
+}
+
+// NewFilter creates a filter operator; pred must be boolean.
+func NewFilter(child Operator, pred expr.Expr) (*Filter, error) {
+	if pred.Type() != vector.Bool {
+		return nil, fmt.Errorf("exec: filter predicate must be boolean, got %s", pred.Type())
+	}
+	return &Filter{child: child, pred: pred}, nil
+}
+
+// Name returns the operator name.
+func (f *Filter) Name() string { return fmt.Sprintf("Filter(%s)", f.pred) }
+
+// Types returns the child types.
+func (f *Filter) Types() []vector.Type { return f.child.Types() }
+
+// Open opens the child.
+func (f *Filter) Open() error {
+	f.out = vector.NewBatch(f.child.Types())
+	return f.child.Open()
+}
+
+// Next evaluates the predicate and gathers qualifying rows.
+func (f *Filter) Next() (*vector.Batch, error) {
+	for {
+		b, err := f.child.Next()
+		if err != nil {
+			return nil, errOp(f, err)
+		}
+		if b == nil {
+			return nil, nil
+		}
+		sel, err := f.pred.Eval(b)
+		if err != nil {
+			return nil, errOp(f, err)
+		}
+		keep := make([]int, 0, b.Len())
+		for i := 0; i < b.Len(); i++ {
+			if !sel.IsNull(i) && sel.B[i] {
+				keep = append(keep, i)
+			}
+		}
+		if len(keep) == 0 {
+			continue
+		}
+		if len(keep) == b.Len() {
+			out := *b
+			out.Contiguous = false
+			return &out, nil
+		}
+		f.out.Reset()
+		gatherInto(f.out, b, keep)
+		return f.out, nil
+	}
+}
+
+// Close closes the child.
+func (f *Filter) Close() error {
+	f.out = nil
+	return f.child.Close()
+}
+
+// Project evaluates a list of expressions over every input batch.
+type Project struct {
+	child Operator
+	exprs []expr.Expr
+	types []vector.Type
+}
+
+// NewProject creates a projection operator.
+func NewProject(child Operator, exprs []expr.Expr) (*Project, error) {
+	if len(exprs) == 0 {
+		return nil, fmt.Errorf("exec: projection needs at least one expression")
+	}
+	types := make([]vector.Type, len(exprs))
+	for i, e := range exprs {
+		types[i] = e.Type()
+	}
+	return &Project{child: child, exprs: exprs, types: types}, nil
+}
+
+// Name returns the operator name.
+func (p *Project) Name() string { return "Project" }
+
+// Types returns the projected types.
+func (p *Project) Types() []vector.Type { return p.types }
+
+// Open opens the child.
+func (p *Project) Open() error { return p.child.Open() }
+
+// Next evaluates all projection expressions over the next batch.
+func (p *Project) Next() (*vector.Batch, error) {
+	b, err := p.child.Next()
+	if err != nil {
+		return nil, errOp(p, err)
+	}
+	if b == nil {
+		return nil, nil
+	}
+	out := &vector.Batch{Vecs: make([]*vector.Vector, len(p.exprs))}
+	for i, e := range p.exprs {
+		v, err := e.Eval(b)
+		if err != nil {
+			return nil, errOp(p, err)
+		}
+		out.Vecs[i] = v
+	}
+	return out, nil
+}
+
+// Close closes the child.
+func (p *Project) Close() error { return p.child.Close() }
+
+// Limit passes at most n rows.
+type Limit struct {
+	child Operator
+	n     int
+	seen  int
+}
+
+// NewLimit creates a limit operator.
+func NewLimit(child Operator, n int) (*Limit, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("exec: limit must be non-negative, got %d", n)
+	}
+	return &Limit{child: child, n: n}, nil
+}
+
+// Name returns the operator name.
+func (l *Limit) Name() string { return fmt.Sprintf("Limit(%d)", l.n) }
+
+// Types returns the child types.
+func (l *Limit) Types() []vector.Type { return l.child.Types() }
+
+// Open opens the child and resets the counter.
+func (l *Limit) Open() error {
+	l.seen = 0
+	return l.child.Open()
+}
+
+// Next truncates the stream after n rows.
+func (l *Limit) Next() (*vector.Batch, error) {
+	if l.seen >= l.n {
+		return nil, nil
+	}
+	b, err := l.child.Next()
+	if err != nil {
+		return nil, errOp(l, err)
+	}
+	if b == nil {
+		return nil, nil
+	}
+	remain := l.n - l.seen
+	if b.Len() <= remain {
+		l.seen += b.Len()
+		return b, nil
+	}
+	out := &vector.Batch{Vecs: make([]*vector.Vector, len(b.Vecs))}
+	for c, v := range b.Vecs {
+		out.Vecs[c] = v.Slice(0, remain)
+	}
+	l.seen = l.n
+	return out, nil
+}
+
+// Close closes the child.
+func (l *Limit) Close() error { return l.child.Close() }

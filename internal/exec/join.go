@@ -1,0 +1,552 @@
+package exec
+
+import (
+	"fmt"
+
+	"patchindex/internal/vector"
+)
+
+// HashJoin is an equi-join on a single key column per side. The build side
+// is configurable: the paper's join rewrite picks the side with the lower
+// estimated cardinality to build the hash table on. With leftOuter set the
+// join keeps unmatched left rows, padding the right columns with NULLs (the
+// build side is then forced to the right input).
+type HashJoin struct {
+	left, right Operator
+	leftKey     int
+	rightKey    int
+	buildLeft   bool
+	leftOuter   bool
+	types       []vector.Type
+
+	buildCols []*vector.Vector
+	table     map[string][]int
+	table64   map[int64][]int32 // typed fast path for int64/date keys
+	probe     Operator
+	probeKey  int
+	out       *vector.Batch
+	keyBuf    []byte
+}
+
+// NewHashJoin creates an inner hash join of left and right on
+// left.leftKey = right.rightKey. If buildLeft is true the hash table is
+// built on the left input, otherwise on the right. Output columns are the
+// left columns followed by the right columns.
+func NewHashJoin(left, right Operator, leftKey, rightKey int, buildLeft bool) (*HashJoin, error) {
+	lt, rt := left.Types(), right.Types()
+	if leftKey < 0 || leftKey >= len(lt) {
+		return nil, fmt.Errorf("exec: hash join: left key %d out of range", leftKey)
+	}
+	if rightKey < 0 || rightKey >= len(rt) {
+		return nil, fmt.Errorf("exec: hash join: right key %d out of range", rightKey)
+	}
+	types := append(append([]vector.Type{}, lt...), rt...)
+	return &HashJoin{left: left, right: right, leftKey: leftKey, rightKey: rightKey, buildLeft: buildLeft, types: types}, nil
+}
+
+// NewLeftOuterHashJoin creates a left outer hash join (build side: right).
+func NewLeftOuterHashJoin(left, right Operator, leftKey, rightKey int) (*HashJoin, error) {
+	j, err := NewHashJoin(left, right, leftKey, rightKey, false)
+	if err != nil {
+		return nil, err
+	}
+	j.leftOuter = true
+	return j, nil
+}
+
+// Name returns the operator name.
+func (j *HashJoin) Name() string {
+	side := "build=right"
+	if j.buildLeft {
+		side = "build=left"
+	}
+	if j.leftOuter {
+		return "LeftOuterHashJoin(" + side + ")"
+	}
+	return "HashJoin(" + side + ")"
+}
+
+// Types returns left column types followed by right column types.
+func (j *HashJoin) Types() []vector.Type { return j.types }
+
+// Open builds the hash table on the configured side.
+func (j *HashJoin) Open() error {
+	var build Operator
+	var buildKey int
+	if j.buildLeft {
+		build, j.probe = j.left, j.right
+		buildKey, j.probeKey = j.leftKey, j.rightKey
+	} else {
+		build, j.probe = j.right, j.left
+		buildKey, j.probeKey = j.rightKey, j.leftKey
+	}
+	if err := build.Open(); err != nil {
+		return err
+	}
+	cols, n, err := materialize(build, build.Types())
+	if err != nil {
+		return errOp(j, err)
+	}
+	j.buildCols = cols
+	keyVec := cols[buildKey]
+	if keyVec.Typ == vector.Int64 || keyVec.Typ == vector.Date {
+		j.table64 = make(map[int64][]int32, n)
+		for i := 0; i < n; i++ {
+			if keyVec.IsNull(i) {
+				continue // NULL keys never join
+			}
+			j.table64[keyVec.I64[i]] = append(j.table64[keyVec.I64[i]], int32(i))
+		}
+	} else {
+		j.table = make(map[string][]int, n)
+		var buf []byte
+		for i := 0; i < n; i++ {
+			if keyVec.IsNull(i) {
+				continue // NULL keys never join
+			}
+			buf = encodeValue(buf[:0], keyVec, i)
+			j.table[string(buf)] = append(j.table[string(buf)], i)
+		}
+	}
+	j.out = vector.NewBatch(j.types)
+	return j.probe.Open()
+}
+
+// Next probes the hash table with the next probe-side batch.
+func (j *HashJoin) Next() (*vector.Batch, error) {
+	for {
+		b, err := j.probe.Next()
+		if err != nil {
+			return nil, errOp(j, err)
+		}
+		if b == nil {
+			return nil, nil
+		}
+		j.out.Reset()
+		n := b.Len()
+		keyVec := b.Vecs[j.probeKey]
+		if j.table64 != nil && (keyVec.Typ == vector.Int64 || keyVec.Typ == vector.Date) {
+			for i := 0; i < n; i++ {
+				if keyVec.IsNull(i) {
+					j.appendUnmatched(b, i)
+					continue
+				}
+				rows := j.table64[keyVec.I64[i]]
+				if len(rows) == 0 {
+					j.appendUnmatched(b, i)
+					continue
+				}
+				for _, bi := range rows {
+					j.appendJoined(j.out, b, i, int(bi))
+				}
+			}
+		} else if j.table64 != nil {
+			return nil, errOp(j, fmt.Errorf("probe key type does not match build key type"))
+		} else {
+			for i := 0; i < n; i++ {
+				if keyVec.IsNull(i) {
+					j.appendUnmatched(b, i)
+					continue
+				}
+				j.keyBuf = encodeValue(j.keyBuf[:0], keyVec, i)
+				rows, ok := j.table[string(j.keyBuf)]
+				if !ok {
+					j.appendUnmatched(b, i)
+					continue
+				}
+				for _, bi := range rows {
+					j.appendJoined(j.out, b, i, bi)
+				}
+			}
+		}
+		if j.out.Len() > 0 {
+			return j.out, nil
+		}
+	}
+}
+
+// appendUnmatched emits a left row padded with NULL right columns in left
+// outer mode (a no-op for inner joins, which drop unmatched probe rows).
+// Outer joins always build on the right, so the probe side is the left.
+func (j *HashJoin) appendUnmatched(probe *vector.Batch, pi int) {
+	if !j.leftOuter {
+		return
+	}
+	nLeft := len(j.left.Types())
+	for c := range probe.Vecs {
+		j.out.Vecs[c].Append(probe.Vecs[c], pi)
+	}
+	for c := nLeft; c < len(j.types); c++ {
+		j.out.Vecs[c].AppendNull()
+	}
+}
+
+// appendJoined writes one joined row (left columns then right columns).
+func (j *HashJoin) appendJoined(out *vector.Batch, probe *vector.Batch, pi, bi int) {
+	nLeft := len(j.left.Types())
+	if j.buildLeft {
+		for c := 0; c < nLeft; c++ {
+			out.Vecs[c].Append(j.buildCols[c], bi)
+		}
+		for c := range probe.Vecs {
+			out.Vecs[nLeft+c].Append(probe.Vecs[c], pi)
+		}
+	} else {
+		for c := range probe.Vecs {
+			out.Vecs[c].Append(probe.Vecs[c], pi)
+		}
+		for c := range j.buildCols {
+			out.Vecs[nLeft+c].Append(j.buildCols[c], bi)
+		}
+	}
+}
+
+// Close closes both children and drops the hash table.
+func (j *HashJoin) Close() error {
+	j.table = nil
+	j.table64 = nil
+	j.buildCols = nil
+	j.out = nil
+	err1 := j.left.Close()
+	err2 := j.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// MergeJoin is an inner equi-join of two inputs that are both sorted
+// ascending on their key column. It streams both sides, buffering only the
+// current group of equal keys, so it avoids the hash-table build that makes
+// HashJoin "more expensive" (Section VI-B3). NULL keys never match and are
+// skipped.
+type MergeJoin struct {
+	left, right Operator
+	leftKey     int
+	rightKey    int
+	types       []vector.Type
+
+	lc, rc *mergeCursor
+	// Buffered groups of equal keys (reused across groups).
+	lGroup, rGroup []*vector.Vector
+	lN, rN         int
+	emitL, emitR   int
+	emitting       bool
+	// streaming mode: a single left row joined against the right stream.
+	streaming bool
+	streamKey vector.Value
+	out       *vector.Batch
+}
+
+// NewMergeJoin creates a merge join; both inputs must be sorted ascending on
+// their key columns (NULLs first, which the cursors skip).
+func NewMergeJoin(left, right Operator, leftKey, rightKey int) (*MergeJoin, error) {
+	lt, rt := left.Types(), right.Types()
+	if leftKey < 0 || leftKey >= len(lt) {
+		return nil, fmt.Errorf("exec: merge join: left key %d out of range", leftKey)
+	}
+	if rightKey < 0 || rightKey >= len(rt) {
+		return nil, fmt.Errorf("exec: merge join: right key %d out of range", rightKey)
+	}
+	types := append(append([]vector.Type{}, lt...), rt...)
+	return &MergeJoin{left: left, right: right, leftKey: leftKey, rightKey: rightKey, types: types}, nil
+}
+
+// Name returns the operator name.
+func (j *MergeJoin) Name() string { return "MergeJoin" }
+
+// Types returns left column types followed by right column types.
+func (j *MergeJoin) Types() []vector.Type { return j.types }
+
+// Open opens both children.
+func (j *MergeJoin) Open() error {
+	if err := j.left.Open(); err != nil {
+		return err
+	}
+	if err := j.right.Open(); err != nil {
+		return err
+	}
+	j.lc = newMergeCursor(j.left, j.leftKey)
+	j.rc = newMergeCursor(j.right, j.rightKey)
+	j.lGroup = makeGroupBuf(j.left.Types())
+	j.rGroup = makeGroupBuf(j.right.Types())
+	j.emitting = false
+	j.out = vector.NewBatch(j.types)
+	return nil
+}
+
+func makeGroupBuf(types []vector.Type) []*vector.Vector {
+	out := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		out[i] = vector.New(t, 8)
+	}
+	return out
+}
+
+// Next advances the two cursors to the next pair of matching key groups and
+// emits their cross product. The common many-to-one case (a single matching
+// row on the left, e.g. a dimension primary key) streams the right side
+// directly into the output without buffering the right group.
+func (j *MergeJoin) Next() (*vector.Batch, error) {
+	j.out.Reset()
+	nLeft := len(j.left.Types())
+	for {
+		// Flush a buffered cross product in progress.
+		if j.emitting {
+			for j.out.Len() < vector.BatchSize && j.emitL < j.lN {
+				for c := 0; c < nLeft; c++ {
+					j.out.Vecs[c].Append(j.lGroup[c], j.emitL)
+				}
+				for c := 0; c < len(j.rGroup); c++ {
+					j.out.Vecs[nLeft+c].Append(j.rGroup[c], j.emitR)
+				}
+				j.emitR++
+				if j.emitR >= j.rN {
+					j.emitR = 0
+					j.emitL++
+				}
+			}
+			if j.emitL >= j.lN {
+				j.emitting = false
+			}
+			if j.out.Len() >= vector.BatchSize {
+				return j.out, nil
+			}
+			continue
+		}
+		// Continue streaming the right side against a single left row.
+		if j.streaming {
+			done, err := j.streamRight(nLeft)
+			if err != nil {
+				return nil, errOp(j, err)
+			}
+			if done {
+				j.streaming = false
+			}
+			if j.out.Len() >= vector.BatchSize {
+				return j.out, nil
+			}
+			continue
+		}
+		// Align the cursors on the next equal key.
+		lv, li, ok, err := j.lc.peek()
+		if err != nil {
+			return nil, errOp(j, err)
+		}
+		if !ok {
+			return j.flush()
+		}
+		rv, ri, ok, err := j.rc.peek()
+		if err != nil {
+			return nil, errOp(j, err)
+		}
+		if !ok {
+			return j.flush()
+		}
+		cmp := lv.Vecs[j.leftKey].Compare(li, rv.Vecs[j.rightKey], ri)
+		switch {
+		case cmp < 0:
+			j.lc.pos++
+		case cmp > 0:
+			j.rc.pos++
+		default:
+			ln, err := j.lc.takeGroup(j.lGroup)
+			if err != nil {
+				return nil, errOp(j, err)
+			}
+			j.lN = ln
+			if ln == 1 {
+				j.streamKey = j.lGroup[j.leftKey].Value(0)
+				j.streaming = true
+				continue
+			}
+			rn, err := j.rc.takeGroup(j.rGroup)
+			if err != nil {
+				return nil, errOp(j, err)
+			}
+			j.rN = rn
+			j.emitL, j.emitR = 0, 0
+			j.emitting = true
+		}
+	}
+}
+
+// flush returns the partially filled output batch at end of stream.
+func (j *MergeJoin) flush() (*vector.Batch, error) {
+	if j.out.Len() > 0 {
+		return j.out, nil
+	}
+	return nil, nil
+}
+
+// streamRight emits (leftRow × right rows with the stream key) directly from
+// the right cursor's batches into the output. Matching rows are consecutive
+// within a batch, so whole runs are bulk-copied column-wise. It returns
+// done=true once the right side moved past the key or ended.
+func (j *MergeJoin) streamRight(nLeft int) (bool, error) {
+	for j.out.Len() < vector.BatchSize {
+		b, i, ok, err := j.rc.peek()
+		if err != nil {
+			return false, err
+		}
+		if !ok {
+			return true, nil
+		}
+		kv := b.Vecs[j.rightKey]
+		// Find the run [i,end) of rows whose key equals the stream key.
+		end := i
+		limit := b.Len()
+		if room := vector.BatchSize - j.out.Len(); limit > i+room {
+			limit = i + room
+		}
+		if (kv.Typ == vector.Int64 || kv.Typ == vector.Date) && !j.streamKey.Null {
+			sk := j.streamKey.I64
+			for end < limit && !kv.IsNull(end) && kv.I64[end] == sk {
+				end++
+			}
+		} else {
+			for end < limit && !kv.IsNull(end) && kv.Value(end).Equal(j.streamKey) {
+				end++
+			}
+		}
+		if end == i {
+			if kv.IsNull(i) {
+				j.rc.pos++ // NULL keys never match; skip
+				continue
+			}
+			return true, nil
+		}
+		for c := 0; c < nLeft; c++ {
+			lg := j.lGroup[c]
+			for k := i; k < end; k++ {
+				j.out.Vecs[c].Append(lg, 0)
+			}
+		}
+		for c := range b.Vecs {
+			j.out.Vecs[nLeft+c].AppendRange(b.Vecs[c], i, end)
+		}
+		j.rc.pos = end
+	}
+	return false, nil
+}
+
+// Close closes both children.
+func (j *MergeJoin) Close() error {
+	j.lGroup, j.rGroup, j.out = nil, nil, nil
+	err1 := j.left.Close()
+	err2 := j.right.Close()
+	if err1 != nil {
+		return err1
+	}
+	return err2
+}
+
+// mergeCursor is a row cursor over an operator's stream that skips NULL keys
+// and can extract the full group of rows sharing the current key.
+type mergeCursor struct {
+	op    Operator
+	key   int
+	batch *vector.Batch
+	pos   int
+	eof   bool
+	// monotonicity check state: each batch's key column is validated once
+	// when loaded, so unsorted inputs are rejected without per-row overhead
+	// on the hot peek path.
+	prevKey vector.Value
+	hasPrev bool
+}
+
+func newMergeCursor(op Operator, key int) *mergeCursor {
+	return &mergeCursor{op: op, key: key}
+}
+
+// peek returns the batch and row position of the current non-NULL-key row.
+func (c *mergeCursor) peek() (*vector.Batch, int, bool, error) {
+	for {
+		if c.eof {
+			return nil, 0, false, nil
+		}
+		if c.batch == nil || c.pos >= c.batch.Len() {
+			b, err := c.op.Next()
+			if err != nil {
+				return nil, 0, false, err
+			}
+			if b == nil {
+				c.eof = true
+				return nil, 0, false, nil
+			}
+			if b.Len() == 0 {
+				continue
+			}
+			if err := c.validate(b); err != nil {
+				return nil, 0, false, err
+			}
+			c.batch, c.pos = b, 0
+		}
+		kv := c.batch.Vecs[c.key]
+		if kv.IsNull(c.pos) {
+			c.pos++
+			continue
+		}
+		return c.batch, c.pos, true, nil
+	}
+}
+
+// validate verifies that the key column of an incoming batch continues the
+// non-decreasing key sequence (NULLs excepted).
+func (c *mergeCursor) validate(b *vector.Batch) error {
+	kv := b.Vecs[c.key]
+	n := kv.Len()
+	prev := -1
+	for i := 0; i < n; i++ {
+		if kv.IsNull(i) {
+			continue
+		}
+		if prev >= 0 {
+			if kv.Compare(prev, kv, i) > 0 {
+				return fmt.Errorf("merge join input not sorted within batch at row %d", i)
+			}
+		} else if c.hasPrev {
+			if c.prevKey.Compare(kv.Value(i)) > 0 {
+				return fmt.Errorf("merge join input not sorted across batches: %v after %v", kv.Value(i), c.prevKey)
+			}
+		}
+		prev = i
+	}
+	if prev >= 0 {
+		c.prevKey, c.hasPrev = kv.Value(prev), true
+	}
+	return nil
+}
+
+// takeGroup copies all consecutive rows sharing the current key into the
+// caller-provided (reused) group vectors and advances past them.
+func (c *mergeCursor) takeGroup(group []*vector.Vector) (int, error) {
+	b, i, ok, err := c.peek()
+	if err != nil || !ok {
+		return 0, err
+	}
+	for _, v := range group {
+		v.Reset()
+	}
+	keyVal := b.Vecs[c.key].Value(i)
+	n := 0
+	for {
+		b, i, ok, err = c.peek()
+		if err != nil {
+			return 0, err
+		}
+		if !ok {
+			break
+		}
+		if !b.Vecs[c.key].Value(i).Equal(keyVal) {
+			break
+		}
+		for ci := range group {
+			group[ci].Append(b.Vecs[ci], i)
+		}
+		n++
+		c.pos++
+	}
+	return n, nil
+}

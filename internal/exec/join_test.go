@@ -1,0 +1,300 @@
+package exec
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// pairsBatch builds a (key, payload) batch.
+func pairsBatch(pairs [][2]int64) *vector.Batch {
+	b := vector.NewBatch([]vector.Type{vector.Int64, vector.Int64})
+	for _, p := range pairs {
+		b.Vecs[0].AppendInt64(p[0])
+		b.Vecs[1].AppendInt64(p[1])
+	}
+	return b
+}
+
+// joinRows renders collected join output as sortable tuples for comparison.
+func joinRows(rows [][]vector.Value) [][4]int64 {
+	out := make([][4]int64, len(rows))
+	for i, r := range rows {
+		for c := 0; c < 4 && c < len(r); c++ {
+			if r[c].Null {
+				out[i][c] = -999
+			} else {
+				out[i][c] = r[c].I64
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		for c := 0; c < 4; c++ {
+			if out[i][c] != out[j][c] {
+				return out[i][c] < out[j][c]
+			}
+		}
+		return false
+	})
+	return out
+}
+
+func TestHashJoinBasic(t *testing.T) {
+	for _, buildLeft := range []bool{true, false} {
+		left := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+			pairsBatch([][2]int64{{1, 100}, {2, 200}, {3, 300}}))
+		right := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+			pairsBatch([][2]int64{{2, 20}, {3, 30}, {3, 31}, {4, 40}}))
+		j, err := NewHashJoin(left, right, 0, 0, buildLeft)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Collect(j)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := joinRows(rows)
+		want := [][4]int64{{2, 200, 2, 20}, {3, 300, 3, 30}, {3, 300, 3, 31}}
+		if len(got) != len(want) {
+			t.Fatalf("buildLeft=%v rows = %v", buildLeft, got)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("buildLeft=%v rows = %v, want %v", buildLeft, got, want)
+			}
+		}
+	}
+}
+
+func TestHashJoinNullKeysNeverMatch(t *testing.T) {
+	lb := vector.NewBatch([]vector.Type{vector.Int64})
+	lb.Vecs[0].AppendNull()
+	lb.Vecs[0].AppendInt64(1)
+	rb := vector.NewBatch([]vector.Type{vector.Int64})
+	rb.Vecs[0].AppendNull()
+	rb.Vecs[0].AppendInt64(1)
+	j, err := NewHashJoin(newMemOp(lb.Types(), lb), newMemOp(rb.Types(), rb), 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v (NULL keys must not join)", rows)
+	}
+}
+
+func TestHashJoinStringKeys(t *testing.T) {
+	lb := vector.NewBatch([]vector.Type{vector.String})
+	lb.Vecs[0].AppendString("a")
+	lb.Vecs[0].AppendString("b")
+	rb := vector.NewBatch([]vector.Type{vector.String})
+	rb.Vecs[0].AppendString("b")
+	rb.Vecs[0].AppendString("c")
+	j, err := NewHashJoin(newMemOp(lb.Types(), lb), newMemOp(rb.Types(), rb), 0, 0, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].Str != "b" {
+		t.Errorf("string join = %v", rows)
+	}
+}
+
+func TestHashJoinValidation(t *testing.T) {
+	src := newMemOp([]vector.Type{vector.Int64})
+	if _, err := NewHashJoin(src, src, 5, 0, false); err == nil {
+		t.Error("bad left key must fail")
+	}
+	if _, err := NewHashJoin(src, src, 0, 5, false); err == nil {
+		t.Error("bad right key must fail")
+	}
+}
+
+func TestMergeJoinBasic(t *testing.T) {
+	left := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{1, 100}, {2, 200}, {3, 300}}))
+	right := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{2, 20}, {3, 30}, {3, 31}, {4, 40}}))
+	j, err := NewMergeJoin(left, right, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := joinRows(rows)
+	want := [][4]int64{{2, 200, 2, 20}, {3, 300, 3, 30}, {3, 300, 3, 31}}
+	if len(got) != len(want) {
+		t.Fatalf("rows = %v", got)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("rows = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestMergeJoinManyToMany(t *testing.T) {
+	// Duplicate keys on BOTH sides require the buffered cross product.
+	left := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{5, 1}, {5, 2}, {7, 3}}))
+	right := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{5, 10}, {5, 11}, {5, 12}, {7, 20}}))
+	j, err := NewMergeJoin(left, right, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 2×3 for key 5 plus 1×1 for key 7.
+	if len(rows) != 7 {
+		t.Fatalf("cross product size = %d, want 7", len(rows))
+	}
+}
+
+func TestMergeJoinRejectsUnsortedInput(t *testing.T) {
+	left := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{3, 1}, {1, 2}})) // unsorted
+	right := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{1, 10}, {3, 30}}))
+	j, err := NewMergeJoin(left, right, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if _, err := j.Next(); err == nil {
+		t.Error("unsorted input must be detected")
+	}
+}
+
+func TestMergeJoinRejectsUnsortedAcrossBatches(t *testing.T) {
+	left := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{5, 1}}),
+		pairsBatch([][2]int64{{2, 2}})) // goes backwards across batches
+	right := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{2, 10}, {5, 50}}))
+	j, _ := NewMergeJoin(left, right, 0, 0)
+	if err := j.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	var err error
+	for err == nil {
+		var b *vector.Batch
+		b, err = j.Next()
+		if b == nil && err == nil {
+			break
+		}
+	}
+	if err == nil {
+		t.Error("cross-batch unsortedness must be detected")
+	}
+}
+
+func TestMergeJoinNullKeysSkipped(t *testing.T) {
+	lb := vector.NewBatch([]vector.Type{vector.Int64})
+	lb.Vecs[0].AppendNull()
+	lb.Vecs[0].AppendInt64(1)
+	rb := vector.NewBatch([]vector.Type{vector.Int64})
+	rb.Vecs[0].AppendNull()
+	rb.Vecs[0].AppendInt64(1)
+	j, err := NewMergeJoin(newMemOp(lb.Types(), lb), newMemOp(rb.Types(), rb), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %v (NULL keys must not join)", rows)
+	}
+}
+
+// TestJoinEquivalence: hash join and merge join must produce identical
+// results on random sorted inputs (the merge join requires sortedness).
+func TestJoinEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	for trial := 0; trial < 40; trial++ {
+		mkSide := func(n, keyRange int) [][2]int64 {
+			pairs := make([][2]int64, n)
+			for i := range pairs {
+				pairs[i] = [2]int64{rng.Int63n(int64(keyRange)), rng.Int63n(1000)}
+			}
+			sort.Slice(pairs, func(i, j int) bool { return pairs[i][0] < pairs[j][0] })
+			return pairs
+		}
+		lp := mkSide(rng.Intn(300), 40)
+		rp := mkSide(rng.Intn(300), 40)
+		types := []vector.Type{vector.Int64, vector.Int64}
+
+		hj, err := NewHashJoin(newMemOp(types, pairsBatch(lp)), newMemOp(types, pairsBatch(rp)), 0, 0, rng.Intn(2) == 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		hjRows, err := Collect(hj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mj, err := NewMergeJoin(newMemOp(types, pairsBatch(lp)), newMemOp(types, pairsBatch(rp)), 0, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mjRows, err := Collect(mj)
+		if err != nil {
+			t.Fatal(err)
+		}
+		h, m := joinRows(hjRows), joinRows(mjRows)
+		if len(h) != len(m) {
+			t.Fatalf("trial %d: hash %d rows vs merge %d rows", trial, len(h), len(m))
+		}
+		for i := range h {
+			if h[i] != m[i] {
+				t.Fatalf("trial %d: row %d differs: %v vs %v", trial, i, h[i], m[i])
+			}
+		}
+	}
+}
+
+// TestMergeJoinStreamingAcrossBatchBoundary exercises a key group spanning
+// multiple right-side batches in the single-left-row streaming mode.
+func TestMergeJoinStreamingAcrossBatchBoundary(t *testing.T) {
+	left := newMemOp([]vector.Type{vector.Int64, vector.Int64},
+		pairsBatch([][2]int64{{7, 1}}))
+	var rbatches []*vector.Batch
+	total := 0
+	for b := 0; b < 3; b++ {
+		var pairs [][2]int64
+		for i := 0; i < 1500; i++ { // > BatchSize to force output splits
+			pairs = append(pairs, [2]int64{7, int64(b*1500 + i)})
+			total++
+		}
+		rbatches = append(rbatches, pairsBatch(pairs))
+	}
+	right := newMemOp([]vector.Type{vector.Int64, vector.Int64}, rbatches...)
+	j, err := NewMergeJoin(left, right, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n, err := Drain(j)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != total {
+		t.Fatalf("joined %d rows, want %d", n, total)
+	}
+}

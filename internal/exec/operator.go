@@ -1,0 +1,130 @@
+// Package exec implements the vectorized Volcano-style operators of the
+// engine: scans, selections, projections, hash aggregation, sorting, hash and
+// merge joins, unions — and the PatchSelect operator that applies PatchIndex
+// information to a dataflow (Section VI-A of the paper).
+//
+// Operators exchange vector.Batch values via Next; a nil batch signals end of
+// stream. Open must be called before the first Next, Close releases state.
+package exec
+
+import (
+	"fmt"
+
+	"patchindex/internal/vector"
+)
+
+// Operator is a pull-based vectorized operator.
+//
+// Batch ownership: a batch returned by Next is valid only until the next
+// call to Next or Close on the same operator — operators reuse their output
+// buffers. Consumers that need data across calls (pipeline breakers like
+// sort, hash build, materialization) must copy.
+type Operator interface {
+	// Types returns the output column types.
+	Types() []vector.Type
+	// Open prepares the operator for execution (build phase).
+	Open() error
+	// Next returns the next batch, or nil at end of stream.
+	Next() (*vector.Batch, error)
+	// Close releases resources. It is safe to call after an error.
+	Close() error
+	// Name returns the operator name for EXPLAIN output.
+	Name() string
+}
+
+// Collect drains an operator into row-oriented values, managing Open/Close.
+// It is the main helper for tests and result materialization.
+func Collect(op Operator) ([][]vector.Value, error) {
+	if err := op.Open(); err != nil {
+		return nil, err
+	}
+	defer op.Close()
+	var rows [][]vector.Value
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return rows, nil
+		}
+		for i := 0; i < b.Len(); i++ {
+			rows = append(rows, b.Row(i))
+		}
+	}
+}
+
+// Drain consumes an operator, counting rows without materializing them.
+func Drain(op Operator) (int, error) {
+	if err := op.Open(); err != nil {
+		return 0, err
+	}
+	defer op.Close()
+	n := 0
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return n, err
+		}
+		if b == nil {
+			return n, nil
+		}
+		n += b.Len()
+	}
+}
+
+// materialize pulls every batch of op into a single column set. Used by
+// pipeline breakers (sort, hash build).
+func materialize(op Operator, types []vector.Type) ([]*vector.Vector, int, error) {
+	cols := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		cols[i] = vector.New(t, 0)
+	}
+	n := 0
+	for {
+		b, err := op.Next()
+		if err != nil {
+			return nil, 0, err
+		}
+		if b == nil {
+			return cols, n, nil
+		}
+		bl := b.Len()
+		for c := range cols {
+			for i := 0; i < bl; i++ {
+				cols[c].Append(b.Vecs[c], i)
+			}
+		}
+		n += bl
+	}
+}
+
+// sliceEmitter re-batches materialized columns into BatchSize chunks.
+type sliceEmitter struct {
+	cols []*vector.Vector
+	n    int
+	pos  int
+}
+
+func (s *sliceEmitter) next() *vector.Batch {
+	if s.pos >= s.n {
+		return nil
+	}
+	end := s.pos + vector.BatchSize
+	if end > s.n {
+		end = s.n
+	}
+	out := &vector.Batch{Vecs: make([]*vector.Vector, len(s.cols))}
+	for c, v := range s.cols {
+		out.Vecs[c] = v.Slice(s.pos, end)
+	}
+	s.pos = end
+	return out
+}
+
+func errOp(op Operator, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("%s: %w", op.Name(), err)
+}

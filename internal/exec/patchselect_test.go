@@ -1,0 +1,257 @@
+package exec
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"patchindex/internal/patch"
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+)
+
+// runPatchSelect scans vals with the given patch ids and mode and returns
+// the surviving values.
+func runPatchSelect(t *testing.T, vals []int64, ids []uint64, kind patch.Kind, mode SelectMode, ranges []storage.ScanRange) []int64 {
+	t.Helper()
+	tab := buildTable(t, "t", vals)
+	set, err := patch.Build(kind, ids, len(vals))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc, err := NewScan(tab, 0, []int{0}, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ps, err := NewPatchSelect(sc, set, mode)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		out[i] = r[0].I64
+	}
+	return out
+}
+
+func TestPatchSelectExclude(t *testing.T) {
+	vals := []int64{10, 11, 12, 13, 14, 15}
+	for _, kind := range []patch.Kind{patch.Identifier, patch.Bitmap} {
+		got := runPatchSelect(t, vals, []uint64{1, 4}, kind, ExcludePatches, nil)
+		want := []int64{10, 12, 13, 15}
+		if !eqInts(got, want) {
+			t.Errorf("%v exclude = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestPatchSelectUse(t *testing.T) {
+	vals := []int64{10, 11, 12, 13, 14, 15}
+	for _, kind := range []patch.Kind{patch.Identifier, patch.Bitmap} {
+		got := runPatchSelect(t, vals, []uint64{1, 4}, kind, UsePatches, nil)
+		want := []int64{11, 14}
+		if !eqInts(got, want) {
+			t.Errorf("%v use = %v, want %v", kind, got, want)
+		}
+	}
+}
+
+func TestPatchSelectEmptyPatchSet(t *testing.T) {
+	vals := []int64{1, 2, 3}
+	for _, kind := range []patch.Kind{patch.Identifier, patch.Bitmap} {
+		if got := runPatchSelect(t, vals, nil, kind, ExcludePatches, nil); !eqInts(got, vals) {
+			t.Errorf("%v exclude with empty set = %v", kind, got)
+		}
+		if got := runPatchSelect(t, vals, nil, kind, UsePatches, nil); len(got) != 0 {
+			t.Errorf("%v use with empty set = %v", kind, got)
+		}
+	}
+}
+
+func TestPatchSelectAllPatches(t *testing.T) {
+	vals := []int64{1, 2, 3}
+	ids := []uint64{0, 1, 2}
+	for _, kind := range []patch.Kind{patch.Identifier, patch.Bitmap} {
+		if got := runPatchSelect(t, vals, ids, kind, ExcludePatches, nil); len(got) != 0 {
+			t.Errorf("%v exclude all = %v", kind, got)
+		}
+		if got := runPatchSelect(t, vals, ids, kind, UsePatches, nil); !eqInts(got, vals) {
+			t.Errorf("%v use all = %v", kind, got)
+		}
+	}
+}
+
+// TestPatchSelectScanRanges: with pruned scan ranges the patch pointer must
+// seek across the gaps (Section VI-A3).
+func TestPatchSelectScanRanges(t *testing.T) {
+	n := 3000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	ids := []uint64{5, 100, 1500, 1501, 2500, 2999}
+	ranges := []storage.ScanRange{{Start: 0, End: 10}, {Start: 1400, End: 1600}, {Start: 2990, End: 3000}}
+	inRange := func(row uint64) bool {
+		for _, r := range ranges {
+			if row >= r.Start && row < r.End {
+				return true
+			}
+		}
+		return false
+	}
+	for _, kind := range []patch.Kind{patch.Identifier, patch.Bitmap} {
+		isPatch := map[uint64]bool{}
+		for _, id := range ids {
+			isPatch[id] = true
+		}
+		var wantExcl, wantUse []int64
+		for row := uint64(0); row < uint64(n); row++ {
+			if !inRange(row) {
+				continue
+			}
+			if isPatch[row] {
+				wantUse = append(wantUse, vals[row])
+			} else {
+				wantExcl = append(wantExcl, vals[row])
+			}
+		}
+		if got := runPatchSelect(t, vals, ids, kind, ExcludePatches, ranges); !eqInts(got, wantExcl) {
+			t.Errorf("%v exclude+ranges: %d rows, want %d", kind, len(got), len(wantExcl))
+		}
+		if got := runPatchSelect(t, vals, ids, kind, UsePatches, ranges); !eqInts(got, wantUse) {
+			t.Errorf("%v use+ranges = %v, want %v", kind, got, wantUse)
+		}
+	}
+}
+
+// TestPatchSelectEquivalence: for random data, patch sets and ranges, both
+// representations and a naive reference must agree, and exclude ∪ use must
+// partition the scanned rows.
+func TestPatchSelectEquivalence(t *testing.T) {
+	f := func(seed int64, nRaw uint16, density uint8) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := int(nRaw)%4000 + 1
+		vals := make([]int64, n)
+		var ids []uint64
+		d := int(density)%10 + 1
+		for i := range vals {
+			vals[i] = rng.Int63n(1000)
+			if rng.Intn(d+1) == 0 {
+				ids = append(ids, uint64(i))
+			}
+		}
+		// Random ranges.
+		var ranges []storage.ScanRange
+		pos := uint64(0)
+		for pos < uint64(n) {
+			start := pos + uint64(rng.Intn(500))
+			if start >= uint64(n) {
+				break
+			}
+			end := start + uint64(rng.Intn(800)) + 1
+			if end > uint64(n) {
+				end = uint64(n)
+			}
+			ranges = append(ranges, storage.ScanRange{Start: start, End: end})
+			pos = end + uint64(rng.Intn(200))
+		}
+		if len(ranges) == 0 {
+			ranges = nil
+		}
+		exclID := runPatchSelect(t, vals, ids, patch.Identifier, ExcludePatches, ranges)
+		exclBM := runPatchSelect(t, vals, ids, patch.Bitmap, ExcludePatches, ranges)
+		useID := runPatchSelect(t, vals, ids, patch.Identifier, UsePatches, ranges)
+		useBM := runPatchSelect(t, vals, ids, patch.Bitmap, UsePatches, ranges)
+		if !eqInts(exclID, exclBM) || !eqInts(useID, useBM) {
+			return false
+		}
+		// Partition property within the ranges.
+		total := 0
+		if ranges == nil {
+			total = n
+		} else {
+			for _, r := range ranges {
+				total += int(r.End - r.Start)
+			}
+		}
+		return len(exclID)+len(useID) == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPatchSelectRejectsNonContiguous(t *testing.T) {
+	b := intBatch(1, 2, 3) // not marked contiguous
+	src := newMemOp([]vector.Type{vector.Int64}, b)
+	set, _ := patch.Build(patch.Identifier, nil, 3)
+	ps, err := NewPatchSelect(src, set, ExcludePatches)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ps.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if _, err := ps.Next(); err == nil {
+		t.Error("non-contiguous input must be rejected")
+	}
+}
+
+func TestPatchSelectRejectsBackwardsBatches(t *testing.T) {
+	b1 := contiguous(intBatch(1, 2), 100)
+	b2 := contiguous(intBatch(3, 4), 0) // moves backwards
+	src := newMemOp([]vector.Type{vector.Int64}, b1, b2)
+	set, _ := patch.Build(patch.Identifier, nil, 200)
+	ps, _ := NewPatchSelect(src, set, ExcludePatches)
+	if err := ps.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer ps.Close()
+	if _, err := ps.Next(); err != nil {
+		t.Fatalf("first batch should pass: %v", err)
+	}
+	if _, err := ps.Next(); err == nil {
+		t.Error("backwards batch must be rejected")
+	}
+}
+
+func TestPatchSelectNilSet(t *testing.T) {
+	src := newMemOp([]vector.Type{vector.Int64})
+	if _, err := NewPatchSelect(src, nil, UsePatches); err == nil {
+		t.Error("nil set must be rejected")
+	}
+}
+
+func TestPatchSelectUseEarlyOut(t *testing.T) {
+	// In use_patches mode the operator must stop pulling once all patches
+	// are consumed ("we return NULL in the case that all patches are
+	// already processed").
+	var batches []*vector.Batch
+	for i := 0; i < 10; i++ {
+		batches = append(batches, contiguous(intBatch(int64(i*2), int64(i*2+1)), uint64(i*2)))
+	}
+	src := newMemOp([]vector.Type{vector.Int64}, batches...)
+	set, _ := patch.Build(patch.Identifier, []uint64{1}, 20)
+	ps, _ := NewPatchSelect(src, set, UsePatches)
+	rows, err := Collect(ps)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].I64 != 1 {
+		t.Fatalf("rows = %v", rows)
+	}
+	if src.pos > 2 {
+		t.Errorf("source pulled %d batches after patches were exhausted", src.pos)
+	}
+}
+
+func TestSelectModeString(t *testing.T) {
+	if ExcludePatches.String() != "exclude_patches" || UsePatches.String() != "use_patches" {
+		t.Error("mode names wrong")
+	}
+}

@@ -1,0 +1,118 @@
+package exec
+
+import (
+	"fmt"
+
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+)
+
+// Scan reads one partition of a table, restricted to a set of scan ranges,
+// projecting a subset of columns. Its batches are contiguous in row-id order
+// and carry BaseRow, which is what allows PatchSelect to be placed directly
+// on top without materializing a tuple-identifier column (Section VI-A1).
+type Scan struct {
+	table  *storage.Table
+	part   int
+	cols   []int
+	ranges []storage.ScanRange
+	types  []vector.Type
+
+	rangeIdx int
+	pos      uint64
+	src      []*vector.Vector
+}
+
+// NewScan creates a scan over partition part of table, projecting the given
+// column positions. If ranges is nil the full partition is scanned.
+func NewScan(table *storage.Table, part int, cols []int, ranges []storage.ScanRange) (*Scan, error) {
+	if part < 0 || part >= table.NumPartitions() {
+		return nil, fmt.Errorf("exec: scan %s: partition %d out of range", table.Name(), part)
+	}
+	schema := table.Schema()
+	types := make([]vector.Type, len(cols))
+	for i, c := range cols {
+		if c < 0 || c >= len(schema.Columns) {
+			return nil, fmt.Errorf("exec: scan %s: column %d out of range", table.Name(), c)
+		}
+		types[i] = schema.Columns[c].Typ
+	}
+	if ranges == nil {
+		ranges = table.FullRange(part)
+	}
+	for i, r := range ranges {
+		if r.Start > r.End {
+			return nil, fmt.Errorf("exec: scan %s: invalid range [%d,%d)", table.Name(), r.Start, r.End)
+		}
+		if i > 0 && ranges[i-1].End > r.Start {
+			return nil, fmt.Errorf("exec: scan %s: ranges overlap or are unordered", table.Name())
+		}
+	}
+	return &Scan{table: table, part: part, cols: cols, ranges: ranges, types: types}, nil
+}
+
+// Name returns the operator name.
+func (s *Scan) Name() string { return fmt.Sprintf("Scan(%s.p%d)", s.table.Name(), s.part) }
+
+// Types returns the projected column types.
+func (s *Scan) Types() []vector.Type { return s.types }
+
+// Ranges exposes the scan ranges so PatchSelect can merge them with patches.
+func (s *Scan) Ranges() []storage.ScanRange { return s.ranges }
+
+// Partition returns the scanned partition id.
+func (s *Scan) Partition() int { return s.part }
+
+// Table returns the scanned table.
+func (s *Scan) Table() *storage.Table { return s.table }
+
+// Open captures the column vectors of the partition.
+func (s *Scan) Open() error {
+	p := s.table.Partition(s.part)
+	s.src = make([]*vector.Vector, len(s.cols))
+	for i, c := range s.cols {
+		s.src[i] = p.Column(c)
+	}
+	s.rangeIdx = 0
+	if len(s.ranges) > 0 {
+		s.pos = s.ranges[0].Start
+	}
+	return nil
+}
+
+// Next emits up to BatchSize contiguous rows from the current range.
+func (s *Scan) Next() (*vector.Batch, error) {
+	for {
+		if s.rangeIdx >= len(s.ranges) {
+			return nil, nil
+		}
+		r := s.ranges[s.rangeIdx]
+		if s.pos >= r.End {
+			s.rangeIdx++
+			if s.rangeIdx < len(s.ranges) {
+				s.pos = s.ranges[s.rangeIdx].Start
+			}
+			continue
+		}
+		end := s.pos + vector.BatchSize
+		if end > r.End {
+			end = r.End
+		}
+		out := &vector.Batch{
+			Vecs:       make([]*vector.Vector, len(s.src)),
+			BaseRow:    s.pos,
+			Contiguous: true,
+		}
+		for i, v := range s.src {
+			out.Vecs[i] = v.Slice(int(s.pos), int(end))
+		}
+		s.pos = end
+		return out, nil
+	}
+}
+
+// Close releases the captured vectors.
+func (s *Scan) Close() error {
+	s.src = nil
+	return nil
+}

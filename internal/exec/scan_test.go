@@ -1,0 +1,110 @@
+package exec
+
+import (
+	"testing"
+
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+)
+
+func TestScanFullPartition(t *testing.T) {
+	vals := make([]int64, 3000) // spans multiple batches
+	for i := range vals {
+		vals[i] = int64(i * 2)
+	}
+	tab := buildTable(t, "t", vals)
+	sc, err := NewScan(tab, 0, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Open(); err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	var got []int64
+	nextBase := uint64(0)
+	for {
+		b, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		if !b.Contiguous {
+			t.Fatal("scan batches must be contiguous")
+		}
+		if b.BaseRow != nextBase {
+			t.Fatalf("base row %d, want %d", b.BaseRow, nextBase)
+		}
+		if b.Len() > vector.BatchSize {
+			t.Fatalf("oversized batch: %d", b.Len())
+		}
+		got = append(got, b.Vecs[0].I64...)
+		nextBase += uint64(b.Len())
+	}
+	if !eqInts(got, vals) {
+		t.Fatalf("scan returned %d values, want %d", len(got), len(vals))
+	}
+}
+
+func TestScanRanges(t *testing.T) {
+	vals := make([]int64, 100)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tab := buildTable(t, "t", vals)
+	ranges := []storage.ScanRange{{Start: 10, End: 20}, {Start: 50, End: 53}}
+	sc, err := NewScan(tab, 0, []int{0}, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []int64{10, 11, 12, 13, 14, 15, 16, 17, 18, 19, 50, 51, 52}
+	if !eqInts(intsOf(t, rows, 0), want) {
+		t.Fatalf("ranged scan = %v, want %v", intsOf(t, rows, 0), want)
+	}
+}
+
+func TestScanValidation(t *testing.T) {
+	tab := buildTable(t, "t", []int64{1, 2, 3})
+	if _, err := NewScan(tab, 2, []int{0}, nil); err == nil {
+		t.Error("bad partition must fail")
+	}
+	if _, err := NewScan(tab, 0, []int{4}, nil); err == nil {
+		t.Error("bad column must fail")
+	}
+	if _, err := NewScan(tab, 0, []int{0}, []storage.ScanRange{{Start: 5, End: 2}}); err == nil {
+		t.Error("inverted range must fail")
+	}
+	if _, err := NewScan(tab, 0, []int{0}, []storage.ScanRange{{Start: 0, End: 2}, {Start: 1, End: 3}}); err == nil {
+		t.Error("overlapping ranges must fail")
+	}
+}
+
+func TestScanEmptyPartition(t *testing.T) {
+	tab := buildTable(t, "t", nil)
+	sc, err := NewScan(tab, 0, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 0 {
+		t.Errorf("empty partition returned %d rows", len(rows))
+	}
+}
+
+func TestDrainCounts(t *testing.T) {
+	tab := buildTable(t, "t", []int64{1, 2, 3, 4, 5})
+	sc, _ := NewScan(tab, 0, []int{0}, nil)
+	n, err := Drain(sc)
+	if err != nil || n != 5 {
+		t.Errorf("Drain = %d, %v", n, err)
+	}
+}

@@ -1,0 +1,122 @@
+package exec
+
+import (
+	"fmt"
+	"testing"
+
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+)
+
+// memOp is a test operator serving pre-built batches. It can emit contiguous
+// row ids (for PatchSelect tests) and fail on demand.
+type memOp struct {
+	types      []vector.Type
+	batches    []*vector.Batch
+	pos        int
+	openErr    error
+	nextErr    error
+	errAfter   int // emit this many batches, then nextErr
+	opened     bool
+	closed     bool
+	openCount  int
+	closeCount int
+}
+
+func newMemOp(types []vector.Type, batches ...*vector.Batch) *memOp {
+	return &memOp{types: types, batches: batches, errAfter: -1}
+}
+
+func (m *memOp) Name() string         { return "mem" }
+func (m *memOp) Types() []vector.Type { return m.types }
+
+func (m *memOp) Open() error {
+	m.opened = true
+	m.openCount++
+	m.pos = 0
+	return m.openErr
+}
+
+func (m *memOp) Next() (*vector.Batch, error) {
+	if !m.opened {
+		return nil, fmt.Errorf("mem: not opened")
+	}
+	if m.errAfter >= 0 && m.pos >= m.errAfter {
+		return nil, m.nextErr
+	}
+	if m.pos >= len(m.batches) {
+		return nil, nil
+	}
+	b := m.batches[m.pos]
+	m.pos++
+	return b, nil
+}
+
+func (m *memOp) Close() error {
+	m.closed = true
+	m.closeCount++
+	return nil
+}
+
+// intBatch builds a single-column int64 batch; negative sentinel math.MinInt
+// is not used — pass nulls explicitly via nullAt.
+func intBatch(vals ...int64) *vector.Batch {
+	b := vector.NewBatch([]vector.Type{vector.Int64})
+	for _, v := range vals {
+		b.Vecs[0].AppendInt64(v)
+	}
+	return b
+}
+
+// contiguous marks a batch as scan output starting at base.
+func contiguous(b *vector.Batch, base uint64) *vector.Batch {
+	b.BaseRow = base
+	b.Contiguous = true
+	return b
+}
+
+// intsOf extracts column col of collected rows as int64s (nulls flagged -1
+// via ok=false in tests that care; here nulls panic intentionally).
+func intsOf(t *testing.T, rows [][]vector.Value, col int) []int64 {
+	t.Helper()
+	out := make([]int64, len(rows))
+	for i, r := range rows {
+		if r[col].Null {
+			t.Fatalf("unexpected NULL at row %d", i)
+		}
+		out[i] = r[col].I64
+	}
+	return out
+}
+
+func eqInts(a, b []int64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// buildTable creates a single-column int64 table with the given partition
+// chunks.
+func buildTable(t *testing.T, name string, chunks ...[]int64) *storage.Table {
+	t.Helper()
+	tab, err := storage.NewTable(name, storage.NewSchema(storage.Column{Name: "v", Typ: vector.Int64}), len(chunks))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for p, chunk := range chunks {
+		v := vector.New(vector.Int64, len(chunk))
+		for _, x := range chunk {
+			v.AppendInt64(x)
+		}
+		if err := tab.AppendColumns(p, []*vector.Vector{v}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	return tab
+}

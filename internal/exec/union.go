@@ -1,0 +1,401 @@
+package exec
+
+import (
+	"fmt"
+	"sync"
+
+	"patchindex/internal/vector"
+)
+
+// Union concatenates its children (SQL UNION ALL semantics). It is the
+// combiner of the distinct- and join-rewrites of Section VI-B.
+type Union struct {
+	children []Operator
+	types    []vector.Type
+	cur      int
+}
+
+// NewUnion creates a sequential union of compatible children.
+func NewUnion(children ...Operator) (*Union, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("exec: union needs at least one child")
+	}
+	types := children[0].Types()
+	for i, c := range children[1:] {
+		if err := typesEqual(types, c.Types()); err != nil {
+			return nil, fmt.Errorf("exec: union child %d: %w", i+1, err)
+		}
+	}
+	return &Union{children: children, types: types}, nil
+}
+
+func typesEqual(a, b []vector.Type) error {
+	if len(a) != len(b) {
+		return fmt.Errorf("column count mismatch: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return fmt.Errorf("column %d type mismatch: %s vs %s", i, a[i], b[i])
+		}
+	}
+	return nil
+}
+
+// Name returns the operator name.
+func (u *Union) Name() string { return fmt.Sprintf("Union(%d)", len(u.children)) }
+
+// Types returns the common child types.
+func (u *Union) Types() []vector.Type { return u.types }
+
+// Open opens all children.
+func (u *Union) Open() error {
+	u.cur = 0
+	for _, c := range u.children {
+		if err := c.Open(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Next drains children in order.
+func (u *Union) Next() (*vector.Batch, error) {
+	for u.cur < len(u.children) {
+		b, err := u.children[u.cur].Next()
+		if err != nil {
+			return nil, errOp(u, err)
+		}
+		if b != nil {
+			// Row ids are no longer table positions after a union.
+			b.Contiguous = false
+			return b, nil
+		}
+		u.cur++
+	}
+	return nil, nil
+}
+
+// Close closes all children.
+func (u *Union) Close() error {
+	var first error
+	for _, c := range u.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// MergeUnion merges children that are each sorted on the given keys into one
+// sorted stream. The sort-rewrite of the paper replaces the plain Union with
+// a MergeUnion so the combined dataflow stays sorted (Section VI-B2).
+//
+// The merge maintains a binary min-heap of cursors (O(log k) per step) and
+// emits *runs*: once the smallest cursor is known, every one of its rows not
+// exceeding the second-smallest cursor's current key is bulk-copied, which
+// degenerates to a single range copy per batch when the children cover
+// disjoint key ranges (e.g. partitions of a range-clustered fact table).
+type MergeUnion struct {
+	children []Operator
+	keys     []SortKey
+	types    []vector.Type
+
+	cursors []*unionCursor
+	heap    []int // indices into cursors, min-heap by current row
+	out     *vector.Batch
+}
+
+type unionCursor struct {
+	op    Operator
+	batch *vector.Batch
+	pos   int
+	eof   bool
+}
+
+func (c *unionCursor) fill() error {
+	for !c.eof && (c.batch == nil || c.pos >= c.batch.Len()) {
+		b, err := c.op.Next()
+		if err != nil {
+			return err
+		}
+		if b == nil {
+			c.eof = true
+			return nil
+		}
+		if b.Len() == 0 {
+			continue
+		}
+		c.batch, c.pos = b, 0
+	}
+	return nil
+}
+
+// NewMergeUnion creates a k-way merge of sorted children.
+func NewMergeUnion(keys []SortKey, children ...Operator) (*MergeUnion, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("exec: merge union needs at least one child")
+	}
+	if len(keys) == 0 {
+		return nil, fmt.Errorf("exec: merge union needs sort keys")
+	}
+	types := children[0].Types()
+	for i, c := range children[1:] {
+		if err := typesEqual(types, c.Types()); err != nil {
+			return nil, fmt.Errorf("exec: merge union child %d: %w", i+1, err)
+		}
+	}
+	for _, k := range keys {
+		if k.Col < 0 || k.Col >= len(types) {
+			return nil, fmt.Errorf("exec: merge union key column %d out of range", k.Col)
+		}
+	}
+	return &MergeUnion{children: children, keys: keys, types: types}, nil
+}
+
+// Name returns the operator name.
+func (m *MergeUnion) Name() string { return fmt.Sprintf("MergeUnion(%d)", len(m.children)) }
+
+// Types returns the common child types.
+func (m *MergeUnion) Types() []vector.Type { return m.types }
+
+// Open opens all children, primes the cursors and builds the heap.
+func (m *MergeUnion) Open() error {
+	m.cursors = m.cursors[:0]
+	m.heap = m.heap[:0]
+	for _, c := range m.children {
+		if err := c.Open(); err != nil {
+			return err
+		}
+		m.cursors = append(m.cursors, &unionCursor{op: c})
+	}
+	for ci, c := range m.cursors {
+		if err := c.fill(); err != nil {
+			return errOp(m, err)
+		}
+		if !c.eof {
+			m.heap = append(m.heap, ci)
+		}
+	}
+	for i := len(m.heap)/2 - 1; i >= 0; i-- {
+		m.siftDown(i)
+	}
+	m.out = vector.NewBatch(m.types)
+	return nil
+}
+
+// cursorLess compares the current rows of two cursors.
+func (m *MergeUnion) cursorLess(a, b int) bool {
+	ca, cb := m.cursors[a], m.cursors[b]
+	return compareRowsAcross(ca.batch.Vecs, ca.pos, cb.batch.Vecs, cb.pos, m.keys) < 0
+}
+
+func (m *MergeUnion) siftDown(i int) {
+	n := len(m.heap)
+	for {
+		child := 2*i + 1
+		if child >= n {
+			return
+		}
+		if child+1 < n && m.cursorLess(m.heap[child+1], m.heap[child]) {
+			child++
+		}
+		if !m.cursorLess(m.heap[child], m.heap[i]) {
+			return
+		}
+		m.heap[i], m.heap[child] = m.heap[child], m.heap[i]
+		i = child
+	}
+}
+
+// Next emits the next batch of globally smallest rows.
+func (m *MergeUnion) Next() (*vector.Batch, error) {
+	out := m.out
+	out.Reset()
+	for out.Len() < vector.BatchSize && len(m.heap) > 0 {
+		best := m.cursors[m.heap[0]]
+		// The second-smallest cursor bounds how far the best cursor may run.
+		second := -1
+		if len(m.heap) > 1 {
+			second = m.heap[1]
+			if len(m.heap) > 2 && m.cursorLess(m.heap[2], m.heap[1]) {
+				second = m.heap[2]
+			}
+		}
+		// Emit the run [pos,end) of rows that stay <= the second cursor's
+		// current key (or the whole remaining batch if no competitor).
+		limit := best.batch.Len()
+		if room := vector.BatchSize - out.Len(); best.pos+room < limit {
+			limit = best.pos + room
+		}
+		end := best.pos + 1
+		if second >= 0 {
+			sc := m.cursors[second]
+			for end < limit &&
+				compareRowsAcross(best.batch.Vecs, end, sc.batch.Vecs, sc.pos, m.keys) <= 0 {
+				end++
+			}
+		} else {
+			end = limit
+		}
+		for col := range m.types {
+			out.Vecs[col].AppendRange(best.batch.Vecs[col], best.pos, end)
+		}
+		best.pos = end
+		// Refill or retire the cursor, then restore the heap.
+		if best.pos >= best.batch.Len() {
+			if err := best.fill(); err != nil {
+				return nil, errOp(m, err)
+			}
+		}
+		if best.eof {
+			m.heap[0] = m.heap[len(m.heap)-1]
+			m.heap = m.heap[:len(m.heap)-1]
+		}
+		if len(m.heap) > 0 {
+			m.siftDown(0)
+		}
+	}
+	if out.Len() == 0 {
+		return nil, nil
+	}
+	return out, nil
+}
+
+// Close closes all children.
+func (m *MergeUnion) Close() error {
+	var first error
+	for _, c := range m.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// ParallelUnion executes its children concurrently (one goroutine each) and
+// interleaves their batches. It is the exchange operator used to run
+// per-partition subqueries in parallel, "as far as possible" per Section
+// VI-A2. Row order across children is non-deterministic.
+type ParallelUnion struct {
+	children []Operator
+	types    []vector.Type
+
+	ch      chan parallelItem
+	done    chan struct{}
+	wg      sync.WaitGroup
+	started bool
+	err     error
+	errOnce sync.Once
+}
+
+type parallelItem struct {
+	batch *vector.Batch
+	err   error
+}
+
+// cloneBatch deep-copies a batch (fresh vectors, no shared buffers).
+func cloneBatch(b *vector.Batch) *vector.Batch {
+	out := &vector.Batch{Vecs: make([]*vector.Vector, len(b.Vecs))}
+	n := b.Len()
+	for c, v := range b.Vecs {
+		nv := vector.New(v.Typ, n)
+		nv.AppendRange(v, 0, n)
+		out.Vecs[c] = nv
+	}
+	return out
+}
+
+// NewParallelUnion creates a parallel union of compatible children.
+func NewParallelUnion(children ...Operator) (*ParallelUnion, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("exec: parallel union needs at least one child")
+	}
+	types := children[0].Types()
+	for i, c := range children[1:] {
+		if err := typesEqual(types, c.Types()); err != nil {
+			return nil, fmt.Errorf("exec: parallel union child %d: %w", i+1, err)
+		}
+	}
+	return &ParallelUnion{children: children, types: types}, nil
+}
+
+// Name returns the operator name.
+func (u *ParallelUnion) Name() string { return fmt.Sprintf("ParallelUnion(%d)", len(u.children)) }
+
+// Types returns the common child types.
+func (u *ParallelUnion) Types() []vector.Type { return u.types }
+
+// Open starts one producer goroutine per child.
+func (u *ParallelUnion) Open() error {
+	u.ch = make(chan parallelItem, 2*len(u.children))
+	u.done = make(chan struct{})
+	u.started = true
+	for _, c := range u.children {
+		u.wg.Add(1)
+		go func(op Operator) {
+			defer u.wg.Done()
+			if err := op.Open(); err != nil {
+				u.send(parallelItem{err: err})
+				return
+			}
+			for {
+				b, err := op.Next()
+				if err != nil {
+					u.send(parallelItem{err: err})
+					return
+				}
+				if b == nil {
+					return
+				}
+				// Batches are only valid until the producer's next Next()
+				// call, but the channel buffers them — deep-copy before
+				// enqueueing.
+				if !u.send(parallelItem{batch: cloneBatch(b)}) {
+					return
+				}
+			}
+		}(c)
+	}
+	go func() {
+		u.wg.Wait()
+		close(u.ch)
+	}()
+	return nil
+}
+
+func (u *ParallelUnion) send(it parallelItem) bool {
+	select {
+	case u.ch <- it:
+		return true
+	case <-u.done:
+		return false
+	}
+}
+
+// Next returns the next batch from any child.
+func (u *ParallelUnion) Next() (*vector.Batch, error) {
+	for it := range u.ch {
+		if it.err != nil {
+			u.errOnce.Do(func() { u.err = it.err })
+			return nil, errOp(u, it.err)
+		}
+		return it.batch, nil
+	}
+	return nil, nil
+}
+
+// Close stops the producers and closes all children.
+func (u *ParallelUnion) Close() error {
+	if u.started {
+		close(u.done)
+		u.wg.Wait()
+		u.started = false
+	}
+	var first error
+	for _, c := range u.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}

@@ -1,0 +1,562 @@
+// Package expr implements typed expression trees and their vectorized
+// evaluation over batches. Expressions are bound to input column positions
+// (not names) by the planner. Comparison and boolean operators follow SQL
+// three-valued logic; the filter operator treats NULL as false.
+package expr
+
+import (
+	"fmt"
+
+	"patchindex/internal/vector"
+)
+
+// Expr is a bound expression that can be evaluated against a batch.
+type Expr interface {
+	// Type returns the result type of the expression.
+	Type() vector.Type
+	// Eval evaluates the expression over all rows of the batch.
+	Eval(b *vector.Batch) (*vector.Vector, error)
+	// String renders the expression for EXPLAIN output.
+	String() string
+}
+
+// ColRef references input column Col of the batch.
+type ColRef struct {
+	Col  int
+	Typ  vector.Type
+	Name string // display name, optional
+}
+
+// NewColRef creates a column reference.
+func NewColRef(col int, t vector.Type, name string) *ColRef {
+	return &ColRef{Col: col, Typ: t, Name: name}
+}
+
+// Type returns the referenced column type.
+func (c *ColRef) Type() vector.Type { return c.Typ }
+
+// Eval returns the referenced vector (shared, not copied).
+func (c *ColRef) Eval(b *vector.Batch) (*vector.Vector, error) {
+	if c.Col < 0 || c.Col >= len(b.Vecs) {
+		return nil, fmt.Errorf("expr: column %d out of range (batch has %d)", c.Col, len(b.Vecs))
+	}
+	return b.Vecs[c.Col], nil
+}
+
+// String renders the reference.
+func (c *ColRef) String() string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return fmt.Sprintf("#%d", c.Col)
+}
+
+// Literal is a constant expression.
+type Literal struct {
+	Val vector.Value
+}
+
+// NewLiteral creates a literal expression.
+func NewLiteral(v vector.Value) *Literal { return &Literal{Val: v} }
+
+// Type returns the literal type.
+func (l *Literal) Type() vector.Type { return l.Val.Typ }
+
+// Eval broadcasts the constant to the batch length.
+func (l *Literal) Eval(b *vector.Batch) (*vector.Vector, error) {
+	n := b.Len()
+	out := vector.New(l.Val.Typ, n)
+	for i := 0; i < n; i++ {
+		if err := out.AppendValue(l.Val); err != nil {
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// String renders the literal.
+func (l *Literal) String() string {
+	if l.Val.Typ == vector.String && !l.Val.Null {
+		return fmt.Sprintf("'%s'", l.Val.Str)
+	}
+	return l.Val.String()
+}
+
+// CmpOp enumerates comparison operators.
+type CmpOp uint8
+
+// Comparison operators.
+const (
+	EQ CmpOp = iota
+	NE
+	LT
+	LE
+	GT
+	GE
+)
+
+// String renders the operator.
+func (o CmpOp) String() string {
+	return [...]string{"=", "<>", "<", "<=", ">", ">="}[o]
+}
+
+// Cmp compares two sub-expressions of identical type.
+type Cmp struct {
+	Op          CmpOp
+	Left, Right Expr
+}
+
+// NewCmp builds a comparison, validating operand types.
+func NewCmp(op CmpOp, l, r Expr) (*Cmp, error) {
+	lt, rt := l.Type(), r.Type()
+	if !typesComparable(lt, rt) {
+		return nil, fmt.Errorf("expr: cannot compare %s with %s", lt, rt)
+	}
+	return &Cmp{Op: op, Left: l, Right: r}, nil
+}
+
+func typesComparable(a, b vector.Type) bool {
+	if a == b {
+		return true
+	}
+	num := func(t vector.Type) bool { return t == vector.Int64 || t == vector.Float64 || t == vector.Date }
+	return num(a) && num(b)
+}
+
+// Type returns Bool.
+func (c *Cmp) Type() vector.Type { return vector.Bool }
+
+// Eval evaluates the comparison with SQL NULL semantics (NULL operand yields
+// NULL result).
+func (c *Cmp) Eval(b *vector.Batch) (*vector.Vector, error) {
+	lv, err := c.Left.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := c.Right.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	out := vector.New(vector.Bool, n)
+	for i := 0; i < n; i++ {
+		if lv.IsNull(i) || rv.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		cmp := compareMixed(lv, i, rv, i)
+		var r bool
+		switch c.Op {
+		case EQ:
+			r = cmp == 0
+		case NE:
+			r = cmp != 0
+		case LT:
+			r = cmp < 0
+		case LE:
+			r = cmp <= 0
+		case GT:
+			r = cmp > 0
+		case GE:
+			r = cmp >= 0
+		}
+		out.AppendBool(r)
+	}
+	return out, nil
+}
+
+// compareMixed compares across the numeric types (Int64/Date vs Float64).
+func compareMixed(l *vector.Vector, i int, r *vector.Vector, j int) int {
+	if l.Typ == r.Typ || (isIntLike(l.Typ) && isIntLike(r.Typ)) {
+		return l.Compare(i, r, j)
+	}
+	var lf, rf float64
+	if l.Typ == vector.Float64 {
+		lf = l.F64[i]
+	} else {
+		lf = float64(l.I64[i])
+	}
+	if r.Typ == vector.Float64 {
+		rf = r.F64[j]
+	} else {
+		rf = float64(r.I64[j])
+	}
+	switch {
+	case lf < rf:
+		return -1
+	case lf > rf:
+		return 1
+	default:
+		return 0
+	}
+}
+
+func isIntLike(t vector.Type) bool { return t == vector.Int64 || t == vector.Date }
+
+// String renders the comparison.
+func (c *Cmp) String() string {
+	return fmt.Sprintf("(%s %s %s)", c.Left, c.Op, c.Right)
+}
+
+// BoolOp enumerates boolean connectives.
+type BoolOp uint8
+
+// Boolean connectives.
+const (
+	And BoolOp = iota
+	Or
+)
+
+// BoolExpr combines boolean sub-expressions under three-valued logic.
+type BoolExpr struct {
+	Op          BoolOp
+	Left, Right Expr
+}
+
+// NewBool builds a boolean connective, validating operand types.
+func NewBool(op BoolOp, l, r Expr) (*BoolExpr, error) {
+	if l.Type() != vector.Bool || r.Type() != vector.Bool {
+		return nil, fmt.Errorf("expr: %v requires boolean operands, got %s and %s", op, l.Type(), r.Type())
+	}
+	return &BoolExpr{Op: op, Left: l, Right: r}, nil
+}
+
+// Type returns Bool.
+func (e *BoolExpr) Type() vector.Type { return vector.Bool }
+
+// Eval applies Kleene three-valued AND/OR.
+func (e *BoolExpr) Eval(b *vector.Batch) (*vector.Vector, error) {
+	lv, err := e.Left.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.Right.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	out := vector.New(vector.Bool, n)
+	for i := 0; i < n; i++ {
+		ln, rn := lv.IsNull(i), rv.IsNull(i)
+		var lb, rb bool
+		if !ln {
+			lb = lv.B[i]
+		}
+		if !rn {
+			rb = rv.B[i]
+		}
+		switch e.Op {
+		case And:
+			switch {
+			case !ln && !lb, !rn && !rb:
+				out.AppendBool(false)
+			case ln || rn:
+				out.AppendNull()
+			default:
+				out.AppendBool(true)
+			}
+		case Or:
+			switch {
+			case !ln && lb, !rn && rb:
+				out.AppendBool(true)
+			case ln || rn:
+				out.AppendNull()
+			default:
+				out.AppendBool(false)
+			}
+		}
+	}
+	return out, nil
+}
+
+// String renders the connective.
+func (e *BoolExpr) String() string {
+	op := "AND"
+	if e.Op == Or {
+		op = "OR"
+	}
+	return fmt.Sprintf("(%s %s %s)", e.Left, op, e.Right)
+}
+
+// Not negates a boolean expression (NULL stays NULL).
+type Not struct {
+	Input Expr
+}
+
+// NewNot builds a negation, validating the operand type.
+func NewNot(in Expr) (*Not, error) {
+	if in.Type() != vector.Bool {
+		return nil, fmt.Errorf("expr: NOT requires a boolean operand, got %s", in.Type())
+	}
+	return &Not{Input: in}, nil
+}
+
+// Type returns Bool.
+func (e *Not) Type() vector.Type { return vector.Bool }
+
+// Eval negates, propagating NULLs.
+func (e *Not) Eval(b *vector.Batch) (*vector.Vector, error) {
+	iv, err := e.Input.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	out := vector.New(vector.Bool, n)
+	for i := 0; i < n; i++ {
+		if iv.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		out.AppendBool(!iv.B[i])
+	}
+	return out, nil
+}
+
+// String renders the negation.
+func (e *Not) String() string { return fmt.Sprintf("(NOT %s)", e.Input) }
+
+// IsNull tests for NULL (never returns NULL itself). Negated reverses the
+// test (IS NOT NULL).
+type IsNull struct {
+	Input   Expr
+	Negated bool
+}
+
+// NewIsNull builds an IS [NOT] NULL test.
+func NewIsNull(in Expr, negated bool) *IsNull { return &IsNull{Input: in, Negated: negated} }
+
+// Type returns Bool.
+func (e *IsNull) Type() vector.Type { return vector.Bool }
+
+// Eval tests the null mask of the operand.
+func (e *IsNull) Eval(b *vector.Batch) (*vector.Vector, error) {
+	iv, err := e.Input.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	out := vector.New(vector.Bool, n)
+	for i := 0; i < n; i++ {
+		out.AppendBool(iv.IsNull(i) != e.Negated)
+	}
+	return out, nil
+}
+
+// String renders the test.
+func (e *IsNull) String() string {
+	if e.Negated {
+		return fmt.Sprintf("(%s IS NOT NULL)", e.Input)
+	}
+	return fmt.Sprintf("(%s IS NULL)", e.Input)
+}
+
+// ArithOp enumerates arithmetic operators.
+type ArithOp uint8
+
+// Arithmetic operators.
+const (
+	Add ArithOp = iota
+	Sub
+	Mul
+	Div
+	Mod
+)
+
+// String renders the operator.
+func (o ArithOp) String() string { return [...]string{"+", "-", "*", "/", "%"}[o] }
+
+// Arith applies an arithmetic operator to two numeric sub-expressions. The
+// result is Float64 if either operand is, otherwise Int64.
+type Arith struct {
+	Op          ArithOp
+	Left, Right Expr
+	typ         vector.Type
+}
+
+// NewArith builds an arithmetic expression, validating operand types.
+func NewArith(op ArithOp, l, r Expr) (*Arith, error) {
+	lt, rt := l.Type(), r.Type()
+	numeric := func(t vector.Type) bool { return t == vector.Int64 || t == vector.Float64 }
+	if !numeric(lt) || !numeric(rt) {
+		return nil, fmt.Errorf("expr: arithmetic %v requires numeric operands, got %s and %s", op, lt, rt)
+	}
+	t := vector.Int64
+	if lt == vector.Float64 || rt == vector.Float64 {
+		t = vector.Float64
+	}
+	if op == Mod && t != vector.Int64 {
+		return nil, fmt.Errorf("expr: %% requires integer operands")
+	}
+	return &Arith{Op: op, Left: l, Right: r, typ: t}, nil
+}
+
+// Type returns the result type.
+func (e *Arith) Type() vector.Type { return e.typ }
+
+// Eval computes the operation row-wise; NULL operands yield NULL, division
+// or modulo by zero yields an error.
+func (e *Arith) Eval(b *vector.Batch) (*vector.Vector, error) {
+	lv, err := e.Left.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	rv, err := e.Right.Eval(b)
+	if err != nil {
+		return nil, err
+	}
+	n := b.Len()
+	out := vector.New(e.typ, n)
+	for i := 0; i < n; i++ {
+		if lv.IsNull(i) || rv.IsNull(i) {
+			out.AppendNull()
+			continue
+		}
+		if e.typ == vector.Int64 {
+			a, c := lv.I64[i], rv.I64[i]
+			var r int64
+			switch e.Op {
+			case Add:
+				r = a + c
+			case Sub:
+				r = a - c
+			case Mul:
+				r = a * c
+			case Div:
+				if c == 0 {
+					return nil, fmt.Errorf("expr: integer division by zero")
+				}
+				r = a / c
+			case Mod:
+				if c == 0 {
+					return nil, fmt.Errorf("expr: modulo by zero")
+				}
+				r = a % c
+			}
+			out.AppendInt64(r)
+			continue
+		}
+		var a, c float64
+		if lv.Typ == vector.Float64 {
+			a = lv.F64[i]
+		} else {
+			a = float64(lv.I64[i])
+		}
+		if rv.Typ == vector.Float64 {
+			c = rv.F64[i]
+		} else {
+			c = float64(rv.I64[i])
+		}
+		var r float64
+		switch e.Op {
+		case Add:
+			r = a + c
+		case Sub:
+			r = a - c
+		case Mul:
+			r = a * c
+		case Div:
+			if c == 0 {
+				return nil, fmt.Errorf("expr: division by zero")
+			}
+			r = a / c
+		}
+		out.AppendFloat64(r)
+	}
+	return out, nil
+}
+
+// String renders the arithmetic expression.
+func (e *Arith) String() string {
+	return fmt.Sprintf("(%s %s %s)", e.Left, e.Op, e.Right)
+}
+
+// Columns collects the distinct input column positions an expression reads.
+func Columns(e Expr) []int {
+	seen := map[int]bool{}
+	var walk func(Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *ColRef:
+			seen[x.Col] = true
+		case *Cmp:
+			walk(x.Left)
+			walk(x.Right)
+		case *BoolExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *Not:
+			walk(x.Input)
+		case *IsNull:
+			walk(x.Input)
+		case *Arith:
+			walk(x.Left)
+			walk(x.Right)
+		}
+	}
+	walk(e)
+	out := make([]int, 0, len(seen))
+	for c := range seen {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Remap rewrites every column reference through the mapping old->new. It
+// returns an error if a referenced column has no mapping. The input
+// expression is not modified.
+func Remap(e Expr, mapping map[int]int) (Expr, error) {
+	switch x := e.(type) {
+	case *ColRef:
+		nc, ok := mapping[x.Col]
+		if !ok {
+			return nil, fmt.Errorf("expr: no remapping for column %d", x.Col)
+		}
+		return &ColRef{Col: nc, Typ: x.Typ, Name: x.Name}, nil
+	case *Literal:
+		return x, nil
+	case *Cmp:
+		l, err := Remap(x.Left, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Remap(x.Right, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Cmp{Op: x.Op, Left: l, Right: r}, nil
+	case *BoolExpr:
+		l, err := Remap(x.Left, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Remap(x.Right, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &BoolExpr{Op: x.Op, Left: l, Right: r}, nil
+	case *Not:
+		in, err := Remap(x.Input, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Not{Input: in}, nil
+	case *IsNull:
+		in, err := Remap(x.Input, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &IsNull{Input: in, Negated: x.Negated}, nil
+	case *Arith:
+		l, err := Remap(x.Left, mapping)
+		if err != nil {
+			return nil, err
+		}
+		r, err := Remap(x.Right, mapping)
+		if err != nil {
+			return nil, err
+		}
+		return &Arith{Op: x.Op, Left: l, Right: r, typ: x.typ}, nil
+	default:
+		return nil, fmt.Errorf("expr: cannot remap %T", e)
+	}
+}

@@ -1,0 +1,333 @@
+package expr
+
+import (
+	"strings"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// evalBatch builds a two-column batch: a BIGINT and a DOUBLE column.
+func evalBatch() *vector.Batch {
+	b := vector.NewBatch([]vector.Type{vector.Int64, vector.Float64})
+	b.Vecs[0].AppendInt64(1)
+	b.Vecs[1].AppendFloat64(0.5)
+	b.Vecs[0].AppendInt64(2)
+	b.Vecs[1].AppendFloat64(2.5)
+	b.Vecs[0].AppendNull()
+	b.Vecs[1].AppendFloat64(9.0)
+	return b
+}
+
+func TestColRefEval(t *testing.T) {
+	b := evalBatch()
+	c := NewColRef(0, vector.Int64, "a")
+	v, err := c.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 3 || v.I64[0] != 1 || !v.IsNull(2) {
+		t.Errorf("colref eval wrong")
+	}
+	bad := NewColRef(9, vector.Int64, "x")
+	if _, err := bad.Eval(b); err == nil {
+		t.Error("out-of-range column must fail")
+	}
+	if c.String() != "a" {
+		t.Errorf("String = %q", c.String())
+	}
+	if NewColRef(3, vector.Int64, "").String() != "#3" {
+		t.Error("anonymous colref rendering")
+	}
+}
+
+func TestLiteralEval(t *testing.T) {
+	b := evalBatch()
+	l := NewLiteral(vector.IntValue(7))
+	v, err := l.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Len() != 3 || v.I64[0] != 7 || v.I64[2] != 7 {
+		t.Error("literal broadcast wrong")
+	}
+	if NewLiteral(vector.StringValue("x")).String() != "'x'" {
+		t.Error("string literal rendering")
+	}
+	if NewLiteral(vector.IntValue(3)).String() != "3" {
+		t.Error("int literal rendering")
+	}
+}
+
+func TestCmpSemantics(t *testing.T) {
+	b := evalBatch()
+	col := NewColRef(0, vector.Int64, "a")
+	lit := NewLiteral(vector.IntValue(2))
+	for _, tc := range []struct {
+		op   CmpOp
+		want []any // true/false/nil per row (rows: 1, 2, NULL)
+	}{
+		{EQ, []any{false, true, nil}},
+		{NE, []any{true, false, nil}},
+		{LT, []any{true, false, nil}},
+		{LE, []any{true, true, nil}},
+		{GT, []any{false, false, nil}},
+		{GE, []any{false, true, nil}},
+	} {
+		e, err := NewCmp(tc.op, col, lit)
+		if err != nil {
+			t.Fatal(err)
+		}
+		v, err := e.Eval(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for i, w := range tc.want {
+			if w == nil {
+				if !v.IsNull(i) {
+					t.Errorf("%v row %d: want NULL", tc.op, i)
+				}
+				continue
+			}
+			if v.IsNull(i) || v.B[i] != w.(bool) {
+				t.Errorf("%v row %d: got %v,%v want %v", tc.op, i, v.IsNull(i), v.B[i], w)
+			}
+		}
+	}
+}
+
+func TestCmpMixedNumeric(t *testing.T) {
+	b := evalBatch()
+	// int column vs float literal
+	e, err := NewCmp(GT, NewColRef(0, vector.Int64, "a"), NewLiteral(vector.FloatValue(1.5)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.B[0] || !v.B[1] {
+		t.Error("mixed numeric comparison wrong")
+	}
+	// incompatible types rejected
+	if _, err := NewCmp(EQ, NewColRef(0, vector.Int64, "a"), NewLiteral(vector.StringValue("x"))); err == nil {
+		t.Error("int vs string comparison must fail")
+	}
+}
+
+func TestBoolThreeValuedLogic(t *testing.T) {
+	// Build a batch of booleans covering the 3x3 truth table via expressions.
+	b := vector.NewBatch([]vector.Type{vector.Bool, vector.Bool})
+	add := func(l, r any) {
+		app := func(v *vector.Vector, x any) {
+			if x == nil {
+				v.AppendNull()
+			} else {
+				v.AppendBool(x.(bool))
+			}
+		}
+		app(b.Vecs[0], l)
+		app(b.Vecs[1], r)
+	}
+	vals := []any{true, false, nil}
+	for _, l := range vals {
+		for _, r := range vals {
+			add(l, r)
+		}
+	}
+	l := NewColRef(0, vector.Bool, "l")
+	r := NewColRef(1, vector.Bool, "r")
+	andE, err := NewBool(And, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orE, err := NewBool(Or, l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	andV, err := andE.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	orV, err := orE.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Kleene truth tables, rows in the loop order above.
+	wantAnd := []any{true, false, nil, false, false, false, nil, false, nil}
+	wantOr := []any{true, true, true, true, false, nil, true, nil, nil}
+	check := func(name string, v *vector.Vector, want []any) {
+		for i, w := range want {
+			if w == nil {
+				if !v.IsNull(i) {
+					t.Errorf("%s row %d: want NULL, got %v", name, i, v.B[i])
+				}
+			} else if v.IsNull(i) || v.B[i] != w.(bool) {
+				t.Errorf("%s row %d: want %v", name, i, w)
+			}
+		}
+	}
+	check("AND", andV, wantAnd)
+	check("OR", orV, wantOr)
+
+	if _, err := NewBool(And, NewLiteral(vector.IntValue(1)), r); err == nil {
+		t.Error("non-boolean operand must fail")
+	}
+}
+
+func TestNotAndIsNull(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.Bool})
+	b.Vecs[0].AppendBool(true)
+	b.Vecs[0].AppendNull()
+	n, err := NewNot(NewColRef(0, vector.Bool, "x"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := n.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.B[0] || !v.IsNull(1) {
+		t.Error("NOT semantics wrong")
+	}
+	isn := NewIsNull(NewColRef(0, vector.Bool, "x"), false)
+	v, err = isn.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.B[0] || !v.B[1] {
+		t.Error("IS NULL wrong")
+	}
+	notn := NewIsNull(NewColRef(0, vector.Bool, "x"), true)
+	v, err = notn.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.B[0] || v.B[1] {
+		t.Error("IS NOT NULL wrong")
+	}
+	if _, err := NewNot(NewLiteral(vector.IntValue(1))); err == nil {
+		t.Error("NOT over int must fail")
+	}
+}
+
+func TestArith(t *testing.T) {
+	b := evalBatch()
+	i := NewColRef(0, vector.Int64, "a")
+	f := NewColRef(1, vector.Float64, "b")
+	add, err := NewArith(Add, i, NewLiteral(vector.IntValue(10)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if add.Type() != vector.Int64 {
+		t.Error("int+int should be int")
+	}
+	v, err := add.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I64[0] != 11 || v.I64[1] != 12 || !v.IsNull(2) {
+		t.Errorf("add = %v", v.I64)
+	}
+	mixed, err := NewArith(Mul, i, f)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mixed.Type() != vector.Float64 {
+		t.Error("int*float should be float")
+	}
+	mv, err := mixed.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mv.F64[0] != 0.5 || mv.F64[1] != 5.0 {
+		t.Errorf("mul = %v", mv.F64)
+	}
+	// Division by zero errors out.
+	div, _ := NewArith(Div, i, NewLiteral(vector.IntValue(0)))
+	if _, err := div.Eval(b); err == nil {
+		t.Error("integer division by zero must fail")
+	}
+	mod, _ := NewArith(Mod, i, NewLiteral(vector.IntValue(2)))
+	v, err = mod.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.I64[0] != 1 || v.I64[1] != 0 {
+		t.Error("mod wrong")
+	}
+	if _, err := NewArith(Mod, f, f); err == nil {
+		t.Error("float mod must fail")
+	}
+	if _, err := NewArith(Add, i, NewLiteral(vector.StringValue("x"))); err == nil {
+		t.Error("int + string must fail")
+	}
+}
+
+func TestColumnsCollects(t *testing.T) {
+	a := NewColRef(0, vector.Int64, "a")
+	b := NewColRef(2, vector.Int64, "b")
+	cmp, _ := NewCmp(LT, a, b)
+	cmp2, _ := NewCmp(GT, a, NewLiteral(vector.IntValue(1)))
+	e, _ := NewBool(And, cmp, cmp2)
+	cols := Columns(e)
+	if len(cols) != 2 {
+		t.Errorf("columns = %v", cols)
+	}
+}
+
+func TestRemap(t *testing.T) {
+	a := NewColRef(0, vector.Int64, "a")
+	b := NewColRef(1, vector.Int64, "b")
+	cmp, _ := NewCmp(LT, a, b)
+	re, err := Remap(cmp, map[int]int{0: 5, 1: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := Columns(re)
+	found := map[int]bool{}
+	for _, c := range cols {
+		found[c] = true
+	}
+	if !found[5] || !found[6] {
+		t.Errorf("remapped columns = %v", cols)
+	}
+	// Original unchanged.
+	if Columns(cmp)[0] == 5 && Columns(cmp)[1] == 6 {
+		t.Error("remap mutated the original")
+	}
+	if _, err := Remap(cmp, map[int]int{0: 5}); err == nil {
+		t.Error("missing mapping must fail")
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	a := NewColRef(0, vector.Int64, "a")
+	cmp, _ := NewCmp(GE, a, NewLiteral(vector.IntValue(3)))
+	n, _ := NewNot(cmp)
+	if got := n.String(); !strings.Contains(got, ">=") || !strings.Contains(got, "NOT") {
+		t.Errorf("rendering = %q", got)
+	}
+	ar, _ := NewArith(Sub, a, a)
+	if !strings.Contains(ar.String(), "-") {
+		t.Errorf("arith rendering = %q", ar.String())
+	}
+}
+
+func TestDateComparison(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.Date})
+	b.Vecs[0].AppendInt64(100)
+	b.Vecs[0].AppendInt64(200)
+	e, err := NewCmp(LT, NewColRef(0, vector.Date, "d"), NewLiteral(vector.DateValue(150)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := e.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !v.B[0] || v.B[1] {
+		t.Error("date comparison wrong")
+	}
+}

@@ -1,0 +1,110 @@
+package expr
+
+import (
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// remapAll exercises Remap across every node kind.
+func TestRemapAllNodeKinds(t *testing.T) {
+	a := NewColRef(0, vector.Int64, "a")
+	b := NewColRef(1, vector.Bool, "b")
+	cmp, err := NewCmp(EQ, a, NewLiteral(vector.IntValue(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	boolE, err := NewBool(Or, cmp, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	notE, err := NewNot(boolE)
+	if err != nil {
+		t.Fatal(err)
+	}
+	isn := NewIsNull(a, true)
+	arith, err := NewArith(Add, a, NewLiteral(vector.IntValue(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	mapping := map[int]int{0: 10, 1: 11}
+	for _, e := range []Expr{cmp, boolE, notE, isn, arith} {
+		re, err := Remap(e, mapping)
+		if err != nil {
+			t.Fatalf("remap %T: %v", e, err)
+		}
+		for _, c := range Columns(re) {
+			if c != 10 && c != 11 {
+				t.Errorf("remap %T left column %d", e, c)
+			}
+		}
+	}
+	// Literal remap is the identity.
+	lit := NewLiteral(vector.StringValue("x"))
+	if re, err := Remap(lit, nil); err != nil || re != lit {
+		t.Error("literal remap should be identity")
+	}
+}
+
+func TestColumnsCoversAllKinds(t *testing.T) {
+	a := NewColRef(3, vector.Int64, "a")
+	isn := NewIsNull(a, false)
+	n, err := NewNot(isn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cols := Columns(n)
+	if len(cols) != 1 || cols[0] != 3 {
+		t.Errorf("columns = %v", cols)
+	}
+	ar, err := NewArith(Mul, a, NewColRef(4, vector.Int64, "b"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(Columns(ar)) != 2 {
+		t.Errorf("arith columns = %v", Columns(ar))
+	}
+}
+
+func TestCmpOpStrings(t *testing.T) {
+	want := map[CmpOp]string{EQ: "=", NE: "<>", LT: "<", LE: "<=", GT: ">", GE: ">="}
+	for op, s := range want {
+		if op.String() != s {
+			t.Errorf("%v renders %q", op, op.String())
+		}
+	}
+	if Add.String() != "+" || Mod.String() != "%" {
+		t.Error("arith op strings")
+	}
+}
+
+func TestFloatArithAndDiv(t *testing.T) {
+	b := vector.NewBatch([]vector.Type{vector.Float64})
+	b.Vecs[0].AppendFloat64(4)
+	div, err := NewArith(Div, NewColRef(0, vector.Float64, "x"), NewLiteral(vector.FloatValue(2)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := div.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F64[0] != 2 {
+		t.Errorf("4/2 = %v", v.F64[0])
+	}
+	divZero, _ := NewArith(Div, NewColRef(0, vector.Float64, "x"), NewLiteral(vector.FloatValue(0)))
+	if _, err := divZero.Eval(b); err == nil {
+		t.Error("float division by zero must fail")
+	}
+	sub, err := NewArith(Sub, NewColRef(0, vector.Float64, "x"), NewLiteral(vector.IntValue(1)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err = sub.Eval(b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.F64[0] != 3 {
+		t.Errorf("4-1 = %v", v.F64[0])
+	}
+}

@@ -1,0 +1,309 @@
+package patch
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"os"
+)
+
+// This file implements the first alternative to the purely in-memory design
+// discussed in Section V of the paper: "the index data could be materialized
+// to disk, which has the advantages of durability, easy recovery and
+// reducing the main memory consumption". Materialized indexes restore in
+// O(|P_c|) instead of re-running discovery over the data; the engine falls
+// back to discovery when no (valid) materialization exists.
+//
+// File format (little endian), CRC32-IEEE over everything before the
+// trailing checksum:
+//
+//	magic      uint32 "PIX1"
+//	table      string (u32 length + bytes)
+//	column     string
+//	constraint u8
+//	kind       u8   (requested representation)
+//	threshold  f64
+//	descending u8
+//	partitions u32
+//	per partition:
+//	  numRows  u64
+//	  setKind  u8   (0 identifier, 1 bitmap)
+//	  payload:
+//	    identifier: count u64, ids []u64
+//	    bitmap:     words u64, words []u64, cardinality u64
+//	crc32      uint32
+
+const persistMagic uint32 = 0x50495831 // "PIX1"
+
+// ErrBadIndexFile reports a corrupt or mismatching materialized index file.
+var ErrBadIndexFile = errors.New("patch: bad index file")
+
+// crcWriter tees writes through a CRC32.
+type crcWriter struct {
+	w   io.Writer
+	crc uint32
+}
+
+func (c *crcWriter) Write(p []byte) (int, error) {
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p)
+	return c.w.Write(p)
+}
+
+// Save materializes the index to the given file path (atomically via a
+// temporary file). The index must be fully built.
+func (ix *Index) Save(path string) error {
+	if !ix.Ready() {
+		return fmt.Errorf("patch: cannot save unbuilt index %s.%s", ix.table, ix.column)
+	}
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return fmt.Errorf("patch: save: %w", err)
+	}
+	defer os.Remove(tmp)
+	bw := bufio.NewWriterSize(f, 1<<20)
+	cw := &crcWriter{w: bw}
+
+	writeU32 := func(x uint32) error { return binary.Write(cw, binary.LittleEndian, x) }
+	writeU64 := func(x uint64) error { return binary.Write(cw, binary.LittleEndian, x) }
+	writeStr := func(s string) error {
+		if err := writeU32(uint32(len(s))); err != nil {
+			return err
+		}
+		_, err := cw.Write([]byte(s))
+		return err
+	}
+	writeByte := func(b byte) error { _, err := cw.Write([]byte{b}); return err }
+	boolByte := func(b bool) byte {
+		if b {
+			return 1
+		}
+		return 0
+	}
+
+	if err := writeU32(persistMagic); err != nil {
+		return err
+	}
+	if err := writeStr(ix.table); err != nil {
+		return err
+	}
+	if err := writeStr(ix.column); err != nil {
+		return err
+	}
+	if err := writeByte(byte(ix.constraint)); err != nil {
+		return err
+	}
+	if err := writeByte(byte(ix.kind)); err != nil {
+		return err
+	}
+	if err := binary.Write(cw, binary.LittleEndian, ix.threshold); err != nil {
+		return err
+	}
+	if err := writeByte(boolByte(ix.descending)); err != nil {
+		return err
+	}
+	if err := writeU32(uint32(len(ix.sets))); err != nil {
+		return err
+	}
+	ix.mu.RLock()
+	sets := append([]Set{}, ix.sets...)
+	ix.mu.RUnlock()
+	for _, s := range sets {
+		if err := writeU64(uint64(s.NumRows())); err != nil {
+			return err
+		}
+		switch set := s.(type) {
+		case *IdentifierSet:
+			if err := writeByte(0); err != nil {
+				return err
+			}
+			if err := writeU64(uint64(len(set.ids))); err != nil {
+				return err
+			}
+			for _, id := range set.ids {
+				if err := writeU64(id); err != nil {
+					return err
+				}
+			}
+		case *BitmapSet:
+			if err := writeByte(1); err != nil {
+				return err
+			}
+			if err := writeU64(uint64(len(set.words))); err != nil {
+				return err
+			}
+			for _, w := range set.words {
+				if err := writeU64(w); err != nil {
+					return err
+				}
+			}
+			if err := writeU64(uint64(set.card)); err != nil {
+				return err
+			}
+		default:
+			return fmt.Errorf("patch: save: unknown set type %T", s)
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, cw.crc); err != nil {
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
+}
+
+// crcReader tees reads through a CRC32.
+type crcReader struct {
+	r   io.Reader
+	crc uint32
+}
+
+func (c *crcReader) Read(p []byte) (int, error) {
+	n, err := c.r.Read(p)
+	c.crc = crc32.Update(c.crc, crc32.IEEETable, p[:n])
+	return n, err
+}
+
+// Load reads a materialized index from path.
+func Load(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	cr := &crcReader{r: bufio.NewReaderSize(f, 1<<20)}
+
+	readU32 := func() (uint32, error) {
+		var x uint32
+		err := binary.Read(cr, binary.LittleEndian, &x)
+		return x, err
+	}
+	readU64 := func() (uint64, error) {
+		var x uint64
+		err := binary.Read(cr, binary.LittleEndian, &x)
+		return x, err
+	}
+	readStr := func() (string, error) {
+		n, err := readU32()
+		if err != nil {
+			return "", err
+		}
+		if n > 1<<20 {
+			return "", fmt.Errorf("%w: oversized string", ErrBadIndexFile)
+		}
+		buf := make([]byte, n)
+		if _, err := io.ReadFull(cr, buf); err != nil {
+			return "", err
+		}
+		return string(buf), nil
+	}
+	readByte := func() (byte, error) {
+		var b [1]byte
+		_, err := io.ReadFull(cr, b[:])
+		return b[0], err
+	}
+
+	magic, err := readU32()
+	if err != nil || magic != persistMagic {
+		return nil, fmt.Errorf("%w: bad magic", ErrBadIndexFile)
+	}
+	table, err := readStr()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	column, err := readStr()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	cb, err := readByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	kb, err := readByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	var threshold float64
+	if err := binary.Read(cr, binary.LittleEndian, &threshold); err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	db, err := readByte()
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	nParts, err := readU32()
+	if err != nil || nParts == 0 || nParts > 1<<16 {
+		return nil, fmt.Errorf("%w: bad partition count", ErrBadIndexFile)
+	}
+	ix, err := NewIndex(table, column, Constraint(cb), Kind(kb), threshold, int(nParts))
+	if err != nil {
+		return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+	}
+	ix.SetDescending(db == 1)
+	for p := 0; p < int(nParts); p++ {
+		numRows, err := readU64()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+		}
+		setKind, err := readByte()
+		if err != nil {
+			return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+		}
+		switch setKind {
+		case 0:
+			count, err := readU64()
+			if err != nil || count > numRows {
+				return nil, fmt.Errorf("%w: bad id count", ErrBadIndexFile)
+			}
+			ids := make([]uint64, count)
+			for i := range ids {
+				if ids[i], err = readU64(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+				}
+			}
+			set, err := NewIdentifierSet(ids, int(numRows))
+			if err != nil {
+				return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+			}
+			ix.sets[p] = set
+		case 1:
+			nWords, err := readU64()
+			if err != nil || nWords != uint64((numRows+63)/64) {
+				return nil, fmt.Errorf("%w: bad word count", ErrBadIndexFile)
+			}
+			words := make([]uint64, nWords)
+			for i := range words {
+				if words[i], err = readU64(); err != nil {
+					return nil, fmt.Errorf("%w: %v", ErrBadIndexFile, err)
+				}
+			}
+			card, err := readU64()
+			if err != nil || card > numRows {
+				return nil, fmt.Errorf("%w: bad cardinality", ErrBadIndexFile)
+			}
+			ix.sets[p] = &BitmapSet{words: words, numRows: int(numRows), card: int(card)}
+		default:
+			return nil, fmt.Errorf("%w: unknown set kind %d", ErrBadIndexFile, setKind)
+		}
+	}
+	sum := cr.crc
+	var stored uint32
+	if err := binary.Read(cr.r, binary.LittleEndian, &stored); err != nil {
+		return nil, fmt.Errorf("%w: missing checksum", ErrBadIndexFile)
+	}
+	if stored != sum {
+		return nil, fmt.Errorf("%w: checksum mismatch", ErrBadIndexFile)
+	}
+	return ix, nil
+}

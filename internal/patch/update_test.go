@@ -1,0 +1,148 @@
+package patch
+
+import (
+	"math/rand"
+	"sort"
+	"testing"
+)
+
+func builtIndex(t *testing.T, kind Kind, ids []uint64, numRows int) *Index {
+	t.Helper()
+	ix, err := NewIndex("t", "c", NearlyUnique, kind, 1.0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.SetPartition(0, ids, numRows); err != nil {
+		t.Fatal(err)
+	}
+	return ix
+}
+
+func TestUpdatePartitionAppendsNewPatches(t *testing.T) {
+	for _, kind := range []Kind{Identifier, Bitmap, Auto} {
+		ix := builtIndex(t, kind, []uint64{2, 5}, 10)
+		if err := ix.UpdatePartition(0, []uint64{12, 10}, 15); err != nil {
+			t.Fatal(err)
+		}
+		set := ix.Partition(0)
+		if set.NumRows() != 15 || set.Cardinality() != 4 {
+			t.Fatalf("%v: rows=%d card=%d", kind, set.NumRows(), set.Cardinality())
+		}
+		for _, want := range []uint64{2, 5, 10, 12} {
+			if !set.Contains(want) {
+				t.Errorf("%v: missing %d", kind, want)
+			}
+		}
+		if set.Contains(11) || set.Contains(14) {
+			t.Errorf("%v: spurious members", kind)
+		}
+	}
+}
+
+func TestUpdatePartitionRetroactiveIDs(t *testing.T) {
+	// Adding an id BELOW existing patches (retroactive NUC2 patching).
+	ix := builtIndex(t, Identifier, []uint64{7}, 10)
+	if err := ix.UpdatePartition(0, []uint64{1}, 10); err != nil {
+		t.Fatal(err)
+	}
+	set := ix.Partition(0)
+	if !set.Contains(1) || !set.Contains(7) || set.Cardinality() != 2 {
+		t.Error("retroactive id not merged")
+	}
+}
+
+func TestUpdatePartitionDeduplicates(t *testing.T) {
+	ix := builtIndex(t, Identifier, []uint64{3}, 10)
+	if err := ix.UpdatePartition(0, []uint64{3, 3, 4, 4}, 10); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Cardinality() != 2 {
+		t.Errorf("cardinality = %d, want 2", ix.Cardinality())
+	}
+}
+
+func TestUpdatePartitionValidation(t *testing.T) {
+	ix := builtIndex(t, Identifier, []uint64{3}, 10)
+	if err := ix.UpdatePartition(2, nil, 10); err == nil {
+		t.Error("out-of-range partition must fail")
+	}
+	if err := ix.UpdatePartition(0, nil, 5); err == nil {
+		t.Error("shrinking must fail")
+	}
+	if err := ix.UpdatePartition(0, []uint64{99}, 10); err == nil {
+		t.Error("id beyond numRows must fail")
+	}
+	unbuilt, _ := NewIndex("t", "c", NearlyUnique, Auto, 1, 1)
+	if err := unbuilt.UpdatePartition(0, nil, 10); err == nil {
+		t.Error("unbuilt partition must fail")
+	}
+}
+
+func TestUpdatePartitionAutoRepicksRepresentation(t *testing.T) {
+	// Auto kind: a small set grows past the 1/64 crossover and must flip to
+	// bitmap on rebuild.
+	ix := builtIndex(t, Auto, []uint64{0}, 1000)
+	if ix.Partition(0).Kind() != Identifier {
+		t.Fatal("small set should start as identifier")
+	}
+	var add []uint64
+	for i := uint64(1); i <= 100; i++ {
+		add = append(add, i)
+	}
+	if err := ix.UpdatePartition(0, add, 1000); err != nil {
+		t.Fatal(err)
+	}
+	if ix.Partition(0).Kind() != Bitmap {
+		t.Error("auto representation should flip to bitmap past the crossover")
+	}
+}
+
+// TestUpdatePartitionProperty: merging random additions must equal the set
+// union, for both representations.
+func TestUpdatePartitionProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(23))
+	for trial := 0; trial < 30; trial++ {
+		numRows := 200 + rng.Intn(800)
+		mkIDs := func(n, limit int) []uint64 {
+			seen := map[uint64]bool{}
+			var out []uint64
+			for i := 0; i < n; i++ {
+				id := uint64(rng.Intn(limit))
+				if !seen[id] {
+					seen[id] = true
+					out = append(out, id)
+				}
+			}
+			sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+			return out
+		}
+		initial := mkIDs(rng.Intn(50), numRows)
+		newRows := numRows + rng.Intn(200)
+		additions := mkIDs(rng.Intn(50), newRows)
+
+		kind := Identifier
+		if rng.Intn(2) == 0 {
+			kind = Bitmap
+		}
+		ix := builtIndex(t, kind, initial, numRows)
+		if err := ix.UpdatePartition(0, additions, newRows); err != nil {
+			t.Fatal(err)
+		}
+		want := map[uint64]bool{}
+		for _, id := range initial {
+			want[id] = true
+		}
+		for _, id := range additions {
+			want[id] = true
+		}
+		set := ix.Partition(0)
+		if set.Cardinality() != len(want) {
+			t.Fatalf("cardinality %d, want %d", set.Cardinality(), len(want))
+		}
+		for id := uint64(0); id < uint64(newRows); id++ {
+			if set.Contains(id) != want[id] {
+				t.Fatalf("membership mismatch at %d", id)
+			}
+		}
+	}
+}

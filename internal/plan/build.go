@@ -1,0 +1,343 @@
+package plan
+
+import (
+	"fmt"
+
+	"patchindex/internal/exec"
+	"patchindex/internal/expr"
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+)
+
+// Config controls physical plan building.
+type Config struct {
+	// Parallel executes partition scans with one goroutine per partition
+	// (only where order does not matter).
+	Parallel bool
+	// DisableScanRanges turns off SMA-based block pruning.
+	DisableScanRanges bool
+}
+
+// Build translates a logical plan into a physical operator tree.
+func Build(n Node, cfg Config) (exec.Operator, error) {
+	return buildNode(n, cfg, nil)
+}
+
+// buildNode builds n; bounds, when non-nil, carries per-table-column value
+// bounds extracted from an enclosing filter for scan-range pruning.
+func buildNode(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, error) {
+	switch x := n.(type) {
+	case *ScanNode:
+		return buildScan(x, cfg, bounds)
+	case *PatchScanNode:
+		return buildPatchScan(x, cfg, bounds)
+	case *FilterNode:
+		var childBounds map[int]colBounds
+		if !cfg.DisableScanRanges {
+			childBounds = extractBounds(x.Pred, x.Input.Schema())
+		}
+		child, err := buildNode(x.Input, cfg, childBounds)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewFilter(child, x.Pred)
+	case *ProjectNode:
+		child, err := buildNode(x.Input, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewProject(child, x.Exprs)
+	case *AggregateNode:
+		child, err := buildNode(x.Input, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewHashAgg(child, x.GroupCols, x.Aggs)
+	case *SortNode:
+		child, err := buildNode(x.Input, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewSort(child, x.Keys)
+	case *LimitNode:
+		child, err := buildNode(x.Input, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewLimit(child, x.N)
+	case *JoinNode:
+		left, err := buildNode(x.Left, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		right, err := buildNode(x.Right, cfg, nil)
+		if err != nil {
+			return nil, err
+		}
+		if x.Method == JoinMerge {
+			return exec.NewMergeJoin(left, right, x.LeftKey, x.RightKey)
+		}
+		if x.Outer {
+			return exec.NewLeftOuterHashJoin(left, right, x.LeftKey, x.RightKey)
+		}
+		return exec.NewHashJoin(left, right, x.LeftKey, x.RightKey, x.BuildLeft)
+	case *UnionNode:
+		children := make([]exec.Operator, len(x.Inputs))
+		for i, in := range x.Inputs {
+			c, err := buildNode(in, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			children[i] = c
+		}
+		if x.Merge {
+			return exec.NewMergeUnion(x.Keys, children...)
+		}
+		if cfg.Parallel && len(children) > 1 {
+			return exec.NewParallelUnion(children...)
+		}
+		return exec.NewUnion(children...)
+	default:
+		return nil, fmt.Errorf("plan: cannot build %T", n)
+	}
+}
+
+// buildScan creates per-partition scans and combines them: ordered via a
+// MergeUnion on the declared sort key if the table has one (so OrderingOf's
+// promise holds across partitions), otherwise a plain or parallel union.
+func buildScan(s *ScanNode, cfg Config, bounds map[int]colBounds) (exec.Operator, error) {
+	if s.Part >= 0 {
+		return exec.NewScan(s.Table, s.Part, s.Cols, rangesFor(s.Table, s.Part, s.Cols, bounds))
+	}
+	parts := make([]exec.Operator, s.Table.NumPartitions())
+	for p := range parts {
+		sc, err := exec.NewScan(s.Table, p, s.Cols, rangesFor(s.Table, p, s.Cols, bounds))
+		if err != nil {
+			return nil, err
+		}
+		parts[p] = sc
+	}
+	if key := s.Table.SortKey(); key != "" {
+		pos := outputPos(s.Cols, s.Table, key)
+		if pos >= 0 {
+			if len(parts) == 1 {
+				return parts[0], nil
+			}
+			return exec.NewMergeUnion([]exec.SortKey{{Col: pos}}, parts...)
+		}
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	if cfg.Parallel {
+		return exec.NewParallelUnion(parts...)
+	}
+	return exec.NewUnion(parts...)
+}
+
+// buildPatchScan creates per-partition Scan→PatchSelect pipelines. The
+// PatchSelect sits directly on the scan of its partition, as required for
+// the row-position/tuple-identifier equivalence.
+func buildPatchScan(s *PatchScanNode, cfg Config, bounds map[int]colBounds) (exec.Operator, error) {
+	if !s.Index.Ready() {
+		return nil, fmt.Errorf("plan: PatchIndex on %s.%s is not built", s.Index.Table(), s.Index.Column())
+	}
+	if s.Index.NumPartitions() != s.Table.NumPartitions() {
+		return nil, fmt.Errorf("plan: PatchIndex on %s.%s has %d partitions, table has %d",
+			s.Index.Table(), s.Index.Column(), s.Index.NumPartitions(), s.Table.NumPartitions())
+	}
+	if s.Part >= 0 {
+		sc, err := exec.NewScan(s.Table, s.Part, s.Cols, rangesFor(s.Table, s.Part, s.Cols, bounds))
+		if err != nil {
+			return nil, err
+		}
+		return exec.NewPatchSelect(sc, s.Index.Partition(s.Part), s.Mode)
+	}
+	parts := make([]exec.Operator, s.Table.NumPartitions())
+	for p := range parts {
+		sc, err := exec.NewScan(s.Table, p, s.Cols, rangesFor(s.Table, p, s.Cols, bounds))
+		if err != nil {
+			return nil, err
+		}
+		ps, err := exec.NewPatchSelect(sc, s.Index.Partition(p), s.Mode)
+		if err != nil {
+			return nil, err
+		}
+		parts[p] = ps
+	}
+	if s.Ordered {
+		pos := outputPos(s.Cols, s.Table, s.Index.Column())
+		if pos < 0 {
+			return nil, fmt.Errorf("plan: ordered patched scan requires column %s in the scan list", s.Index.Column())
+		}
+		if len(parts) == 1 {
+			return parts[0], nil
+		}
+		return exec.NewMergeUnion([]exec.SortKey{{Col: pos, Desc: s.Index.Descending()}}, parts...)
+	}
+	if len(parts) == 1 {
+		return parts[0], nil
+	}
+	if cfg.Parallel {
+		return exec.NewParallelUnion(parts...)
+	}
+	return exec.NewUnion(parts...)
+}
+
+// outputPos maps a table column name to its position in the scan column
+// list, or -1.
+func outputPos(cols []int, t *storage.Table, name string) int {
+	idx := t.Schema().ColumnIndex(name)
+	for i, c := range cols {
+		if c == idx {
+			return i
+		}
+	}
+	return -1
+}
+
+// colBounds is an inclusive value interval for one scan output column.
+type colBounds struct {
+	lo, hi vector.Value // Null = unbounded
+}
+
+// extractBounds derives per-column bounds from a predicate for SMA pruning.
+// Only top-level conjunctions of comparisons between a column reference and
+// a literal are used; anything else contributes no bounds (the filter still
+// runs, so pruning is merely an optimization).
+func extractBounds(pred expr.Expr, schema []Column) map[int]colBounds {
+	out := map[int]colBounds{}
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		switch x := e.(type) {
+		case *expr.BoolExpr:
+			if x.Op == expr.And {
+				walk(x.Left)
+				walk(x.Right)
+			}
+		case *expr.Cmp:
+			ref, refLeft := x.Left.(*expr.ColRef)
+			lit, litRight := x.Right.(*expr.Literal)
+			op := x.Op
+			if !refLeft || !litRight {
+				// Try the mirrored form literal <op> column.
+				if ref2, ok := x.Right.(*expr.ColRef); ok {
+					if lit2, ok2 := x.Left.(*expr.Literal); ok2 {
+						ref, lit = ref2, lit2
+						switch op {
+						case expr.LT:
+							op = expr.GT
+						case expr.LE:
+							op = expr.GE
+						case expr.GT:
+							op = expr.LT
+						case expr.GE:
+							op = expr.LE
+						}
+					} else {
+						return
+					}
+				} else {
+					return
+				}
+			}
+			if lit.Val.Null || ref.Col >= len(schema) {
+				return
+			}
+			b, ok := out[ref.Col]
+			if !ok {
+				// Unbounded sides are Null sentinels, never zero values.
+				b = colBounds{
+					lo: vector.NullValue(schema[ref.Col].Typ),
+					hi: vector.NullValue(schema[ref.Col].Typ),
+				}
+			}
+			switch op {
+			case expr.EQ:
+				b.lo = tighterLo(b.lo, lit.Val)
+				b.hi = tighterHi(b.hi, lit.Val)
+			case expr.LT, expr.LE:
+				b.hi = tighterHi(b.hi, lit.Val)
+			case expr.GT, expr.GE:
+				b.lo = tighterLo(b.lo, lit.Val)
+			default:
+				return // NE prunes nothing at block granularity
+			}
+			out[ref.Col] = b
+		}
+	}
+	walk(pred)
+	if len(out) == 0 {
+		return nil
+	}
+	return out
+}
+
+func tighterLo(cur, v vector.Value) vector.Value {
+	if cur.Null || v.Compare(cur) > 0 {
+		return v
+	}
+	return cur
+}
+
+func tighterHi(cur, v vector.Value) vector.Value {
+	if cur.Null || v.Compare(cur) < 0 {
+		return v
+	}
+	return cur
+}
+
+// rangesFor computes pruned scan ranges for one partition, intersecting the
+// surviving blocks of every bounded column. nil means a full scan.
+func rangesFor(t *storage.Table, part int, cols []int, bounds map[int]colBounds) []storage.ScanRange {
+	if len(bounds) == 0 {
+		return nil
+	}
+	var ranges []storage.ScanRange
+	first := true
+	for outCol, b := range bounds {
+		if outCol >= len(cols) {
+			continue
+		}
+		tblCol := cols[outCol]
+		r := t.PruneRanges(part, tblCol, b.lo, b.hi, false)
+		if first {
+			ranges, first = r, false
+			continue
+		}
+		ranges = intersectRanges(ranges, r)
+	}
+	if first {
+		return nil
+	}
+	if ranges == nil {
+		// Everything pruned: an empty (non-nil) range list, NOT a full scan.
+		return []storage.ScanRange{}
+	}
+	return ranges
+}
+
+// intersectRanges intersects two sorted, non-overlapping range lists.
+func intersectRanges(a, b []storage.ScanRange) []storage.ScanRange {
+	var out []storage.ScanRange
+	i, j := 0, 0
+	for i < len(a) && j < len(b) {
+		lo := a[i].Start
+		if b[j].Start > lo {
+			lo = b[j].Start
+		}
+		hi := a[i].End
+		if b[j].End < hi {
+			hi = b[j].End
+		}
+		if lo < hi {
+			out = append(out, storage.ScanRange{Start: lo, End: hi})
+		}
+		if a[i].End < b[j].End {
+			i++
+		} else {
+			j++
+		}
+	}
+	return out
+}

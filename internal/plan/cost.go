@@ -1,0 +1,174 @@
+package plan
+
+import (
+	"math"
+
+	"patchindex/internal/exec"
+)
+
+// The cost model covers the additional costs of PatchIndex usage — extra
+// operators in the plan and replicated subtrees — which the paper names as
+// future work ("we plan to create a cost model covering additional costs of
+// the PatchIndex usage and integrate it into query optimization"). Costs are
+// abstract units proportional to tuples processed, with per-operator weights
+// calibrated against the engine's measured operator throughputs (an order of
+// magnitude is sufficient: the model only has to rank plans).
+const (
+	costScanTuple    = 0.2  // emit one tuple from storage (zero-copy slice)
+	costPatchTuple   = 0.15 // patch merge / bitmap scan per tuple
+	costFilterTuple  = 0.3  // predicate evaluation
+	costProjectTuple = 0.1
+	costHashProbe    = 1.0 // hash aggregation / join probe per tuple
+	costGroupInit    = 2.0 // creating one aggregation group
+	costHashBuild    = 1.5 // inserting one build tuple
+	costSortCompare  = 0.2 // one comparison inside the sort
+	costMergeTuple   = 0.3 // merge join / merge union advance per tuple
+	costUnionTuple   = 0.05
+	costOutputTuple  = 0.2 // materializing one join output tuple
+)
+
+// Cost estimates the execution cost of a plan in abstract units.
+func Cost(n Node) float64 {
+	switch x := n.(type) {
+	case *ScanNode:
+		return float64(EstimateRows(x)) * costScanTuple
+	case *PatchScanNode:
+		// The underlying scan reads every row of the partition(s); the
+		// patch select then filters.
+		scanRows := x.Table.NumRows()
+		if x.Part >= 0 {
+			scanRows = x.Table.Partition(x.Part).NumRows()
+		}
+		return float64(scanRows) * (costScanTuple + costPatchTuple)
+	case *FilterNode:
+		return Cost(x.Input) + float64(EstimateRows(x.Input))*costFilterTuple
+	case *ProjectNode:
+		return Cost(x.Input) + float64(EstimateRows(x.Input))*costProjectTuple
+	case *AggregateNode:
+		in := float64(EstimateRows(x.Input))
+		if len(x.GroupCols) == 0 {
+			// Global aggregation: plain counters are cheap; COUNT(DISTINCT)
+			// still hashes every tuple and maintains a set whose size is
+			// estimated with the same heuristic as grouping (a tenth of the
+			// input), keeping baseline and rewrite estimates comparable.
+			perTuple := 0.15
+			distinctSets := 0.0
+			for _, a := range x.Aggs {
+				if a.Func == exec.CountDistinct {
+					perTuple = costHashProbe
+					distinctSets = in / 10 * costGroupInit
+				}
+			}
+			return Cost(x.Input) + in*perTuple + distinctSets
+		}
+		groups := float64(EstimateRows(x))
+		return Cost(x.Input) + in*costHashProbe + groups*costGroupInit
+	case *SortNode:
+		in := float64(EstimateRows(x.Input))
+		if in < 2 {
+			return Cost(x.Input)
+		}
+		return Cost(x.Input) + in*math.Log2(in)*costSortCompare
+	case *LimitNode:
+		// Limits stop early; scale the child's cost by the fraction kept.
+		childRows := float64(EstimateRows(x.Input))
+		c := Cost(x.Input)
+		if childRows > 0 && float64(x.N) < childRows {
+			frac := float64(x.N) / childRows
+			// Pipeline breakers below still pay full cost; approximate with
+			// a floor of half the child cost.
+			return c * math.Max(0.5, frac)
+		}
+		return c
+	case *JoinNode:
+		l := float64(EstimateRows(x.Left))
+		r := float64(EstimateRows(x.Right))
+		out := float64(EstimateRows(x))
+		base := Cost(x.Left) + Cost(x.Right) + out*costOutputTuple
+		if x.Method == JoinMerge {
+			return base + (l+r)*costMergeTuple
+		}
+		build, probe := r, l
+		if x.BuildLeft {
+			build, probe = l, r
+		}
+		return base + build*costHashBuild + probe*costHashProbe
+	case *UnionNode:
+		total := 0.0
+		rows := 0.0
+		for _, in := range x.Inputs {
+			total += Cost(in)
+			rows += float64(EstimateRows(in))
+		}
+		if x.Merge {
+			k := float64(len(x.Inputs))
+			if k < 2 {
+				k = 2
+			}
+			return total + rows*math.Log2(k)*costMergeTuple
+		}
+		return total + rows*costUnionTuple
+	default:
+		return 0
+	}
+}
+
+// RecommendThresholds derives reasonable nuc_threshold and nsc_threshold
+// values from the cost model (the paper: "Based on this, reasonable values
+// for both nuc_threshold and nsc_threshold should be defined"). It sweeps
+// the exception rate and returns the largest rate at which the rewritten
+// plan is still estimated cheaper than the baseline, for a table of n rows
+// with the given expected number of distinct values among the exceptions.
+func RecommendThresholds(rows int, exceptionGroups int) (nuc, nsc float64) {
+	if rows <= 0 {
+		return 0, 0
+	}
+	n := float64(rows)
+	groups := float64(exceptionGroups)
+	if groups <= 0 {
+		groups = math.Min(n, 100_000)
+	}
+	findCross := func(baseline, rewritten func(rate float64) float64) float64 {
+		last := 0.0
+		for rate := 0.0; rate <= 1.0001; rate += 0.01 {
+			if rewritten(rate) < baseline(rate) {
+				last = rate
+			}
+		}
+		return math.Min(last, 1.0)
+	}
+
+	// Count-distinct shapes (Section VI-B1).
+	nucBaseline := func(rate float64) float64 {
+		distinct := n*(1-rate) + groups
+		return n*costScanTuple + n*costHashProbe + distinct*costGroupInit
+	}
+	nucRewritten := func(rate float64) float64 {
+		excl := n * (1 - rate)
+		use := n * rate
+		scan := 2 * n * (costScanTuple + costPatchTuple) // both branches scan all rows
+		agg := use*costHashProbe + math.Min(use, groups)*costGroupInit
+		union := (excl + math.Min(use, groups)) * costUnionTuple
+		count := (excl + math.Min(use, groups)) * costHashProbe
+		return scan + agg + union + count
+	}
+	nuc = findCross(nucBaseline, nucRewritten)
+
+	// Sort shapes (Section VI-B2).
+	logn := math.Log2(math.Max(n, 2))
+	nscBaseline := func(float64) float64 {
+		return n*costScanTuple + n*logn*costSortCompare
+	}
+	nscRewritten := func(rate float64) float64 {
+		use := n * rate
+		scan := 2 * n * (costScanTuple + costPatchTuple)
+		sortCost := 0.0
+		if use >= 2 {
+			sortCost = use * math.Log2(use) * costSortCompare
+		}
+		merge := n * costMergeTuple
+		return scan + sortCost + merge
+	}
+	nsc = findCross(nscBaseline, nscRewritten)
+	return nuc, nsc
+}

@@ -1,0 +1,92 @@
+package plan
+
+import (
+	"testing"
+
+	"patchindex/internal/exec"
+)
+
+func TestCostPositiveAndMonotone(t *testing.T) {
+	fx := newFixture(t)
+	scan := factScan(fx)
+	if Cost(scan) <= 0 {
+		t.Error("scan cost must be positive")
+	}
+	agg, err := NewAggregateNode(scan, []int{1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if Cost(agg) <= Cost(scan) {
+		t.Error("aggregation must cost more than its input")
+	}
+	sorted := NewSortNode(factScan(fx), []exec.SortKey{{Col: 0}})
+	if Cost(sorted) <= Cost(scan) {
+		t.Error("sort must cost more than its input")
+	}
+}
+
+func TestCostJoinMethods(t *testing.T) {
+	fx := newFixture(t)
+	hj, err := NewJoinNode(NewScanNode(fx.dim, []int{0, 1}), factScan(fx), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hj.Method = JoinHash
+	mj, err := NewJoinNode(NewScanNode(fx.dim, []int{0, 1}), factScan(fx), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	mj.Method = JoinMerge
+	if Cost(mj) >= Cost(hj) {
+		t.Errorf("merge join (%v) should be estimated cheaper than hash join (%v)", Cost(mj), Cost(hj))
+	}
+}
+
+func TestCostLimitReduces(t *testing.T) {
+	fx := newFixture(t)
+	scan := factScan(fx)
+	lim := NewLimitNode(factScan(fx), 1)
+	if Cost(lim) > Cost(scan) {
+		t.Error("limit must not increase cost")
+	}
+}
+
+func TestCostBasedOptimizerKeepsGoodRewrites(t *testing.T) {
+	fx := newFixture(t)
+	// The fixture's indexes have low exception rates; the rewrites must
+	// survive cost gating.
+	agg, err := NewAggregateNode(factScan(fx), []int{1}, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	o := &Optimizer{Cat: fx.cat, CostBased: true}
+	out, err := o.Optimize(agg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, isUnion := out.(*UnionNode); !isUnion {
+		t.Errorf("low-exception rewrite rejected by cost model:\n%s", Explain(out))
+	}
+}
+
+func TestRecommendThresholds(t *testing.T) {
+	nuc, nsc := RecommendThresholds(100_000_000, 100_000)
+	if nuc <= 0 || nuc > 1 {
+		t.Errorf("nuc threshold = %v", nuc)
+	}
+	if nsc <= 0 || nsc > 1 {
+		t.Errorf("nsc threshold = %v", nsc)
+	}
+	// The evaluation observes benefits even at very high exception rates, so
+	// the model should not be absurdly conservative.
+	if nuc < 0.3 {
+		t.Errorf("nuc threshold %v suspiciously low given Figure 4", nuc)
+	}
+	if nsc < 0.3 {
+		t.Errorf("nsc threshold %v suspiciously low given Figure 5", nsc)
+	}
+	// Degenerate input.
+	if a, b := RecommendThresholds(0, 0); a != 0 || b != 0 {
+		t.Error("zero rows should yield zero thresholds")
+	}
+}

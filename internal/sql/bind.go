@@ -1,0 +1,717 @@
+package sql
+
+import (
+	"fmt"
+	"strings"
+
+	"patchindex/internal/catalog"
+	"patchindex/internal/exec"
+	"patchindex/internal/expr"
+	"patchindex/internal/plan"
+	"patchindex/internal/vector"
+)
+
+// Binder resolves parsed SELECT statements into logical plans against a
+// catalog.
+type Binder struct {
+	Cat *catalog.Catalog
+}
+
+// scope tracks the visible columns of the current plan node and the table
+// alias each column belongs to.
+type scope struct {
+	aliases []string // per column: the table alias it came from ("" after agg)
+	node    plan.Node
+}
+
+func (s *scope) schema() []plan.Column { return s.node.Schema() }
+
+// resolve finds the position of a (possibly qualified) column name.
+func (s *scope) resolve(c *ColName) (int, error) {
+	found := -1
+	for i, col := range s.schema() {
+		if !strings.EqualFold(col.Name, c.Name) {
+			continue
+		}
+		if c.Table != "" && !strings.EqualFold(s.aliases[i], c.Table) {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %s", c.Name)
+		}
+		found = i
+	}
+	if found < 0 {
+		if c.Table != "" {
+			return 0, fmt.Errorf("sql: unknown column %s.%s", c.Table, c.Name)
+		}
+		return 0, fmt.Errorf("sql: unknown column %s", c.Name)
+	}
+	return found, nil
+}
+
+// BindSelect turns a SELECT statement into an unoptimized logical plan.
+func (b *Binder) BindSelect(sel *SelectStmt) (plan.Node, error) {
+	sc, err := b.bindFrom(sel)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Where != nil {
+		pred, err := b.bindExpr(sel.Where, sc)
+		if err != nil {
+			return nil, err
+		}
+		if pred.Type() != vector.Bool {
+			return nil, fmt.Errorf("sql: WHERE predicate must be boolean")
+		}
+		sc = &scope{aliases: sc.aliases, node: plan.NewFilterNode(sc.node, pred)}
+	}
+
+	hasAggs := len(sel.GroupBy) > 0 || sel.Having != nil
+	for _, item := range sel.Items {
+		if _, ok := item.Expr.(*FuncCall); ok {
+			hasAggs = true
+		}
+	}
+
+	var out *scope
+	if hasAggs {
+		out, err = b.bindAggregate(sel, sc)
+	} else {
+		out, err = b.bindProjection(sel, sc)
+	}
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		all := make([]int, len(out.schema()))
+		for i := range all {
+			all[i] = i
+		}
+		agg, err := plan.NewAggregateNode(out.node, all, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		out = &scope{aliases: out.aliases, node: agg}
+	}
+
+	if len(sel.OrderBy) > 0 {
+		out, err = b.bindOrderBy(sel, out, sc, hasAggs)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	if sel.Limit >= 0 {
+		out = &scope{aliases: out.aliases, node: plan.NewLimitNode(out.node, sel.Limit)}
+	}
+	return out.node, nil
+}
+
+// bindOrderBy resolves the ORDER BY keys against the output scope. For plain
+// projections, ordering by a column that is not in the select list is
+// supported by appending hidden sort columns to the projection and stripping
+// them again after the sort (standard SQL behaviour).
+func (b *Binder) bindOrderBy(sel *SelectStmt, out, input *scope, hasAggs bool) (*scope, error) {
+	type orderRef struct {
+		cn     *ColName
+		desc   bool
+		outPos int // position in the (possibly extended) output, -1 = hidden
+		hidden int // index into hiddenSrc when outPos == -1
+	}
+	refs := make([]orderRef, len(sel.OrderBy))
+	var hiddenSrc []int
+	for i, item := range sel.OrderBy {
+		cn, ok := item.Expr.(*ColName)
+		if !ok {
+			return nil, fmt.Errorf("sql: ORDER BY supports only column references")
+		}
+		refs[i] = orderRef{cn: cn, desc: item.Desc, outPos: -1, hidden: -1}
+		if pos, err := out.resolve(cn); err == nil {
+			refs[i].outPos = pos
+			continue
+		}
+		if hasAggs || sel.Distinct {
+			// Hidden sort columns are not meaningful above aggregation or
+			// DISTINCT: re-resolve to surface the original error.
+			_, err := out.resolve(cn)
+			return nil, err
+		}
+		srcPos, err := input.resolve(cn)
+		if err != nil {
+			return nil, err
+		}
+		refs[i].hidden = len(hiddenSrc)
+		hiddenSrc = append(hiddenSrc, srcPos)
+	}
+
+	if len(hiddenSrc) == 0 {
+		keys := make([]exec.SortKey, len(refs))
+		for i, r := range refs {
+			keys[i] = exec.SortKey{Col: r.outPos, Desc: r.desc}
+		}
+		return &scope{aliases: out.aliases, node: plan.NewSortNode(out.node, keys)}, nil
+	}
+
+	// Rebuild the projection with hidden sort columns appended.
+	proj, ok := out.node.(*plan.ProjectNode)
+	if !ok {
+		return nil, fmt.Errorf("sql: cannot order by column %s: not in the select list", refs[0].cn.Name)
+	}
+	exprs := append([]expr.Expr{}, proj.Exprs...)
+	names := append([]string{}, proj.Names...)
+	visible := len(exprs)
+	inSchema := input.schema()
+	for h, src := range hiddenSrc {
+		exprs = append(exprs, expr.NewColRef(src, inSchema[src].Typ, inSchema[src].Name))
+		names = append(names, fmt.Sprintf("__order_%d", h))
+	}
+	extended, err := plan.NewProjectNode(proj.Input, exprs, names)
+	if err != nil {
+		return nil, err
+	}
+	keys := make([]exec.SortKey, len(refs))
+	for i, r := range refs {
+		if r.outPos >= 0 {
+			keys[i] = exec.SortKey{Col: r.outPos, Desc: r.desc}
+		} else {
+			keys[i] = exec.SortKey{Col: visible + r.hidden, Desc: r.desc}
+		}
+	}
+	sorted := plan.NewSortNode(extended, keys)
+	// Strip the hidden columns again.
+	finalExprs := make([]expr.Expr, visible)
+	finalNames := make([]string, visible)
+	extSchema := sorted.Schema()
+	for i := 0; i < visible; i++ {
+		finalExprs[i] = expr.NewColRef(i, extSchema[i].Typ, extSchema[i].Name)
+		finalNames[i] = extSchema[i].Name
+	}
+	final, err := plan.NewProjectNode(sorted, finalExprs, finalNames)
+	if err != nil {
+		return nil, err
+	}
+	return &scope{aliases: out.aliases, node: final}, nil
+}
+
+// bindFrom builds the scan/join tree of the FROM clause. Scans project only
+// the columns the statement references (column pruning), unless SELECT *
+// requires everything.
+func (b *Binder) bindFrom(sel *SelectStmt) (*scope, error) {
+	qualified, unqualified, star := referencedColumns(sel)
+	mkScan := func(ref *TableRef) (*scope, error) {
+		if ref.Subquery != nil {
+			// Derived table: bind the subquery independently; its output
+			// columns become a relation under the mandatory alias.
+			node, err := b.BindSelect(ref.Subquery)
+			if err != nil {
+				return nil, err
+			}
+			aliases := make([]string, len(node.Schema()))
+			for i := range aliases {
+				aliases[i] = ref.Alias
+			}
+			return &scope{aliases: aliases, node: node}, nil
+		}
+		t, err := b.Cat.Table(ref.Name)
+		if err != nil {
+			return nil, err
+		}
+		alias := ref.Name
+		if ref.Alias != "" {
+			alias = ref.Alias
+		}
+		var cols []int
+		for i, c := range t.Schema().Columns {
+			if star || unqualified[strings.ToLower(c.Name)] ||
+				qualified[strings.ToLower(alias)+"."+strings.ToLower(c.Name)] {
+				cols = append(cols, i)
+			}
+		}
+		if len(cols) == 0 {
+			cols = []int{0} // scans need at least one column (e.g. COUNT(*))
+		}
+		node := plan.NewScanNode(t, cols)
+		aliases := make([]string, len(cols))
+		for i := range aliases {
+			aliases[i] = alias
+		}
+		return &scope{aliases: aliases, node: node}, nil
+	}
+
+	cur, err := mkScan(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	for _, jc := range sel.Joins {
+		right, err := mkScan(jc.Table)
+		if err != nil {
+			return nil, err
+		}
+		// Resolve the ON columns: one must belong to the accumulated left
+		// side, the other to the new table.
+		leftPos, lerr := cur.resolve(jc.Left)
+		var rightPos int
+		if lerr == nil {
+			rightPos, err = right.resolve(jc.Right)
+			if err != nil {
+				return nil, err
+			}
+		} else {
+			// Swapped orientation: left name belongs to the new table.
+			leftPos, err = cur.resolve(jc.Right)
+			if err != nil {
+				return nil, fmt.Errorf("sql: join condition references unknown columns (%v; %v)", lerr, err)
+			}
+			rightPos, err = right.resolve(jc.Left)
+			if err != nil {
+				return nil, err
+			}
+		}
+		j, err := plan.NewJoinNode(cur.node, right.node, leftPos, rightPos)
+		if err != nil {
+			return nil, err
+		}
+		j.Outer = jc.Outer
+		cur = &scope{aliases: append(append([]string{}, cur.aliases...), right.aliases...), node: j}
+	}
+	return cur, nil
+}
+
+// referencedColumns collects every column name a statement references, for
+// scan column pruning: qualified ("alias.col") and unqualified ("col") name
+// sets, plus whether a SELECT * requires all columns.
+func referencedColumns(sel *SelectStmt) (qualified, unqualified map[string]bool, star bool) {
+	qualified = map[string]bool{}
+	unqualified = map[string]bool{}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *ColName:
+			if x.Table != "" {
+				qualified[strings.ToLower(x.Table)+"."+strings.ToLower(x.Name)] = true
+			} else {
+				unqualified[strings.ToLower(x.Name)] = true
+			}
+		case *BinOp:
+			walk(x.Left)
+			walk(x.Right)
+		case *NotExpr:
+			walk(x.Input)
+		case *IsNullExpr:
+			walk(x.Input)
+		case *FuncCall:
+			if x.Arg != nil {
+				walk(x.Arg)
+			}
+		}
+	}
+	for _, item := range sel.Items {
+		if item.Star {
+			star = true
+			continue
+		}
+		walk(item.Expr)
+	}
+	for _, jc := range sel.Joins {
+		walk(jc.Left)
+		walk(jc.Right)
+	}
+	if sel.Where != nil {
+		walk(sel.Where)
+	}
+	for _, g := range sel.GroupBy {
+		walk(g)
+	}
+	if sel.Having != nil {
+		walk(sel.Having)
+	}
+	for _, o := range sel.OrderBy {
+		walk(o.Expr)
+	}
+	return qualified, unqualified, star
+}
+
+// bindProjection builds the select-list projection for non-aggregate queries.
+func (b *Binder) bindProjection(sel *SelectStmt, sc *scope) (*scope, error) {
+	var exprs []expr.Expr
+	var names, aliases []string
+	for _, item := range sel.Items {
+		if item.Star {
+			for i, col := range sc.schema() {
+				exprs = append(exprs, expr.NewColRef(i, col.Typ, col.Name))
+				names = append(names, col.Name)
+				aliases = append(aliases, sc.aliases[i])
+			}
+			continue
+		}
+		e, err := b.bindExpr(item.Expr, sc)
+		if err != nil {
+			return nil, err
+		}
+		exprs = append(exprs, e)
+		names = append(names, itemName(item))
+		aliases = append(aliases, aliasOf(item, sc))
+	}
+	p, err := plan.NewProjectNode(sc.node, exprs, names)
+	if err != nil {
+		return nil, err
+	}
+	return &scope{aliases: aliases, node: p}, nil
+}
+
+// aliasOf keeps the table alias for plain column references so qualified
+// names still resolve above the projection.
+func aliasOf(item SelectItem, sc *scope) string {
+	if cn, ok := item.Expr.(*ColName); ok {
+		if pos, err := sc.resolve(cn); err == nil {
+			return sc.aliases[pos]
+		}
+	}
+	return ""
+}
+
+// itemName derives the output column name of a select item.
+func itemName(item SelectItem) string {
+	if item.Alias != "" {
+		return item.Alias
+	}
+	switch e := item.Expr.(type) {
+	case *ColName:
+		return e.Name
+	case *FuncCall:
+		name := strings.ToLower(e.Name)
+		if e.Star {
+			return name
+		}
+		if arg, ok := e.Arg.(*ColName); ok {
+			if e.Distinct {
+				return fmt.Sprintf("%s_distinct_%s", name, arg.Name)
+			}
+			return fmt.Sprintf("%s_%s", name, arg.Name)
+		}
+		return name
+	default:
+		return "expr"
+	}
+}
+
+// bindAggregate builds GroupBy+aggregate plans: Aggregate over the input,
+// optional HAVING filter, then a projection arranging the select list.
+func (b *Binder) bindAggregate(sel *SelectStmt, sc *scope) (*scope, error) {
+	// Group columns must be plain column references.
+	groupCols := make([]int, 0, len(sel.GroupBy))
+	for _, g := range sel.GroupBy {
+		cn, ok := g.(*ColName)
+		if !ok {
+			return nil, fmt.Errorf("sql: GROUP BY supports only column references")
+		}
+		pos, err := sc.resolve(cn)
+		if err != nil {
+			return nil, err
+		}
+		groupCols = append(groupCols, pos)
+	}
+
+	// Collect aggregate calls from the select list and HAVING.
+	var specs []exec.AggSpec
+	var specNames []string
+	addAgg := func(fc *FuncCall) (int, error) {
+		spec, name, err := b.aggSpec(fc, sc)
+		if err != nil {
+			return 0, err
+		}
+		for i, s := range specs {
+			if s == spec {
+				return i, nil
+			}
+		}
+		specs = append(specs, spec)
+		specNames = append(specNames, name)
+		return len(specs) - 1, nil
+	}
+
+	type itemRef struct {
+		isAgg bool
+		pos   int // group index or agg index
+		name  string
+		alias string
+	}
+	var refs []itemRef
+	for _, item := range sel.Items {
+		if item.Star {
+			return nil, fmt.Errorf("sql: SELECT * cannot be combined with aggregation")
+		}
+		switch e := item.Expr.(type) {
+		case *FuncCall:
+			idx, err := addAgg(e)
+			if err != nil {
+				return nil, err
+			}
+			refs = append(refs, itemRef{isAgg: true, pos: idx, name: itemName(item)})
+		case *ColName:
+			pos, err := sc.resolve(e)
+			if err != nil {
+				return nil, err
+			}
+			gi := -1
+			for i, g := range groupCols {
+				if g == pos {
+					gi = i
+					break
+				}
+			}
+			if gi < 0 {
+				return nil, fmt.Errorf("sql: column %s must appear in GROUP BY", e.Name)
+			}
+			refs = append(refs, itemRef{pos: gi, name: itemName(item), alias: sc.aliases[pos]})
+		default:
+			return nil, fmt.Errorf("sql: select items under aggregation must be columns or aggregates")
+		}
+	}
+
+	// HAVING may reference additional aggregates; bind it after collecting.
+	var havingExpr Expr = sel.Having
+	havingAggs := map[*FuncCall]int{}
+	if havingExpr != nil {
+		if err := collectAggs(havingExpr, func(fc *FuncCall) error {
+			idx, err := addAgg(fc)
+			if err != nil {
+				return err
+			}
+			havingAggs[fc] = idx
+			return nil
+		}); err != nil {
+			return nil, err
+		}
+	}
+
+	agg, err := plan.NewAggregateNode(sc.node, groupCols, specs, specNames)
+	if err != nil {
+		return nil, err
+	}
+	aggAliases := make([]string, len(agg.Schema()))
+	for i, g := range groupCols {
+		aggAliases[i] = sc.aliases[g]
+	}
+	cur := &scope{aliases: aggAliases, node: agg}
+
+	if havingExpr != nil {
+		pred, err := b.bindHaving(havingExpr, cur, sc, groupCols, havingAggs)
+		if err != nil {
+			return nil, err
+		}
+		if pred.Type() != vector.Bool {
+			return nil, fmt.Errorf("sql: HAVING predicate must be boolean")
+		}
+		cur = &scope{aliases: cur.aliases, node: plan.NewFilterNode(cur.node, pred)}
+	}
+
+	// Final projection arranging the select list over the aggregate schema.
+	exprs := make([]expr.Expr, len(refs))
+	names := make([]string, len(refs))
+	aliases := make([]string, len(refs))
+	aggSchema := cur.schema()
+	identity := len(refs) == len(aggSchema)
+	for i, r := range refs {
+		pos := r.pos
+		if r.isAgg {
+			pos = len(groupCols) + r.pos
+		}
+		exprs[i] = expr.NewColRef(pos, aggSchema[pos].Typ, aggSchema[pos].Name)
+		names[i] = r.name
+		aliases[i] = r.alias
+		if pos != i || !strings.EqualFold(names[i], aggSchema[pos].Name) {
+			identity = false
+		}
+	}
+	if identity {
+		return cur, nil
+	}
+	p, err := plan.NewProjectNode(cur.node, exprs, names)
+	if err != nil {
+		return nil, err
+	}
+	return &scope{aliases: aliases, node: p}, nil
+}
+
+// aggSpec translates a parsed aggregate call into an execution spec.
+func (b *Binder) aggSpec(fc *FuncCall, sc *scope) (exec.AggSpec, string, error) {
+	if fc.Star {
+		return exec.AggSpec{Func: exec.CountStar, Col: -1}, "count", nil
+	}
+	arg, ok := fc.Arg.(*ColName)
+	if !ok {
+		return exec.AggSpec{}, "", fmt.Errorf("sql: aggregate arguments must be plain columns")
+	}
+	pos, err := sc.resolve(arg)
+	if err != nil {
+		return exec.AggSpec{}, "", err
+	}
+	var f exec.AggFunc
+	switch fc.Name {
+	case "COUNT":
+		if fc.Distinct {
+			f = exec.CountDistinct
+		} else {
+			f = exec.Count
+		}
+	case "SUM":
+		f = exec.Sum
+	case "MIN":
+		f = exec.Min
+	case "MAX":
+		f = exec.Max
+	default:
+		return exec.AggSpec{}, "", fmt.Errorf("sql: unknown aggregate %s", fc.Name)
+	}
+	name := strings.ToLower(fc.Name) + "_" + arg.Name
+	if fc.Distinct {
+		name = "count_distinct_" + arg.Name
+	}
+	return exec.AggSpec{Func: f, Col: pos}, name, nil
+}
+
+// collectAggs walks an AST expression invoking fn on every aggregate call.
+func collectAggs(e Expr, fn func(*FuncCall) error) error {
+	switch x := e.(type) {
+	case *FuncCall:
+		return fn(x)
+	case *BinOp:
+		if err := collectAggs(x.Left, fn); err != nil {
+			return err
+		}
+		return collectAggs(x.Right, fn)
+	case *NotExpr:
+		return collectAggs(x.Input, fn)
+	case *IsNullExpr:
+		return collectAggs(x.Input, fn)
+	default:
+		return nil
+	}
+}
+
+// bindHaving binds a HAVING predicate against the aggregate output schema:
+// group columns resolve by name, aggregate calls resolve to their spec's
+// output position.
+func (b *Binder) bindHaving(e Expr, aggScope, inputScope *scope, groupCols []int, aggPos map[*FuncCall]int) (expr.Expr, error) {
+	switch x := e.(type) {
+	case *FuncCall:
+		idx, ok := aggPos[x]
+		if !ok {
+			return nil, fmt.Errorf("sql: internal: unbound aggregate in HAVING")
+		}
+		pos := len(groupCols) + idx
+		sch := aggScope.schema()
+		return expr.NewColRef(pos, sch[pos].Typ, sch[pos].Name), nil
+	case *ColName:
+		pos, err := aggScope.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		sch := aggScope.schema()
+		return expr.NewColRef(pos, sch[pos].Typ, sch[pos].Name), nil
+	case *Lit:
+		return expr.NewLiteral(x.Val), nil
+	case *BinOp:
+		l, err := b.bindHaving(x.Left, aggScope, inputScope, groupCols, aggPos)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindHaving(x.Right, aggScope, inputScope, groupCols, aggPos)
+		if err != nil {
+			return nil, err
+		}
+		return combineBinOp(x.Op, l, r)
+	case *NotExpr:
+		in, err := b.bindHaving(x.Input, aggScope, inputScope, groupCols, aggPos)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(in)
+	case *IsNullExpr:
+		in, err := b.bindHaving(x.Input, aggScope, inputScope, groupCols, aggPos)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewIsNull(in, x.Negated), nil
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression in HAVING")
+	}
+}
+
+// bindExpr binds an AST expression against a scope.
+func (b *Binder) bindExpr(e Expr, sc *scope) (expr.Expr, error) {
+	switch x := e.(type) {
+	case *ColName:
+		pos, err := sc.resolve(x)
+		if err != nil {
+			return nil, err
+		}
+		sch := sc.schema()
+		return expr.NewColRef(pos, sch[pos].Typ, sch[pos].Name), nil
+	case *Lit:
+		return expr.NewLiteral(x.Val), nil
+	case *BinOp:
+		l, err := b.bindExpr(x.Left, sc)
+		if err != nil {
+			return nil, err
+		}
+		r, err := b.bindExpr(x.Right, sc)
+		if err != nil {
+			return nil, err
+		}
+		return combineBinOp(x.Op, l, r)
+	case *NotExpr:
+		in, err := b.bindExpr(x.Input, sc)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewNot(in)
+	case *IsNullExpr:
+		in, err := b.bindExpr(x.Input, sc)
+		if err != nil {
+			return nil, err
+		}
+		return expr.NewIsNull(in, x.Negated), nil
+	case *FuncCall:
+		return nil, fmt.Errorf("sql: aggregate %s is not allowed here", x.Name)
+	default:
+		return nil, fmt.Errorf("sql: unsupported expression %T", e)
+	}
+}
+
+// combineBinOp maps an AST operator onto a typed expression constructor.
+func combineBinOp(op string, l, r expr.Expr) (expr.Expr, error) {
+	switch op {
+	case "=":
+		return expr.NewCmp(expr.EQ, l, r)
+	case "<>":
+		return expr.NewCmp(expr.NE, l, r)
+	case "<":
+		return expr.NewCmp(expr.LT, l, r)
+	case "<=":
+		return expr.NewCmp(expr.LE, l, r)
+	case ">":
+		return expr.NewCmp(expr.GT, l, r)
+	case ">=":
+		return expr.NewCmp(expr.GE, l, r)
+	case "AND":
+		return expr.NewBool(expr.And, l, r)
+	case "OR":
+		return expr.NewBool(expr.Or, l, r)
+	case "+":
+		return expr.NewArith(expr.Add, l, r)
+	case "-":
+		return expr.NewArith(expr.Sub, l, r)
+	case "*":
+		return expr.NewArith(expr.Mul, l, r)
+	case "/":
+		return expr.NewArith(expr.Div, l, r)
+	case "%":
+		return expr.NewArith(expr.Mod, l, r)
+	default:
+		return nil, fmt.Errorf("sql: unknown operator %q", op)
+	}
+}

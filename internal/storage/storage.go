@@ -1,0 +1,315 @@
+// Package storage implements the in-memory columnar table storage of the
+// engine: horizontally partitioned tables whose columns are stored as typed
+// vectors, with per-block small materialized aggregates (min/max, null
+// presence) that query planning turns into scan ranges.
+//
+// Creating a PatchIndex never changes how tuples are stored (a core design
+// point of the paper), so this package knows nothing about patches; the
+// PatchSelect operator applies them on top of scans.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"patchindex/internal/vector"
+)
+
+// BlockSize is the number of rows covered by one small materialized
+// aggregate entry (Moerkotte-style min/max per block).
+const BlockSize = 4096
+
+// Column describes one column of a table schema.
+type Column struct {
+	Name string
+	Typ  vector.Type
+}
+
+// Schema is an ordered list of columns.
+type Schema struct {
+	Columns []Column
+}
+
+// NewSchema builds a schema from name/type pairs.
+func NewSchema(cols ...Column) *Schema { return &Schema{Columns: cols} }
+
+// ColumnIndex returns the position of the named column or -1.
+func (s *Schema) ColumnIndex(name string) int {
+	for i, c := range s.Columns {
+		if c.Name == name {
+			return i
+		}
+	}
+	return -1
+}
+
+// Types returns the column types in schema order.
+func (s *Schema) Types() []vector.Type {
+	ts := make([]vector.Type, len(s.Columns))
+	for i, c := range s.Columns {
+		ts[i] = c.Typ
+	}
+	return ts
+}
+
+// sma is the small materialized aggregate of one column block.
+type sma struct {
+	min, max vector.Value
+	hasNull  bool
+	valid    bool // false until at least one non-null value was seen
+}
+
+// columnData holds the values of one column inside one partition.
+type columnData struct {
+	vec  *vector.Vector
+	smas []sma
+}
+
+func (c *columnData) updateSMA(row int) {
+	blk := row / BlockSize
+	for len(c.smas) <= blk {
+		c.smas = append(c.smas, sma{})
+	}
+	s := &c.smas[blk]
+	if c.vec.IsNull(row) {
+		s.hasNull = true
+		return
+	}
+	v := c.vec.Value(row)
+	if !s.valid {
+		s.min, s.max, s.valid = v, v, true
+		return
+	}
+	if v.Compare(s.min) < 0 {
+		s.min = v
+	}
+	if v.Compare(s.max) > 0 {
+		s.max = v
+	}
+}
+
+// Partition is one horizontal slice of a table. Row ids inside a partition
+// are dense local offsets starting at zero.
+type Partition struct {
+	ID    int
+	cols  []*columnData
+	nrows int
+}
+
+// NumRows returns the number of rows stored in the partition.
+func (p *Partition) NumRows() int { return p.nrows }
+
+// Column returns the full value vector of column col (shared, do not mutate).
+func (p *Partition) Column(col int) *vector.Vector { return p.cols[col].vec }
+
+// ScanRange is a half-open row-id interval [Start,End) within a partition.
+type ScanRange struct {
+	Start, End uint64
+}
+
+// Len returns the number of rows in the range.
+func (r ScanRange) Len() uint64 { return r.End - r.Start }
+
+// Table is a partitioned columnar table.
+type Table struct {
+	mu         sync.RWMutex
+	name       string
+	schema     *Schema
+	partitions []*Partition
+	sortKey    string // declared (exact) sort key, "" if none
+}
+
+// NewTable creates an empty table with the given number of partitions.
+func NewTable(name string, schema *Schema, numPartitions int) (*Table, error) {
+	if numPartitions < 1 {
+		return nil, fmt.Errorf("storage: table %s: need at least 1 partition, got %d", name, numPartitions)
+	}
+	if len(schema.Columns) == 0 {
+		return nil, fmt.Errorf("storage: table %s: schema has no columns", name)
+	}
+	seen := map[string]bool{}
+	for _, c := range schema.Columns {
+		if seen[c.Name] {
+			return nil, fmt.Errorf("storage: table %s: duplicate column %s", name, c.Name)
+		}
+		seen[c.Name] = true
+	}
+	t := &Table{name: name, schema: schema}
+	for i := 0; i < numPartitions; i++ {
+		p := &Partition{ID: i, cols: make([]*columnData, len(schema.Columns))}
+		for c := range schema.Columns {
+			p.cols[c] = &columnData{vec: vector.New(schema.Columns[c].Typ, 0)}
+		}
+		t.partitions = append(t.partitions, p)
+	}
+	return t, nil
+}
+
+// Name returns the table name.
+func (t *Table) Name() string { return t.name }
+
+// Schema returns the table schema.
+func (t *Table) Schema() *Schema { return t.schema }
+
+// NumPartitions returns the partition count.
+func (t *Table) NumPartitions() int { return len(t.partitions) }
+
+// Partition returns partition i.
+func (t *Table) Partition(i int) *Partition { return t.partitions[i] }
+
+// SetSortKey declares that the table is exactly sorted on the named column
+// (within each partition). The planner uses this to infer ordering.
+func (t *Table) SetSortKey(col string) error {
+	if t.schema.ColumnIndex(col) < 0 {
+		return fmt.Errorf("storage: table %s: unknown sort key column %s", t.name, col)
+	}
+	t.sortKey = col
+	return nil
+}
+
+// SortKey returns the declared sort key column name, or "".
+func (t *Table) SortKey() string { return t.sortKey }
+
+// NumRows returns the total number of rows across partitions.
+func (t *Table) NumRows() int {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	n := 0
+	for _, p := range t.partitions {
+		n += p.nrows
+	}
+	return n
+}
+
+// AppendRow appends one row to the given partition. vals must match the
+// schema (Value.Null for NULLs). Used by loaders and tests; bulk ingest goes
+// through AppendBatch.
+func (t *Table) AppendRow(part int, vals []vector.Value) error {
+	if part < 0 || part >= len(t.partitions) {
+		return fmt.Errorf("storage: table %s: partition %d out of range", t.name, part)
+	}
+	if len(vals) != len(t.schema.Columns) {
+		return fmt.Errorf("storage: table %s: row has %d values, schema has %d columns", t.name, len(vals), len(t.schema.Columns))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.partitions[part]
+	for c, v := range vals {
+		if err := p.cols[c].vec.AppendValue(v); err != nil {
+			return fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Columns[c].Name, err)
+		}
+		p.cols[c].updateSMA(p.nrows)
+	}
+	p.nrows++
+	return nil
+}
+
+// AppendBatch appends a batch of rows to the given partition.
+func (t *Table) AppendBatch(part int, b *vector.Batch) error {
+	if part < 0 || part >= len(t.partitions) {
+		return fmt.Errorf("storage: table %s: partition %d out of range", t.name, part)
+	}
+	if len(b.Vecs) != len(t.schema.Columns) {
+		return fmt.Errorf("storage: table %s: batch has %d columns, schema has %d", t.name, len(b.Vecs), len(t.schema.Columns))
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.partitions[part]
+	n := b.Len()
+	for c, src := range b.Vecs {
+		dst := p.cols[c]
+		for i := 0; i < n; i++ {
+			dst.vec.Append(src, i)
+			dst.updateSMA(p.nrows + i)
+		}
+	}
+	p.nrows += n
+	return nil
+}
+
+// AppendColumns bulk-appends whole column vectors (all of equal length) to a
+// partition. This is the fast path used by the data generators.
+func (t *Table) AppendColumns(part int, cols []*vector.Vector) error {
+	if part < 0 || part >= len(t.partitions) {
+		return fmt.Errorf("storage: table %s: partition %d out of range", t.name, part)
+	}
+	if len(cols) != len(t.schema.Columns) {
+		return fmt.Errorf("storage: table %s: got %d columns, schema has %d", t.name, len(cols), len(t.schema.Columns))
+	}
+	n := cols[0].Len()
+	for c, v := range cols {
+		if v.Len() != n {
+			return fmt.Errorf("storage: table %s: column %d has %d rows, expected %d", t.name, c, v.Len(), n)
+		}
+		if v.Typ != t.schema.Columns[c].Typ {
+			return fmt.Errorf("storage: table %s: column %s type mismatch: %s vs %s", t.name, t.schema.Columns[c].Name, v.Typ, t.schema.Columns[c].Typ)
+		}
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.partitions[part]
+	for c, v := range cols {
+		dst := p.cols[c]
+		for i := 0; i < n; i++ {
+			dst.vec.Append(v, i)
+			dst.updateSMA(p.nrows + i)
+		}
+	}
+	p.nrows += n
+	return nil
+}
+
+// PruneRanges computes the scan ranges of a partition that can contain values
+// of column col within [lo,hi] (inclusive; a Null bound means unbounded on
+// that side). Blocks whose SMA proves emptiness are pruned; adjacent
+// surviving blocks are coalesced. keepNulls keeps blocks that contain NULLs
+// even if their min/max is outside the bounds.
+func (t *Table) PruneRanges(part, col int, lo, hi vector.Value, keepNulls bool) []ScanRange {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p := t.partitions[part]
+	cd := p.cols[col]
+	var out []ScanRange
+	total := uint64(p.nrows)
+	for blk := 0; blk*BlockSize < p.nrows; blk++ {
+		start := uint64(blk * BlockSize)
+		end := start + BlockSize
+		if end > total {
+			end = total
+		}
+		keep := true
+		if blk < len(cd.smas) {
+			s := cd.smas[blk]
+			if s.valid {
+				if !lo.Null && s.max.Compare(lo) < 0 {
+					keep = false
+				}
+				if !hi.Null && s.min.Compare(hi) > 0 {
+					keep = false
+				}
+			} else {
+				// All-NULL block: no value can match a bound.
+				keep = false
+			}
+			if !keep && keepNulls && s.hasNull {
+				keep = true
+			}
+		}
+		if !keep {
+			continue
+		}
+		if n := len(out); n > 0 && out[n-1].End == start {
+			out[n-1].End = end
+		} else {
+			out = append(out, ScanRange{Start: start, End: end})
+		}
+	}
+	return out
+}
+
+// FullRange returns the single scan range covering all rows of a partition.
+func (t *Table) FullRange(part int) []ScanRange {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	return []ScanRange{{Start: 0, End: uint64(t.partitions[part].nrows)}}
+}

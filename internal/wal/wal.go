@@ -1,0 +1,278 @@
+// Package wal implements the write-ahead log the engine uses to make
+// PatchIndex definitions durable. Following Section V of the paper, only the
+// index *creation* is logged — never the determined patches — keeping the
+// log slim; on replay the index is reconstructed from the data using the
+// same discovery mechanisms as at creation time.
+//
+// Record format (little endian):
+//
+//	magic   uint32  0x50574c31 ("PWL1")
+//	kind    uint8
+//	length  uint32  payload bytes
+//	payload []byte
+//	crc32   uint32  IEEE, over kind+length+payload
+package wal
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+	"io"
+	"math"
+	"os"
+	"sync"
+)
+
+const magic uint32 = 0x50574c31
+
+// RecordKind tags the type of a WAL record.
+type RecordKind uint8
+
+const (
+	// RecordCreateIndex logs a PatchIndex creation.
+	RecordCreateIndex RecordKind = iota + 1
+	// RecordDropIndex logs a PatchIndex drop.
+	RecordDropIndex
+)
+
+// CreateIndexRecord is the payload of a RecordCreateIndex entry.
+type CreateIndexRecord struct {
+	Table      string
+	Column     string
+	Constraint uint8 // patch.Constraint
+	Kind       uint8 // patch.Kind as requested (may be Auto)
+	Threshold  float64
+	Descending bool
+}
+
+// DropIndexRecord is the payload of a RecordDropIndex entry.
+type DropIndexRecord struct {
+	Table  string
+	Column string
+}
+
+// ErrCorrupt reports a CRC or framing failure during replay.
+var ErrCorrupt = errors.New("wal: corrupt record")
+
+// Log is an append-only write-ahead log backed by a file.
+type Log struct {
+	mu   sync.Mutex
+	f    *os.File
+	path string
+}
+
+// Open opens (or creates) the log at path.
+func Open(path string) (*Log, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("wal: open: %w", err)
+	}
+	return &Log{f: f, path: path}, nil
+}
+
+// Path returns the log file path.
+func (l *Log) Path() string { return l.path }
+
+// Close syncs and closes the log file.
+func (l *Log) Close() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}
+
+// AppendCreateIndex logs a PatchIndex creation and syncs.
+func (l *Log) AppendCreateIndex(r CreateIndexRecord) error {
+	var buf bytes.Buffer
+	writeString(&buf, r.Table)
+	writeString(&buf, r.Column)
+	buf.WriteByte(r.Constraint)
+	buf.WriteByte(r.Kind)
+	var th [8]byte
+	binary.LittleEndian.PutUint64(th[:], uint64FromFloat(r.Threshold))
+	buf.Write(th[:])
+	if r.Descending {
+		buf.WriteByte(1)
+	} else {
+		buf.WriteByte(0)
+	}
+	return l.append(RecordCreateIndex, buf.Bytes())
+}
+
+// AppendDropIndex logs a PatchIndex drop and syncs.
+func (l *Log) AppendDropIndex(r DropIndexRecord) error {
+	var buf bytes.Buffer
+	writeString(&buf, r.Table)
+	writeString(&buf, r.Column)
+	return l.append(RecordDropIndex, buf.Bytes())
+}
+
+func (l *Log) append(kind RecordKind, payload []byte) error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	var hdr [9]byte
+	binary.LittleEndian.PutUint32(hdr[0:4], magic)
+	hdr[4] = byte(kind)
+	binary.LittleEndian.PutUint32(hdr[5:9], uint32(len(payload)))
+	crc := crc32.NewIEEE()
+	crc.Write(hdr[4:9])
+	crc.Write(payload)
+	var tail [4]byte
+	binary.LittleEndian.PutUint32(tail[:], crc.Sum32())
+	if _, err := l.f.Write(hdr[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(payload); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	if _, err := l.f.Write(tail[:]); err != nil {
+		return fmt.Errorf("wal: append: %w", err)
+	}
+	return l.f.Sync()
+}
+
+// Entry is one decoded WAL record.
+type Entry struct {
+	Kind   RecordKind
+	Create *CreateIndexRecord
+	Drop   *DropIndexRecord
+}
+
+// Replay reads the log at path from the beginning and invokes fn for every
+// intact record. A truncated trailing record (torn write) ends the replay
+// without error; a CRC mismatch in the middle returns ErrCorrupt.
+func Replay(path string, fn func(Entry) error) error {
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return nil
+		}
+		return fmt.Errorf("wal: replay: %w", err)
+	}
+	defer f.Close()
+	r := bufio.NewReader(f)
+	for {
+		var hdr [9]byte
+		if _, err := io.ReadFull(r, hdr[:]); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			if errors.Is(err, io.ErrUnexpectedEOF) {
+				return nil // torn header
+			}
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		if binary.LittleEndian.Uint32(hdr[0:4]) != magic {
+			return fmt.Errorf("%w: bad magic", ErrCorrupt)
+		}
+		kind := RecordKind(hdr[4])
+		n := binary.LittleEndian.Uint32(hdr[5:9])
+		if n > 1<<24 {
+			return fmt.Errorf("%w: oversized record (%d bytes)", ErrCorrupt, n)
+		}
+		payload := make([]byte, n)
+		if _, err := io.ReadFull(r, payload); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF {
+				return nil // torn payload
+			}
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		var tail [4]byte
+		if _, err := io.ReadFull(r, tail[:]); err != nil {
+			if errors.Is(err, io.ErrUnexpectedEOF) || err == io.EOF {
+				return nil // torn crc
+			}
+			return fmt.Errorf("wal: replay: %w", err)
+		}
+		crc := crc32.NewIEEE()
+		crc.Write(hdr[4:9])
+		crc.Write(payload)
+		if crc.Sum32() != binary.LittleEndian.Uint32(tail[:]) {
+			return fmt.Errorf("%w: crc mismatch", ErrCorrupt)
+		}
+		entry, err := decode(kind, payload)
+		if err != nil {
+			return err
+		}
+		if err := fn(entry); err != nil {
+			return err
+		}
+	}
+}
+
+func decode(kind RecordKind, payload []byte) (Entry, error) {
+	buf := bytes.NewReader(payload)
+	switch kind {
+	case RecordCreateIndex:
+		var rec CreateIndexRecord
+		var err error
+		if rec.Table, err = readString(buf); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if rec.Column, err = readString(buf); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		var b [10]byte
+		if _, err := io.ReadFull(buf, b[:]); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		rec.Constraint = b[0]
+		rec.Kind = b[1]
+		rec.Threshold = floatFromUint64(binary.LittleEndian.Uint64(b[2:10]))
+		db, err := buf.ReadByte()
+		if err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		rec.Descending = db == 1
+		return Entry{Kind: kind, Create: &rec}, nil
+	case RecordDropIndex:
+		var rec DropIndexRecord
+		var err error
+		if rec.Table, err = readString(buf); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if rec.Column, err = readString(buf); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return Entry{Kind: kind, Drop: &rec}, nil
+	default:
+		return Entry{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
+	}
+}
+
+func writeString(buf *bytes.Buffer, s string) {
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], uint32(len(s)))
+	buf.Write(n[:])
+	buf.WriteString(s)
+}
+
+func readString(r *bytes.Reader) (string, error) {
+	var n [4]byte
+	if _, err := io.ReadFull(r, n[:]); err != nil {
+		return "", err
+	}
+	ln := binary.LittleEndian.Uint32(n[:])
+	if ln > 1<<20 {
+		return "", fmt.Errorf("string too long (%d)", ln)
+	}
+	b := make([]byte, ln)
+	if _, err := io.ReadFull(r, b); err != nil {
+		return "", err
+	}
+	return string(b), nil
+}
+
+func uint64FromFloat(f float64) uint64 { return math.Float64bits(f) }
+
+func floatFromUint64(u uint64) float64 { return math.Float64frombits(u) }

@@ -1,0 +1,115 @@
+package patchindex
+
+import (
+	"math/rand"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// TestAppendMaintainsIndexes: queries through incrementally maintained
+// indexes must match a freshly re-discovered baseline after appends.
+func TestAppendMaintainsIndexes(t *testing.T) {
+	e := newTestEngine(t)
+	uniq, _ := loadExceptionTable(t, e, "data", 10000, 2, 0.03, 5)
+	mustExec(t, e, "CREATE PATCHINDEX ON data(u) UNIQUE THRESHOLD 0.5")
+	mustExec(t, e, "CREATE PATCHINDEX ON data(s) SORTED THRESHOLD 0.5")
+
+	// Append new rows: some duplicate existing u values, some break s order.
+	rng := rand.New(rand.NewSource(55))
+	appended := make([]int64, 0, 800)
+	for part := 0; part < 2; part++ {
+		u := vector.New(vector.Int64, 400)
+		s := vector.New(vector.Int64, 400)
+		pay := vector.New(vector.Float64, 400)
+		for i := 0; i < 400; i++ {
+			var v int64
+			if rng.Float64() < 0.1 {
+				v = uniq[rng.Intn(len(uniq))] // duplicate an existing value
+			} else {
+				v = int64(5_000_000 + part*10_000 + i)
+			}
+			u.AppendInt64(v)
+			appended = append(appended, v)
+			if rng.Float64() < 0.1 {
+				s.AppendInt64(rng.Int63n(10_000))
+			} else {
+				s.AppendInt64(int64(100_000 + i))
+			}
+			pay.AppendFloat64(1)
+		}
+		if err := e.Append("data", part, []*vector.Vector{u, s, pay}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Count distinct through the maintained index vs. the baseline plan.
+	q := "SELECT COUNT(DISTINCT u) FROM data"
+	withPI := mustExec(t, e, q)
+	base, err := e.ExecWith(q, ExecOptions{DisablePatchRewrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := distinctCount(append(append([]int64{}, uniq...), appended...))
+	if withPI.Rows[0][0].I64 != want || base.Rows[0][0].I64 != want {
+		t.Errorf("count distinct: withPI=%d base=%d want=%d",
+			withPI.Rows[0][0].I64, base.Rows[0][0].I64, want)
+	}
+
+	// Sort through the maintained NSC index vs. baseline.
+	sq := "SELECT s FROM data ORDER BY s"
+	a := mustExec(t, e, sq)
+	b, err := e.ExecWith(sq, ExecOptions{DisablePatchRewrites: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(a.Rows) != len(b.Rows) {
+		t.Fatalf("sorted row counts: %d vs %d", len(a.Rows), len(b.Rows))
+	}
+	for i := range a.Rows {
+		if a.Rows[i][0].I64 != b.Rows[i][0].I64 {
+			t.Fatalf("sorted mismatch at %d: %d vs %d", i, a.Rows[i][0].I64, b.Rows[i][0].I64)
+		}
+	}
+}
+
+// TestAppendWithoutIndexes: Append on an unindexed table is a plain append.
+func TestAppendWithoutIndexes(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE plain (v BIGINT) PARTITIONS 2")
+	if err := e.Append("plain", 1, []*vector.Vector{vector.NewFromInt64([]int64{1, 2, 3})}); err != nil {
+		t.Fatal(err)
+	}
+	res := mustExec(t, e, "SELECT COUNT(*) FROM plain")
+	if res.Rows[0][0].I64 != 3 {
+		t.Errorf("count = %v", res.Rows[0][0])
+	}
+	if err := e.Append("nosuch", 0, nil); err == nil {
+		t.Error("append to unknown table must fail")
+	}
+}
+
+// TestAppendMaintainerInvalidation: creating an index after appends must
+// rebuild maintenance state (no stale classification).
+func TestAppendMaintainerInvalidation(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE t (v BIGINT)")
+	if err := e.Append("t", 0, []*vector.Vector{vector.NewFromInt64([]int64{1, 2, 3})}); err != nil {
+		t.Fatal(err)
+	}
+	mustExec(t, e, "CREATE PATCHINDEX ON t(v) UNIQUE THRESHOLD 0.5")
+	// This append must be classified against the new index.
+	if err := e.Append("t", 0, []*vector.Vector{vector.NewFromInt64([]int64{2})}); err != nil {
+		t.Fatal(err)
+	}
+	ix := e.Catalog().Index("t", "v")
+	if ix.Cardinality() != 2 {
+		t.Errorf("cardinality after invalidated append = %d, want 2", ix.Cardinality())
+	}
+	// Dropping and re-creating re-discovers from scratch: same answer.
+	mustExec(t, e, "DROP PATCHINDEX ON t(v)")
+	mustExec(t, e, "CREATE PATCHINDEX ON t(v) UNIQUE THRESHOLD 0.5")
+	if got := e.Catalog().Index("t", "v").Cardinality(); got != 2 {
+		t.Errorf("re-discovered cardinality = %d, want 2", got)
+	}
+}

@@ -1,0 +1,98 @@
+package patchindex
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// TestScanRangePruningCorrectness loads several SMA blocks worth of data and
+// cross-checks range-pruned queries against a pruning-disabled engine,
+// including predicates that prune everything.
+func TestScanRangePruningCorrectness(t *testing.T) {
+	build := func(disable bool) *Engine {
+		e, err := New(Config{DisableScanRanges: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(func() { e.Close() })
+		mustExec(t, e, "CREATE TABLE t (v BIGINT, w BIGINT) PARTITIONS 2")
+		rng := rand.New(rand.NewSource(9))
+		for p := 0; p < 2; p++ {
+			v := vector.New(vector.Int64, 0)
+			w := vector.New(vector.Int64, 0)
+			for i := 0; i < 10_000; i++ {
+				v.AppendInt64(int64(p*10_000 + i))
+				w.AppendInt64(rng.Int63n(100))
+			}
+			if err := e.LoadColumns("t", p, []*vector.Vector{v, w}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	pruned := build(false)
+	baseline := build(true)
+	queries := []string{
+		"SELECT COUNT(*) FROM t WHERE v > 15000",
+		"SELECT COUNT(*) FROM t WHERE v < 100",
+		"SELECT COUNT(*) FROM t WHERE v >= 5000 AND v <= 5100",
+		"SELECT COUNT(*) FROM t WHERE v = 12345",
+		"SELECT COUNT(*) FROM t WHERE v > 99999",          // prunes everything
+		"SELECT COUNT(*) FROM t WHERE v < -5",             // prunes everything
+		"SELECT COUNT(*) FROM t WHERE v > 100 AND w < 50", // partial bounds
+		"SELECT SUM(w) FROM t WHERE v >= 19999",
+	}
+	for _, q := range queries {
+		a := mustExec(t, pruned, q)
+		b := mustExec(t, baseline, q)
+		if fmt.Sprint(a.Rows) != fmt.Sprint(b.Rows) {
+			t.Errorf("%s: pruned=%v baseline=%v", q, a.Rows, b.Rows)
+		}
+	}
+}
+
+// TestScanRangesWithPatchIndex combines block pruning with patched scans:
+// the patch pointer must skip patches outside the surviving ranges.
+func TestScanRangesWithPatchIndex(t *testing.T) {
+	for _, kind := range []string{"IDENTIFIER", "BITMAP"} {
+		t.Run(kind, func(t *testing.T) {
+			e := newTestEngine(t)
+			mustExec(t, e, "CREATE TABLE t (v BIGINT) PARTITIONS 2")
+			rng := rand.New(rand.NewSource(31))
+			var all []int64
+			for p := 0; p < 2; p++ {
+				v := vector.New(vector.Int64, 0)
+				for i := 0; i < 9000; i++ {
+					x := int64(p*9000 + i)
+					if rng.Float64() < 0.02 {
+						x = rng.Int63n(18000)
+					}
+					v.AppendInt64(x)
+					all = append(all, x)
+				}
+				if err := e.LoadColumns("t", p, []*vector.Vector{v}); err != nil {
+					t.Fatal(err)
+				}
+			}
+			mustExec(t, e, "CREATE PATCHINDEX ON t(v) SORTED THRESHOLD 0.5 KIND "+kind)
+
+			q := "SELECT v FROM t WHERE v >= 4000 AND v < 4200 ORDER BY v"
+			withPI := mustExec(t, e, q)
+			base, err := e.ExecWith(q, ExecOptions{DisablePatchRewrites: true})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(withPI.Rows) != len(base.Rows) {
+				t.Fatalf("row counts: %d vs %d", len(withPI.Rows), len(base.Rows))
+			}
+			for i := range withPI.Rows {
+				if withPI.Rows[i][0].I64 != base.Rows[i][0].I64 {
+					t.Fatalf("row %d: %v vs %v", i, withPI.Rows[i][0], base.Rows[i][0])
+				}
+			}
+		})
+	}
+}
