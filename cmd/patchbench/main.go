@@ -6,17 +6,34 @@
 //	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory]
 //	           [-rows N] [-customer-rows N] [-sales-rows N]
 //	           [-partitions N] [-reps N] [-parallel] [-quick]
+//	           [-json FILE]
+//
+// With -json the run additionally emits a machine-readable document holding
+// the configuration, every individual measurement, and a snapshot of the
+// engine-wide metrics registry accumulated across all experiments.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
 	"strconv"
 	"strings"
+	"time"
 
 	"patchindex/internal/bench"
+	"patchindex/internal/obs"
 )
+
+// report is the -json output document.
+type report struct {
+	Timestamp    string              `json:"timestamp"`
+	Config       bench.Config        `json:"config"`
+	Experiments  []string            `json:"experiments"`
+	Measurements []bench.Measurement `json:"measurements"`
+	Metrics      obs.Snapshot        `json:"metrics"`
+}
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id or 'all': "+strings.Join(bench.All(), ", "))
@@ -28,6 +45,7 @@ func main() {
 	parallel := flag.Bool("parallel", false, "parallel partition scans")
 	quick := flag.Bool("quick", false, "small quick configuration")
 	rates := flag.String("rates", "", "comma-separated exception rates, e.g. 0,0.1,0.5")
+	jsonOut := flag.String("json", "", "write machine-readable results to this file ('-' for stdout)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -62,6 +80,14 @@ func main() {
 		}
 	}
 
+	rep := report{Measurements: []bench.Measurement{}}
+	if *jsonOut != "" {
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Record = func(m bench.Measurement) {
+			rep.Measurements = append(rep.Measurements, m)
+		}
+	}
+
 	ids := bench.All()
 	if *exp != "all" {
 		ids = strings.Split(*exp, ",")
@@ -72,6 +98,25 @@ func main() {
 		}
 		if err := bench.Run(strings.TrimSpace(id), cfg, os.Stdout); err != nil {
 			fmt.Fprintf(os.Stderr, "patchbench: %s: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+
+	if *jsonOut != "" {
+		rep.Timestamp = time.Now().UTC().Format(time.RFC3339)
+		rep.Config = cfg
+		rep.Experiments = ids
+		rep.Metrics = cfg.Metrics.Snapshot()
+		data, err := json.MarshalIndent(rep, "", "  ")
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "patchbench: json: %v\n", err)
+			os.Exit(1)
+		}
+		data = append(data, '\n')
+		if *jsonOut == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*jsonOut, data, 0o644); err != nil {
+			fmt.Fprintf(os.Stderr, "patchbench: %v\n", err)
 			os.Exit(1)
 		}
 	}

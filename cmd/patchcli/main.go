@@ -7,12 +7,15 @@
 //	patchcli -demo custom -rows N  # the custom exception-rate table
 //	patchcli -wal engine.wal       # enable WAL logging / recovery
 //	patchcli -e "SELECT ..."       # execute one statement and exit
+//	patchcli -e "SELECT ..." stats # ... then dump engine metrics
 //
-// Inside the shell, statements end with ';'. Try:
+// Inside the shell, statements end with ';', and \stats prints the engine
+// metrics registry. Try:
 //
 //	SHOW TABLES;
 //	CREATE PATCHINDEX ON customer(c_email_address) UNIQUE THRESHOLD 0.1;
 //	EXPLAIN SELECT COUNT(DISTINCT c_email_address) FROM customer;
+//	EXPLAIN ANALYZE SELECT COUNT(DISTINCT c_email_address) FROM customer;
 //	SELECT COUNT(DISTINCT c_email_address) FROM customer;
 package main
 
@@ -38,13 +41,15 @@ func main() {
 	indexDir := flag.String("indexdir", "", "directory for materialized PatchIndex payloads (fast recovery)")
 	execStmt := flag.String("e", "", "execute one statement and exit")
 	parallel := flag.Bool("parallel", false, "parallel partition scans")
+	slowMS := flag.Int("slow-ms", 0, "log statements slower than this many milliseconds")
 	flag.Parse()
 
 	eng, err := patchindex.New(patchindex.Config{
-		DefaultPartitions: *partitions,
-		Parallel:          *parallel,
-		WALPath:           *walPath,
-		IndexDir:          *indexDir,
+		DefaultPartitions:  *partitions,
+		Parallel:           *parallel,
+		WALPath:            *walPath,
+		IndexDir:           *indexDir,
+		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
 	})
 	if err != nil {
 		fatal(err)
@@ -106,10 +111,20 @@ func main() {
 		if err := runStatement(eng, *execStmt); err != nil {
 			fatal(err)
 		}
+		if flag.Arg(0) == "stats" {
+			eng.Metrics().WriteText(os.Stdout)
+		}
 		return
 	}
 
-	fmt.Println("patchindex shell — statements end with ';', \\q quits")
+	// `patchcli stats` without -e: run nothing, dump the (empty) registry —
+	// mostly useful after -demo loading to see index build timings.
+	if flag.Arg(0) == "stats" {
+		eng.Metrics().WriteText(os.Stdout)
+		return
+	}
+
+	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -123,6 +138,10 @@ func main() {
 		trimmed := strings.TrimSpace(line)
 		if buf.Len() == 0 && (trimmed == "\\q" || trimmed == "quit" || trimmed == "exit") {
 			break
+		}
+		if buf.Len() == 0 && trimmed == "\\stats" {
+			eng.Metrics().WriteText(os.Stdout)
+			continue
 		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
@@ -140,17 +159,16 @@ func main() {
 }
 
 func runStatement(eng *patchindex.Engine, stmt string) error {
-	start := time.Now()
 	res, err := eng.Exec(stmt)
 	if err != nil {
 		return err
 	}
-	elapsed := time.Since(start)
-	fmt.Print(res.String())
-	if !strings.HasSuffix(res.String(), "\n") {
+	s := res.String()
+	fmt.Print(s)
+	if !strings.HasSuffix(s, "\n") {
 		fmt.Println()
 	}
-	fmt.Printf("-- %s\n", elapsed.Round(time.Microsecond))
+	fmt.Printf("-- %s\n", res.Duration.Round(time.Microsecond))
 	return nil
 }
 

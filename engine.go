@@ -27,6 +27,7 @@ import (
 	"patchindex/internal/discovery"
 	"patchindex/internal/exec"
 	"patchindex/internal/maintain"
+	"patchindex/internal/obs"
 	"patchindex/internal/patch"
 	"patchindex/internal/plan"
 	"patchindex/internal/sql"
@@ -59,6 +60,16 @@ type Config struct {
 	// restores materialized indexes in O(|P_c|) and falls back to
 	// re-discovery when a file is missing or corrupt.
 	IndexDir string
+	// Metrics is the registry receiving engine-wide counters and latency
+	// histograms. When nil a private registry is created, so Engine.Metrics
+	// always works; pass a shared registry to aggregate several engines
+	// (e.g. the benchmark harness).
+	Metrics *obs.Registry
+	// SlowQueryThreshold, when positive, logs every statement whose
+	// execution takes at least this long to SlowQueryLog.
+	SlowQueryThreshold time.Duration
+	// SlowQueryLog receives slow-query lines (default os.Stderr).
+	SlowQueryLog io.Writer
 }
 
 // ExecOptions tune a single statement execution.
@@ -74,6 +85,19 @@ type Engine struct {
 	cat *catalog.Catalog
 	log *wal.Log
 
+	metrics *obs.Registry
+	slowLog io.Writer
+	// Hot-path metrics are resolved once here; incrementing them is
+	// lock-free.
+	mStatements  *obs.Counter
+	mQueries     *obs.Counter
+	mSlowQueries *obs.Counter
+	mRewFired    *obs.Counter
+	mRewRejected *obs.Counter
+	hQuery       *obs.Histogram
+	hIndexBuild  *obs.Histogram
+	mIndexBuilds *obs.Counter
+
 	maintMu     sync.Mutex
 	maintainers map[string]*maintain.Set // per table, lazily built
 }
@@ -85,16 +109,36 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.DefaultPartitions <= 0 {
 		cfg.DefaultPartitions = 1
 	}
+	if cfg.Metrics == nil {
+		cfg.Metrics = obs.NewRegistry()
+	}
+	if cfg.SlowQueryLog == nil {
+		cfg.SlowQueryLog = os.Stderr
+	}
 	e := &Engine{cfg: cfg, cat: catalog.New(), maintainers: map[string]*maintain.Set{}}
+	e.metrics = cfg.Metrics
+	e.slowLog = cfg.SlowQueryLog
+	e.mStatements = e.metrics.Counter("statements_total")
+	e.mQueries = e.metrics.Counter("queries_total")
+	e.mSlowQueries = e.metrics.Counter("slow_queries_total")
+	e.mRewFired = e.metrics.Counter("rewrites_fired_total")
+	e.mRewRejected = e.metrics.Counter("rewrites_rejected_total")
+	e.hQuery = e.metrics.Histogram("query_nanos")
+	e.hIndexBuild = e.metrics.Histogram("index_build_nanos")
+	e.mIndexBuilds = e.metrics.Counter("index_builds_total")
 	if cfg.WALPath != "" {
 		l, err := wal.Open(cfg.WALPath)
 		if err != nil {
 			return nil, err
 		}
+		l.SetMetrics(e.metrics)
 		e.log = l
 	}
 	return e, nil
 }
+
+// Metrics returns the engine's metric registry (never nil).
+func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
 // Close releases the WAL (if any).
 func (e *Engine) Close() error {
@@ -113,6 +157,8 @@ type Result struct {
 	Rows    [][]vector.Value
 	// Message is set for non-query statements ("table created", ...).
 	Message string
+	// Duration is the wall time of the statement, parse to materialization.
+	Duration time.Duration
 }
 
 // String renders the result as an aligned text table (for the CLI and the
@@ -167,8 +213,33 @@ func (e *Engine) Exec(query string) (*Result, error) {
 	return e.ExecWith(query, ExecOptions{})
 }
 
-// ExecWith parses and executes one SQL statement.
+// ExecWith parses and executes one SQL statement, recording its duration in
+// the metrics registry, stamping Result.Duration, and writing a slow-query
+// log line when the configured threshold is exceeded.
 func (e *Engine) ExecWith(query string, opts ExecOptions) (*Result, error) {
+	start := time.Now()
+	res, err := e.execStmt(query, opts)
+	elapsed := time.Since(start)
+	e.mStatements.Inc()
+	e.hQuery.Observe(elapsed)
+	e.noteSlow(query, elapsed)
+	if res != nil {
+		res.Duration = elapsed
+	}
+	return res, err
+}
+
+// noteSlow logs a statement that crossed the slow-query threshold.
+func (e *Engine) noteSlow(query string, elapsed time.Duration) {
+	if e.cfg.SlowQueryThreshold <= 0 || elapsed < e.cfg.SlowQueryThreshold {
+		return
+	}
+	e.mSlowQueries.Inc()
+	fmt.Fprintf(e.slowLog, "slow query (%s): %s\n",
+		elapsed.Round(time.Microsecond), strings.Join(strings.Fields(query), " "))
+}
+
+func (e *Engine) execStmt(query string, opts ExecOptions) (*Result, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return nil, err
@@ -177,7 +248,13 @@ func (e *Engine) ExecWith(query string, opts ExecOptions) (*Result, error) {
 	case *sql.SelectStmt:
 		return e.runSelect(s, opts)
 	case *sql.ExplainStmt:
-		text, err := e.explain(s.Query, opts)
+		var text string
+		var err error
+		if s.Analyze {
+			text, err = e.explainAnalyze(s.Query, opts)
+		} else {
+			text, err = e.explain(s.Query, opts)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -231,6 +308,7 @@ func (e *Engine) DrainWith(query string, opts ExecOptions) (int, error) {
 	if !ok {
 		return 0, fmt.Errorf("patchindex: DrainWith requires a SELECT statement")
 	}
+	start := time.Now()
 	node, err := e.planSelect(s, opts)
 	if err != nil {
 		return 0, err
@@ -239,7 +317,12 @@ func (e *Engine) DrainWith(query string, opts ExecOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	return exec.Drain(op)
+	n, err := exec.Drain(op)
+	elapsed := time.Since(start)
+	e.mQueries.Inc()
+	e.hQuery.Observe(elapsed)
+	e.noteSlow(query, elapsed)
+	return n, err
 }
 
 // Query is a convenience wrapper returning an error for non-SELECT input.
@@ -264,6 +347,8 @@ func (e *Engine) planSelect(s *sql.SelectStmt, opts ExecOptions) (plan.Node, err
 		Cat:                  e.cat,
 		DisablePatchRewrites: e.cfg.DisablePatchRewrites || opts.DisablePatchRewrites,
 		CostBased:            e.cfg.CostBasedRewrites,
+		RewritesFired:        e.mRewFired,
+		RewritesRejected:     e.mRewRejected,
 	}
 	return opt.Optimize(node)
 }
@@ -281,6 +366,7 @@ func (e *Engine) runSelect(s *sql.SelectStmt, opts ExecOptions) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
+	e.mQueries.Inc()
 	cols := make([]string, len(node.Schema()))
 	for i, c := range node.Schema() {
 		cols[i] = c.Name
@@ -294,6 +380,31 @@ func (e *Engine) explain(s *sql.SelectStmt, opts ExecOptions) (string, error) {
 		return "", err
 	}
 	return plan.Explain(node), nil
+}
+
+// explainAnalyze executes the query (discarding its rows) and renders the
+// physical operator tree annotated with per-operator runtime statistics next
+// to the cost model's estimates.
+func (e *Engine) explainAnalyze(s *sql.SelectStmt, opts ExecOptions) (string, error) {
+	node, err := e.planSelect(s, opts)
+	if err != nil {
+		return "", err
+	}
+	op, err := plan.Build(node, plan.Config{Parallel: e.cfg.Parallel, DisableScanRanges: e.cfg.DisableScanRanges})
+	if err != nil {
+		return "", err
+	}
+	start := time.Now()
+	n, err := exec.Drain(op)
+	elapsed := time.Since(start)
+	if err != nil {
+		return "", err
+	}
+	e.mQueries.Inc()
+	var sb strings.Builder
+	sb.WriteString(exec.FormatStats(op))
+	fmt.Fprintf(&sb, "Execution: %d rows in %s", n, elapsed.Round(time.Microsecond))
+	return sb.String(), nil
 }
 
 func (e *Engine) runCreateTable(s *sql.CreateTableStmt) (*Result, error) {
@@ -530,10 +641,13 @@ func (e *Engine) CreatePatchIndex(table, column string, c patch.Constraint, opts
 	if err != nil {
 		return nil, err
 	}
+	buildStart := time.Now()
 	ix, err := discovery.BuildIndex(t, column, c, opts)
 	if err != nil {
 		return nil, err
 	}
+	e.mIndexBuilds.Inc()
+	e.hIndexBuild.ObserveSince(buildStart)
 	if err := e.cat.AddIndex(ix); err != nil {
 		return nil, err
 	}
@@ -726,6 +840,7 @@ func (e *Engine) Append(table string, part int, cols []*vector.Vector) error {
 		if err != nil {
 			return err
 		}
+		set.SetMetrics(e.metrics)
 		e.maintainers[table] = set
 	}
 	return set.Append(part, cols)

@@ -5,16 +5,24 @@
 // and runs the batch again.
 //
 //	go run ./examples/dashboard
+//	go run ./examples/dashboard -serve :8080
+//
+// With -serve the process stays up after the workload and exposes the
+// engine metrics registry over HTTP: GET /metrics (Prometheus-style text)
+// and GET /stats (JSON snapshot).
 package main
 
 import (
+	"flag"
 	"fmt"
 	"log"
+	"net/http"
 	"time"
 
 	"patchindex"
 	"patchindex/internal/datagen"
 	"patchindex/internal/discovery"
+	"patchindex/internal/obs"
 	"patchindex/internal/patch"
 )
 
@@ -38,6 +46,9 @@ func runBatch(eng *patchindex.Engine) (time.Duration, error) {
 }
 
 func main() {
+	serve := flag.String("serve", "", "address to expose /metrics and /stats on after the workload (e.g. :8080)")
+	flag.Parse()
+
 	eng, err := patchindex.New(patchindex.Config{DefaultPartitions: 8})
 	if err != nil {
 		log.Fatal(err)
@@ -87,4 +98,9 @@ func main() {
 	}
 	fmt.Printf("dashboard refresh with PatchIndexes:    %s  (%.2fx)\n",
 		after.Round(time.Millisecond), float64(before)/float64(after))
+
+	if *serve != "" {
+		fmt.Printf("\nserving metrics on http://%s/metrics and /stats (ctrl-c to stop)\n", *serve)
+		log.Fatal(http.ListenAndServe(*serve, obs.Handler(eng.Metrics())))
+	}
 }

@@ -13,27 +13,58 @@ import (
 	"patchindex"
 	"patchindex/internal/datagen"
 	"patchindex/internal/discovery"
+	"patchindex/internal/obs"
 	"patchindex/internal/patch"
 )
 
 // Config scales the experiments.
 type Config struct {
 	// Rows is the custom-generator dataset size (paper: 100M).
-	Rows int
+	Rows int `json:"rows"`
 	// CustomerRows scales the TPC-DS customer table (paper: 12M at SF1000).
-	CustomerRows int
+	CustomerRows int `json:"customer_rows"`
 	// SalesRows scales the catalog_sales fact table (paper: 1.4B).
-	SalesRows int
+	SalesRows int `json:"sales_rows"`
 	// Partitions is the table partition count (paper: 24).
-	Partitions int
+	Partitions int `json:"partitions"`
 	// Rates is the exception-rate sweep for Figures 4-6.
-	Rates []float64
+	Rates []float64 `json:"rates"`
 	// Reps is the number of repetitions per measurement (median reported).
-	Reps int
+	Reps int `json:"reps"`
 	// Parallel enables parallel partition scans.
-	Parallel bool
-	Seed     int64
+	Parallel bool  `json:"parallel"`
+	Seed     int64 `json:"seed"`
+
+	// Metrics, when non-nil, is shared by every engine the experiments
+	// create, so a run accumulates engine-wide counters across experiments.
+	Metrics *obs.Registry `json:"-"`
+	// Record, when non-nil, receives every individual measurement in
+	// addition to the human-readable report written to w.
+	Record func(Measurement) `json:"-"`
 }
+
+// Measurement is one machine-readable data point of an experiment.
+type Measurement struct {
+	// Experiment is the experiment id (e.g. "fig4").
+	Experiment string `json:"experiment"`
+	// Name identifies the series/variant (e.g. "u/identifier").
+	Name string `json:"name"`
+	// Rate is the exception rate of the data point, where applicable.
+	Rate float64 `json:"rate,omitempty"`
+	// Value is the measured quantity.
+	Value float64 `json:"value"`
+	// Unit is the unit of Value ("ms", "bytes", ...).
+	Unit string `json:"unit"`
+}
+
+// record forwards a measurement to cfg.Record when set.
+func (c Config) record(exp, name string, rate, value float64, unit string) {
+	if c.Record != nil {
+		c.Record(Measurement{Experiment: exp, Name: name, Rate: rate, Value: value, Unit: unit})
+	}
+}
+
+func ms(d time.Duration) float64 { return float64(d) / float64(time.Millisecond) }
 
 // DefaultConfig returns a laptop-scale configuration (about 1/10 of the
 // paper's customer table and 1/10 of its custom dataset).
@@ -119,6 +150,7 @@ func newEngine(cfg Config) (*patchindex.Engine, error) {
 	return patchindex.New(patchindex.Config{
 		DefaultPartitions: cfg.Partitions,
 		Parallel:          cfg.Parallel,
+		Metrics:           cfg.Metrics,
 	})
 }
 
@@ -178,6 +210,8 @@ func Table1(cfg Config, w io.Writer) error {
 			col, fmt.Sprintf("%.1f%%", 100*ix.ExceptionRate()),
 			base.Round(time.Millisecond), withPI.Round(time.Millisecond),
 			float64(base)/float64(withPI))
+		cfg.record(ExpTable1, col+"/base", ix.ExceptionRate(), ms(base), "ms")
+		cfg.record(ExpTable1, col+"/patchindex", ix.ExceptionRate(), ms(withPI), "ms")
 	}
 	return nil
 }
@@ -235,6 +269,8 @@ func NSCJoin(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "%-28s %-10s\n", "HashJoin (w/o PI)", base.Round(time.Millisecond))
 	fmt.Fprintf(w, "%-28s %-10s\n", "MergeJoin+patches (w/ PI)", withPI.Round(time.Millisecond))
 	fmt.Fprintf(w, "speedup: %.2fx (paper: ~2x)\n", float64(base)/float64(withPI))
+	cfg.record(ExpNSCJoin, "hashjoin/base", ix.ExceptionRate(), ms(base), "ms")
+	cfg.record(ExpNSCJoin, "mergejoin/patchindex", ix.ExceptionRate(), ms(withPI), "ms")
 	return nil
 }
 
@@ -293,6 +329,9 @@ func Fig4(cfg Config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%-8s %-12s %-14s %-14s\n", fmt.Sprintf("%.0f%%", 100*rate),
 			base.Round(time.Millisecond), ident.Round(time.Millisecond), bitmap.Round(time.Millisecond))
+		cfg.record(ExpFig4, "base", rate, ms(base), "ms")
+		cfg.record(ExpFig4, "identifier", rate, ms(ident), "ms")
+		cfg.record(ExpFig4, "bitmap", rate, ms(bitmap), "ms")
 		e.Close()
 	}
 	return nil
@@ -318,6 +357,9 @@ func Fig5(cfg Config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%-8s %-12s %-14s %-14s\n", fmt.Sprintf("%.0f%%", 100*rate),
 			base.Round(time.Millisecond), ident.Round(time.Millisecond), bitmap.Round(time.Millisecond))
+		cfg.record(ExpFig5, "base", rate, ms(base), "ms")
+		cfg.record(ExpFig5, "identifier", rate, ms(ident), "ms")
+		cfg.record(ExpFig5, "bitmap", rate, ms(bitmap), "ms")
 		e.Close()
 	}
 	return nil
@@ -362,6 +404,9 @@ func Fig6(cfg Config, w io.Writer) error {
 		fmt.Fprintf(w, "%-8s %-16s %-16s %-16s %-16s\n", fmt.Sprintf("%.0f%%", 100*rate),
 			times[0].Round(time.Millisecond), times[1].Round(time.Millisecond),
 			times[2].Round(time.Millisecond), times[3].Round(time.Millisecond))
+		for i, name := range []string{"nuc/identifier", "nuc/bitmap", "nsc/identifier", "nsc/bitmap"} {
+			cfg.record(ExpFig6, name, rate, ms(times[i]), "ms")
+		}
 		e.Close()
 	}
 	return nil
@@ -403,6 +448,8 @@ func Memory(cfg Config, w io.Writer) error {
 		}
 		fmt.Fprintf(w, "%-8s %-12d %-14s %-14s %-10s\n", fmt.Sprintf("%.2f%%", 100*rate),
 			card, fmtMB(identBytes), fmtMB(bitmapBytes), autoKind)
+		cfg.record(ExpMemory, "identifier", rate, float64(identBytes), "bytes")
+		cfg.record(ExpMemory, "bitmap", rate, float64(bitmapBytes), "bytes")
 		e.Close()
 	}
 	return nil

@@ -4,7 +4,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
+	"patchindex/internal/obs"
 	"patchindex/internal/vector"
 )
 
@@ -73,6 +75,7 @@ type aggState struct {
 // hash-based aggregation" the distinct-rewrite of the paper avoids for the
 // non-patch part of the data.
 type HashAgg struct {
+	opStats
 	child     Operator
 	groupCols []int
 	aggs      []AggSpec
@@ -83,6 +86,9 @@ type HashAgg struct {
 	states []*aggState
 	outPos int
 	opened bool
+	// built captures the group count at the end of Open; keys is nilled on
+	// Close but EXPLAIN ANALYZE reads stats after Close.
+	built int64
 }
 
 // NewHashAgg creates a hash aggregation. groupCols may be empty (global
@@ -119,8 +125,24 @@ func (h *HashAgg) Name() string {
 // Types returns group column types followed by aggregate result types.
 func (h *HashAgg) Types() []vector.Type { return h.types }
 
+// Children returns the single input.
+func (h *HashAgg) Children() []Operator { return []Operator{h.child} }
+
+// ExtraStats reports the number of groups built.
+func (h *HashAgg) ExtraStats() []obs.KV {
+	return []obs.KV{{Key: "groups", Value: h.built}}
+}
+
 // Open builds the entire hash table (pipeline breaker).
 func (h *HashAgg) Open() error {
+	start := time.Now()
+	err := h.open()
+	h.stats.AddTime(start)
+	h.built = int64(len(h.keys))
+	return err
+}
+
+func (h *HashAgg) open() error {
 	if err := h.child.Open(); err != nil {
 		return err
 	}
@@ -244,6 +266,16 @@ func max0(c int) int {
 
 // Next emits result groups in hash-table insertion order.
 func (h *HashAgg) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := h.next()
+	h.stats.AddTime(start)
+	if b != nil {
+		h.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (h *HashAgg) next() (*vector.Batch, error) {
 	if !h.opened {
 		return nil, errOp(h, fmt.Errorf("not opened"))
 	}

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
 	"patchindex/internal/expr"
 	"patchindex/internal/vector"
@@ -10,6 +11,7 @@ import (
 // Filter passes rows for which the predicate evaluates to true (NULL counts
 // as false, per SQL semantics).
 type Filter struct {
+	opStats
 	child Operator
 	pred  expr.Expr
 	out   *vector.Batch
@@ -35,8 +37,21 @@ func (f *Filter) Open() error {
 	return f.child.Open()
 }
 
+// Children returns the single input.
+func (f *Filter) Children() []Operator { return []Operator{f.child} }
+
 // Next evaluates the predicate and gathers qualifying rows.
 func (f *Filter) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := f.next()
+	f.stats.AddTime(start)
+	if b != nil {
+		f.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (f *Filter) next() (*vector.Batch, error) {
 	for {
 		b, err := f.child.Next()
 		if err != nil {
@@ -77,6 +92,7 @@ func (f *Filter) Close() error {
 
 // Project evaluates a list of expressions over every input batch.
 type Project struct {
+	opStats
 	child Operator
 	exprs []expr.Expr
 	types []vector.Type
@@ -103,8 +119,21 @@ func (p *Project) Types() []vector.Type { return p.types }
 // Open opens the child.
 func (p *Project) Open() error { return p.child.Open() }
 
+// Children returns the single input.
+func (p *Project) Children() []Operator { return []Operator{p.child} }
+
 // Next evaluates all projection expressions over the next batch.
 func (p *Project) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := p.next()
+	p.stats.AddTime(start)
+	if b != nil {
+		p.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (p *Project) next() (*vector.Batch, error) {
 	b, err := p.child.Next()
 	if err != nil {
 		return nil, errOp(p, err)
@@ -128,6 +157,7 @@ func (p *Project) Close() error { return p.child.Close() }
 
 // Limit passes at most n rows.
 type Limit struct {
+	opStats
 	child Operator
 	n     int
 	seen  int
@@ -153,8 +183,21 @@ func (l *Limit) Open() error {
 	return l.child.Open()
 }
 
+// Children returns the single input.
+func (l *Limit) Children() []Operator { return []Operator{l.child} }
+
 // Next truncates the stream after n rows.
 func (l *Limit) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := l.next()
+	l.stats.AddTime(start)
+	if b != nil {
+		l.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (l *Limit) next() (*vector.Batch, error) {
 	if l.seen >= l.n {
 		return nil, nil
 	}

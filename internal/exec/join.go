@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
+	"patchindex/internal/obs"
 	"patchindex/internal/vector"
 )
 
@@ -12,6 +14,7 @@ import (
 // join keeps unmatched left rows, padding the right columns with NULLs (the
 // build side is then forced to the right input).
 type HashJoin struct {
+	opStats
 	left, right Operator
 	leftKey     int
 	rightKey    int
@@ -26,6 +29,7 @@ type HashJoin struct {
 	probeKey  int
 	out       *vector.Batch
 	keyBuf    []byte
+	buildRows int64
 }
 
 // NewHashJoin creates an inner hash join of left and right on
@@ -69,8 +73,23 @@ func (j *HashJoin) Name() string {
 // Types returns left column types followed by right column types.
 func (j *HashJoin) Types() []vector.Type { return j.types }
 
+// Children returns both inputs, left first.
+func (j *HashJoin) Children() []Operator { return []Operator{j.left, j.right} }
+
+// ExtraStats reports the hash-table build size.
+func (j *HashJoin) ExtraStats() []obs.KV {
+	return []obs.KV{{Key: "build_rows", Value: j.buildRows}}
+}
+
 // Open builds the hash table on the configured side.
 func (j *HashJoin) Open() error {
+	start := time.Now()
+	err := j.open()
+	j.stats.AddTime(start)
+	return err
+}
+
+func (j *HashJoin) open() error {
 	var build Operator
 	var buildKey int
 	if j.buildLeft {
@@ -88,6 +107,7 @@ func (j *HashJoin) Open() error {
 		return errOp(j, err)
 	}
 	j.buildCols = cols
+	j.buildRows = int64(n)
 	keyVec := cols[buildKey]
 	if keyVec.Typ == vector.Int64 || keyVec.Typ == vector.Date {
 		j.table64 = make(map[int64][]int32, n)
@@ -114,6 +134,16 @@ func (j *HashJoin) Open() error {
 
 // Next probes the hash table with the next probe-side batch.
 func (j *HashJoin) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := j.next()
+	j.stats.AddTime(start)
+	if b != nil {
+		j.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (j *HashJoin) next() (*vector.Batch, error) {
 	for {
 		b, err := j.probe.Next()
 		if err != nil {
@@ -221,6 +251,7 @@ func (j *HashJoin) Close() error {
 // HashJoin "more expensive" (Section VI-B3). NULL keys never match and are
 // skipped.
 type MergeJoin struct {
+	opStats
 	left, right Operator
 	leftKey     int
 	rightKey    int
@@ -283,11 +314,24 @@ func makeGroupBuf(types []vector.Type) []*vector.Vector {
 	return out
 }
 
+// Children returns both inputs, left first.
+func (j *MergeJoin) Children() []Operator { return []Operator{j.left, j.right} }
+
 // Next advances the two cursors to the next pair of matching key groups and
 // emits their cross product. The common many-to-one case (a single matching
 // row on the left, e.g. a dimension primary key) streams the right side
 // directly into the output without buffering the right group.
 func (j *MergeJoin) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := j.next()
+	j.stats.AddTime(start)
+	if b != nil {
+		j.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (j *MergeJoin) next() (*vector.Batch, error) {
 	j.out.Reset()
 	nLeft := len(j.left.Types())
 	for {

@@ -10,6 +10,7 @@ package exec
 import (
 	"fmt"
 
+	"patchindex/internal/obs"
 	"patchindex/internal/vector"
 )
 
@@ -30,7 +31,29 @@ type Operator interface {
 	Close() error
 	// Name returns the operator name for EXPLAIN output.
 	Name() string
+	// Children returns the input operators, outermost first, so the
+	// executed tree can be walked for EXPLAIN ANALYZE.
+	Children() []Operator
+	// Stats returns the operator's runtime statistics. The pointer is
+	// stable across the operator's lifetime; contents are only meaningful
+	// to read once execution has finished (after Close).
+	Stats() *obs.OpStats
 }
+
+// ExtraStatser is implemented by operators that expose operator-specific
+// counters (patch probes/hits, pruned rows, hash-build sizes, ...) beyond
+// the generic OpStats. Only read after execution finishes.
+type ExtraStatser interface {
+	ExtraStats() []obs.KV
+}
+
+// opStats is embedded by every operator to satisfy Stats().
+type opStats struct {
+	stats obs.OpStats
+}
+
+// Stats returns the operator's runtime statistics.
+func (o *opStats) Stats() *obs.OpStats { return &o.stats }
 
 // Collect drains an operator into row-oriented values, managing Open/Close.
 // It is the main helper for tests and result materialization.

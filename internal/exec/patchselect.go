@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
+	"patchindex/internal/obs"
 	"patchindex/internal/patch"
 	"patchindex/internal/vector"
 )
@@ -40,6 +42,7 @@ func (m SelectMode) String() string {
 // Scan ranges are supported by seeking the patch pointer to the start of
 // each incoming contiguous batch, skipping patches outside the ranges.
 type PatchSelect struct {
+	opStats
 	child Operator
 	set   patch.Set
 	mode  SelectMode
@@ -48,6 +51,8 @@ type PatchSelect struct {
 	lastBase uint64
 	started  bool
 	out      *vector.Batch
+	probes   int64 // input rows checked against the patch set
+	hits     int64 // rows that matched a patch
 }
 
 // NewPatchSelect wraps child (which must emit contiguous batches, i.e. be a
@@ -56,7 +61,15 @@ func NewPatchSelect(child Operator, set patch.Set, mode SelectMode) (*PatchSelec
 	if set == nil {
 		return nil, fmt.Errorf("exec: patch select: nil patch set")
 	}
-	return &PatchSelect{child: child, set: set, mode: mode}, nil
+	p := &PatchSelect{child: child, set: set, mode: mode}
+	// Exact per-partition cardinality: the patch set knows how many of the
+	// partition's rows are patches.
+	if mode == UsePatches {
+		p.stats.EstRows = int64(set.Cardinality())
+	} else {
+		p.stats.EstRows = int64(set.NumRows()) - int64(set.Cardinality())
+	}
+	return p, nil
 }
 
 // Name returns the operator name including its mode.
@@ -79,8 +92,29 @@ func (p *PatchSelect) Open() error {
 	return nil
 }
 
+// Children returns the single input.
+func (p *PatchSelect) Children() []Operator { return []Operator{p.child} }
+
+// ExtraStats reports patch-set probe and hit counts.
+func (p *PatchSelect) ExtraStats() []obs.KV {
+	return []obs.KV{
+		{Key: "patch_probes", Value: p.probes},
+		{Key: "patch_hits", Value: p.hits},
+	}
+}
+
 // Next applies the patch information to the next child batch.
 func (p *PatchSelect) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := p.next()
+	p.stats.AddTime(start)
+	if b != nil {
+		p.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (p *PatchSelect) next() (*vector.Batch, error) {
 	for {
 		if p.mode == UsePatches && !p.it.Valid() {
 			// All patches processed: nothing further can qualify.
@@ -113,6 +147,7 @@ func (p *PatchSelect) Next() (*vector.Batch, error) {
 func (p *PatchSelect) apply(b *vector.Batch) *vector.Batch {
 	n := b.Len()
 	base := b.BaseRow
+	p.probes += int64(n)
 	// Merge the scan range with the patches: skip patches before the batch.
 	p.it.Seek(base)
 	return p.applyMerge(b, base, n)
@@ -143,6 +178,7 @@ func (p *PatchSelect) applyMerge(b *vector.Batch, base uint64, n int) *vector.Ba
 				// and advance the patch pointer.
 				appendRun(p.out, b, runStart, i)
 				runStart = i + 1
+				p.hits++
 				p.it.Next()
 			}
 		}
@@ -158,6 +194,7 @@ func (p *PatchSelect) applyMerge(b *vector.Batch, base uint64, n int) *vector.Ba
 			keep = append(keep, int(row-base))
 			p.it.Next()
 		}
+		p.hits += int64(len(keep))
 		if len(keep) == 0 {
 			return nil
 		}

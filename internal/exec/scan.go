@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
+	"patchindex/internal/obs"
 	"patchindex/internal/storage"
 	"patchindex/internal/vector"
 )
@@ -12,6 +14,7 @@ import (
 // and carry BaseRow, which is what allows PatchSelect to be placed directly
 // on top without materializing a tuple-identifier column (Section VI-A1).
 type Scan struct {
+	opStats
 	table  *storage.Table
 	part   int
 	cols   []int
@@ -21,6 +24,7 @@ type Scan struct {
 	rangeIdx int
 	pos      uint64
 	src      []*vector.Vector
+	pruned   int64 // rows of the partition skipped by the scan ranges
 }
 
 // NewScan creates a scan over partition part of table, projecting the given
@@ -48,7 +52,14 @@ func NewScan(table *storage.Table, part int, cols []int, ranges []storage.ScanRa
 			return nil, fmt.Errorf("exec: scan %s: ranges overlap or are unordered", table.Name())
 		}
 	}
-	return &Scan{table: table, part: part, cols: cols, ranges: ranges, types: types}, nil
+	s := &Scan{table: table, part: part, cols: cols, ranges: ranges, types: types}
+	covered := int64(0)
+	for _, r := range ranges {
+		covered += int64(r.End - r.Start)
+	}
+	s.stats.EstRows = covered // exact for a range-restricted scan
+	s.pruned = int64(table.Partition(part).NumRows()) - covered
+	return s, nil
 }
 
 // Name returns the operator name.
@@ -80,8 +91,29 @@ func (s *Scan) Open() error {
 	return nil
 }
 
+// Children returns no inputs; Scan is a leaf.
+func (s *Scan) Children() []Operator { return nil }
+
+// ExtraStats reports rows skipped via SMA range pruning.
+func (s *Scan) ExtraStats() []obs.KV {
+	if s.pruned <= 0 {
+		return nil
+	}
+	return []obs.KV{{Key: "pruned_rows", Value: s.pruned}}
+}
+
 // Next emits up to BatchSize contiguous rows from the current range.
 func (s *Scan) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := s.next()
+	s.stats.AddTime(start)
+	if b != nil {
+		s.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (s *Scan) next() (*vector.Batch, error) {
 	for {
 		if s.rangeIdx >= len(s.ranges) {
 			return nil, nil

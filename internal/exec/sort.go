@@ -2,7 +2,9 @@ package exec
 
 import (
 	"fmt"
+	"time"
 
+	"patchindex/internal/obs"
 	"patchindex/internal/vector"
 )
 
@@ -18,10 +20,12 @@ type SortKey struct {
 // random inputs — the property the paper's Figure 5 discussion attributes to
 // the internal QuickSort of Actian Vector.
 type Sort struct {
+	opStats
 	child Operator
 	keys  []SortKey
 
-	emit *sliceEmitter
+	emit       *sliceEmitter
+	sortedRows int64
 }
 
 // NewSort creates a sort operator over the given keys.
@@ -44,8 +48,23 @@ func (s *Sort) Name() string { return "Sort" }
 // Types returns the child types.
 func (s *Sort) Types() []vector.Type { return s.child.Types() }
 
+// Children returns the single input.
+func (s *Sort) Children() []Operator { return []Operator{s.child} }
+
+// ExtraStats reports the number of rows materialized and sorted.
+func (s *Sort) ExtraStats() []obs.KV {
+	return []obs.KV{{Key: "sorted_rows", Value: s.sortedRows}}
+}
+
 // Open materializes and sorts the entire input (pipeline breaker).
 func (s *Sort) Open() error {
+	start := time.Now()
+	err := s.open()
+	s.stats.AddTime(start)
+	return err
+}
+
+func (s *Sort) open() error {
 	if err := s.child.Open(); err != nil {
 		return err
 	}
@@ -78,6 +97,7 @@ func (s *Sort) Open() error {
 		sorted[c] = nv
 	}
 	s.emit = &sliceEmitter{cols: sorted, n: n}
+	s.sortedRows = int64(n)
 	return nil
 }
 
@@ -86,7 +106,13 @@ func (s *Sort) Next() (*vector.Batch, error) {
 	if s.emit == nil {
 		return nil, errOp(s, fmt.Errorf("not opened"))
 	}
-	return s.emit.next(), nil
+	start := time.Now()
+	b := s.emit.next()
+	s.stats.AddTime(start)
+	if b != nil {
+		s.stats.AddBatch(b.Len())
+	}
+	return b, nil
 }
 
 // Close closes the child and drops the sorted data.

@@ -1,0 +1,59 @@
+package exec
+
+import (
+	"strings"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+func TestOperatorStatsAndFormat(t *testing.T) {
+	mem := newMemOp([]vector.Type{vector.Int64}, intBatch(1, 2, 3), intBatch(4, 5))
+	lim, err := NewLimit(mem, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(lim)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("collected %d rows, want 4", len(rows))
+	}
+
+	st := lim.Stats()
+	if st.Rows != 4 {
+		t.Errorf("limit stats rows = %d, want 4", st.Rows)
+	}
+	if st.Batches != 2 {
+		t.Errorf("limit stats batches = %d, want 2", st.Batches)
+	}
+	if st.Nanos < 0 {
+		t.Errorf("negative wall time %d", st.Nanos)
+	}
+
+	out := FormatStats(lim)
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("FormatStats lines = %d, want 2:\n%s", len(lines), out)
+	}
+	if !strings.HasPrefix(lines[0], "Limit(4) (") || !strings.Contains(lines[0], "rows=4") {
+		t.Errorf("bad root line: %s", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "  mem (") {
+		t.Errorf("child line not indented: %s", lines[1])
+	}
+}
+
+func TestFormatStatsEstimates(t *testing.T) {
+	mem := newMemOp([]vector.Type{vector.Int64}, intBatch(7))
+	mem.stats.EstRows = 42
+	mem.stats.EstCost = 10.5
+	if _, err := Collect(mem); err != nil {
+		t.Fatal(err)
+	}
+	out := FormatStats(mem)
+	if !strings.Contains(out, "est=42") || !strings.Contains(out, "cost=10") {
+		t.Errorf("estimates missing from output: %s", out)
+	}
+}

@@ -11,6 +11,7 @@ import (
 // memOp is a test operator serving pre-built batches. It can emit contiguous
 // row ids (for PatchSelect tests) and fail on demand.
 type memOp struct {
+	opStats
 	types      []vector.Type
 	batches    []*vector.Batch
 	pos        int
@@ -29,6 +30,7 @@ func newMemOp(types []vector.Type, batches ...*vector.Batch) *memOp {
 
 func (m *memOp) Name() string         { return "mem" }
 func (m *memOp) Types() []vector.Type { return m.types }
+func (m *memOp) Children() []Operator { return nil }
 
 func (m *memOp) Open() error {
 	m.opened = true

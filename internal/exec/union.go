@@ -3,6 +3,7 @@ package exec
 import (
 	"fmt"
 	"sync"
+	"time"
 
 	"patchindex/internal/vector"
 )
@@ -10,6 +11,7 @@ import (
 // Union concatenates its children (SQL UNION ALL semantics). It is the
 // combiner of the distinct- and join-rewrites of Section VI-B.
 type Union struct {
+	opStats
 	children []Operator
 	types    []vector.Type
 	cur      int
@@ -58,8 +60,21 @@ func (u *Union) Open() error {
 	return nil
 }
 
+// Children returns the unioned inputs.
+func (u *Union) Children() []Operator { return u.children }
+
 // Next drains children in order.
 func (u *Union) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := u.next()
+	u.stats.AddTime(start)
+	if b != nil {
+		u.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (u *Union) next() (*vector.Batch, error) {
 	for u.cur < len(u.children) {
 		b, err := u.children[u.cur].Next()
 		if err != nil {
@@ -96,6 +111,7 @@ func (u *Union) Close() error {
 // degenerates to a single range copy per batch when the children cover
 // disjoint key ranges (e.g. partitions of a range-clustered fact table).
 type MergeUnion struct {
+	opStats
 	children []Operator
 	keys     []SortKey
 	types    []vector.Type
@@ -158,8 +174,18 @@ func (m *MergeUnion) Name() string { return fmt.Sprintf("MergeUnion(%d)", len(m.
 // Types returns the common child types.
 func (m *MergeUnion) Types() []vector.Type { return m.types }
 
+// Children returns the merged inputs.
+func (m *MergeUnion) Children() []Operator { return m.children }
+
 // Open opens all children, primes the cursors and builds the heap.
 func (m *MergeUnion) Open() error {
+	start := time.Now()
+	err := m.open()
+	m.stats.AddTime(start)
+	return err
+}
+
+func (m *MergeUnion) open() error {
 	m.cursors = m.cursors[:0]
 	m.heap = m.heap[:0]
 	for _, c := range m.children {
@@ -209,6 +235,16 @@ func (m *MergeUnion) siftDown(i int) {
 
 // Next emits the next batch of globally smallest rows.
 func (m *MergeUnion) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := m.next()
+	m.stats.AddTime(start)
+	if b != nil {
+		m.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (m *MergeUnion) next() (*vector.Batch, error) {
 	out := m.out
 	out.Reset()
 	for out.Len() < vector.BatchSize && len(m.heap) > 0 {
@@ -277,6 +313,7 @@ func (m *MergeUnion) Close() error {
 // per-partition subqueries in parallel, "as far as possible" per Section
 // VI-A2. Row order across children is non-deterministic.
 type ParallelUnion struct {
+	opStats
 	children []Operator
 	types    []vector.Type
 
@@ -372,8 +409,23 @@ func (u *ParallelUnion) send(it parallelItem) bool {
 	}
 }
 
-// Next returns the next batch from any child.
+// Children returns the unioned inputs. Their stats must only be read after
+// Close, which joins the producer goroutines.
+func (u *ParallelUnion) Children() []Operator { return u.children }
+
+// Next returns the next batch from any child. The recorded time includes
+// waiting for producers, so it reflects the critical path, not CPU work.
 func (u *ParallelUnion) Next() (*vector.Batch, error) {
+	start := time.Now()
+	b, err := u.next()
+	u.stats.AddTime(start)
+	if b != nil {
+		u.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (u *ParallelUnion) next() (*vector.Batch, error) {
 	for it := range u.ch {
 		if it.err != nil {
 			u.errOnce.Do(func() { u.err = it.err })

@@ -20,7 +20,9 @@ import (
 	"encoding/binary"
 	"fmt"
 	"math"
+	"time"
 
+	"patchindex/internal/obs"
 	"patchindex/internal/patch"
 	"patchindex/internal/storage"
 	"patchindex/internal/vector"
@@ -166,6 +168,19 @@ func (m *Maintainer) classify(part int, vals *vector.Vector, baseRow uint64) (ne
 type Set struct {
 	table       *storage.Table
 	maintainers []*Maintainer
+
+	// Optional metrics (nil-safe: an unwired set records nothing).
+	appends      *obs.Counter
+	appendNanos  *obs.Histogram
+	patchesAdded *obs.Counter
+}
+
+// SetMetrics wires maintenance counters into the given registry: appends
+// processed, AppendToIndex latency, and patches added (incl. retro-patches).
+func (s *Set) SetMetrics(r *obs.Registry) {
+	s.appends = r.Counter("maintain_appends_total")
+	s.appendNanos = r.Histogram("maintain_append_nanos")
+	s.patchesAdded = r.Counter("maintain_patches_added_total")
 }
 
 // NewSet builds maintainers for the given indexes of a table.
@@ -184,6 +199,9 @@ func NewSet(table *storage.Table, indexes []*patch.Index) (*Set, error) {
 // Append appends whole column vectors to one partition of the table and
 // incrementally maintains every covered PatchIndex.
 func (s *Set) Append(part int, cols []*vector.Vector) error {
+	s.appends.Inc()
+	start := time.Now()
+	defer s.appendNanos.ObserveSince(start)
 	baseRow := uint64(s.table.Partition(part).NumRows())
 	if err := s.table.AppendColumns(part, cols); err != nil {
 		return err
@@ -192,6 +210,7 @@ func (s *Set) Append(part int, cols []*vector.Vector) error {
 	for _, m := range s.maintainers {
 		vals := cols[positionOf(s.table, m.col, cols)]
 		newIDs, retro := m.classify(part, vals, baseRow)
+		s.patchesAdded.Add(int64(len(newIDs) + len(retro)))
 		// Retroactive patches may hit other partitions; group them.
 		perPart := map[int][]uint64{part: newIDs}
 		for _, r := range retro {

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"encoding/json"
+	"net/http"
+)
+
+// MetricsHandler serves the registry in plain-text exposition format
+// (Prometheus-compatible) — mount at /metrics.
+func MetricsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = r.WriteText(w)
+	})
+}
+
+// StatsHandler serves a JSON snapshot of the registry — mount at /stats.
+func StatsHandler(r *Registry) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(r.Snapshot())
+	})
+}
+
+// Handler mounts MetricsHandler at /metrics and StatsHandler at /stats on a
+// fresh mux, ready for http.ListenAndServe.
+func Handler(r *Registry) http.Handler {
+	mux := http.NewServeMux()
+	mux.Handle("/metrics", MetricsHandler(r))
+	mux.Handle("/stats", StatsHandler(r))
+	return mux
+}

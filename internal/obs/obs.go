@@ -1,0 +1,349 @@
+// Package obs is the engine-wide observability layer: metric registries
+// (counters, gauges, duration histograms — atomic and mutex-free on the hot
+// path), per-operator runtime statistics backing EXPLAIN ANALYZE, and export
+// in Prometheus-style text and JSON.
+//
+// All metric mutation methods are safe for concurrent use and are no-ops on
+// nil receivers, so optional wiring ("metrics, if configured") needs no nil
+// checks at call sites.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// Counter is a monotonically increasing metric.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds one.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds d (d should be non-negative; counters only go up).
+func (c *Counter) Add(d int64) {
+	if c != nil {
+		c.v.Add(d)
+	}
+}
+
+// Value returns the current count.
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down (e.g. resident index bytes).
+type Gauge struct{ v atomic.Int64 }
+
+// Set stores x.
+func (g *Gauge) Set(x int64) {
+	if g != nil {
+		g.v.Store(x)
+	}
+}
+
+// Add adds d (may be negative).
+func (g *Gauge) Add(d int64) {
+	if g != nil {
+		g.v.Add(d)
+	}
+}
+
+// Value returns the current value.
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// bucketBounds are the inclusive upper bounds, in nanoseconds, of the
+// histogram buckets: 1µs·4^i. A final implicit +Inf bucket catches the rest.
+// Geometric spacing keeps the bucket count small while covering everything
+// from sub-microsecond patch probes to multi-second index builds.
+var bucketBounds = [...]int64{
+	1_000,         // 1µs
+	4_000,         // 4µs
+	16_000,        // 16µs
+	64_000,        // 64µs
+	256_000,       // 256µs
+	1_024_000,     // ~1ms
+	4_096_000,     // ~4ms
+	16_384_000,    // ~16ms
+	65_536_000,    // ~66ms
+	262_144_000,   // ~262ms
+	1_048_576_000, // ~1s
+	4_194_304_000, // ~4.2s
+}
+
+// numBuckets includes the overflow (+Inf) bucket.
+const numBuckets = len(bucketBounds) + 1
+
+// Histogram records a distribution of durations in fixed exponential
+// buckets. Observation is lock-free: one bucket increment plus count/sum.
+type Histogram struct {
+	count   atomic.Int64
+	sum     atomic.Int64 // nanoseconds
+	buckets [numBuckets]atomic.Int64
+}
+
+// Observe records one duration.
+func (h *Histogram) Observe(d time.Duration) {
+	if h == nil {
+		return
+	}
+	n := int64(d)
+	if n < 0 {
+		n = 0
+	}
+	i := 0
+	for i < len(bucketBounds) && n > bucketBounds[i] {
+		i++
+	}
+	h.count.Add(1)
+	h.sum.Add(n)
+	h.buckets[i].Add(1)
+}
+
+// ObserveSince records the time elapsed since start.
+func (h *Histogram) ObserveSince(start time.Time) {
+	if h != nil {
+		h.Observe(time.Since(start))
+	}
+}
+
+// HistBucket is one cumulative histogram bucket of a snapshot.
+type HistBucket struct {
+	// LENanos is the inclusive upper bound in nanoseconds; 0 means +Inf.
+	LENanos int64 `json:"le_nanos"`
+	// Count is the cumulative count of observations <= LENanos.
+	Count int64 `json:"count"`
+}
+
+// HistSnapshot is a point-in-time copy of a histogram.
+type HistSnapshot struct {
+	Count    int64        `json:"count"`
+	SumNanos int64        `json:"sum_nanos"`
+	Buckets  []HistBucket `json:"buckets,omitempty"`
+}
+
+// Snapshot copies the histogram state. Buckets are cumulative and the last
+// one (LENanos=0, meaning +Inf) always equals Count.
+func (h *Histogram) Snapshot() HistSnapshot {
+	s := HistSnapshot{Count: h.count.Load(), SumNanos: h.sum.Load()}
+	cum := int64(0)
+	for i := 0; i < numBuckets; i++ {
+		cum += h.buckets[i].Load()
+		le := int64(0)
+		if i < len(bucketBounds) {
+			le = bucketBounds[i]
+		}
+		s.Buckets = append(s.Buckets, HistBucket{LENanos: le, Count: cum})
+	}
+	return s
+}
+
+// Mean returns the average observed duration (0 when empty).
+func (s HistSnapshot) Mean() time.Duration {
+	if s.Count == 0 {
+		return 0
+	}
+	return time.Duration(s.SumNanos / s.Count)
+}
+
+// Quantile approximates the q-quantile (0 < q <= 1) by linear interpolation
+// within the containing bucket.
+func (s HistSnapshot) Quantile(q float64) time.Duration {
+	if s.Count == 0 || len(s.Buckets) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	target := int64(q * float64(s.Count))
+	if target < 1 {
+		target = 1
+	}
+	prevCum, prevLE := int64(0), int64(0)
+	for _, b := range s.Buckets {
+		if b.Count >= target {
+			le := b.LENanos
+			if le == 0 { // +Inf bucket: report its lower bound
+				return time.Duration(prevLE)
+			}
+			inBucket := b.Count - prevCum
+			if inBucket == 0 {
+				return time.Duration(le)
+			}
+			frac := float64(target-prevCum) / float64(inBucket)
+			return time.Duration(prevLE + int64(frac*float64(le-prevLE)))
+		}
+		prevCum, prevLE = b.Count, b.LENanos
+	}
+	return time.Duration(prevLE)
+}
+
+// Registry is a process-wide collection of named metrics. Lookup takes a
+// mutex, so callers should resolve their metrics once and keep the pointers;
+// all subsequent increments and observations are lock-free. A nil *Registry
+// is valid: lookups return nil metrics, whose methods no-op.
+type Registry struct {
+	mu       sync.Mutex
+	counters map[string]*Counter
+	gauges   map[string]*Gauge
+	hists    map[string]*Histogram
+}
+
+// NewRegistry creates an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{
+		counters: map[string]*Counter{},
+		gauges:   map[string]*Gauge{},
+		hists:    map[string]*Histogram{},
+	}
+}
+
+// Counter returns (creating if absent) the counter of the given name.
+func (r *Registry) Counter(name string) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	c, ok := r.counters[name]
+	if !ok {
+		c = &Counter{}
+		r.counters[name] = c
+	}
+	return c
+}
+
+// Gauge returns (creating if absent) the gauge of the given name.
+func (r *Registry) Gauge(name string) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	g, ok := r.gauges[name]
+	if !ok {
+		g = &Gauge{}
+		r.gauges[name] = g
+	}
+	return g
+}
+
+// Histogram returns (creating if absent) the histogram of the given name.
+func (r *Registry) Histogram(name string) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	h, ok := r.hists[name]
+	if !ok {
+		h = &Histogram{}
+		r.hists[name] = h
+	}
+	return h
+}
+
+// Snapshot is a point-in-time copy of every metric in a registry. It is the
+// JSON document served at /stats and embedded in bench results.
+type Snapshot struct {
+	Counters   map[string]int64        `json:"counters"`
+	Gauges     map[string]int64        `json:"gauges,omitempty"`
+	Histograms map[string]HistSnapshot `json:"histograms"`
+}
+
+// Snapshot copies the current state of all metrics.
+func (r *Registry) Snapshot() Snapshot {
+	s := Snapshot{
+		Counters:   map[string]int64{},
+		Gauges:     map[string]int64{},
+		Histograms: map[string]HistSnapshot{},
+	}
+	if r == nil {
+		return s
+	}
+	r.mu.Lock()
+	counters := make(map[string]*Counter, len(r.counters))
+	for k, v := range r.counters {
+		counters[k] = v
+	}
+	gauges := make(map[string]*Gauge, len(r.gauges))
+	for k, v := range r.gauges {
+		gauges[k] = v
+	}
+	hists := make(map[string]*Histogram, len(r.hists))
+	for k, v := range r.hists {
+		hists[k] = v
+	}
+	r.mu.Unlock()
+	for k, v := range counters {
+		s.Counters[k] = v.Value()
+	}
+	for k, v := range gauges {
+		s.Gauges[k] = v.Value()
+	}
+	for k, v := range hists {
+		s.Histograms[k] = v.Snapshot()
+	}
+	return s
+}
+
+// WriteText renders the registry in a Prometheus-compatible plain-text
+// exposition format (the /metrics endpoint and `patchcli stats`).
+func (r *Registry) WriteText(w io.Writer) error {
+	s := r.Snapshot()
+	var names []string
+	for k := range s.Counters {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, s.Counters[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Gauges {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		if _, err := fmt.Fprintf(w, "%s %d\n", k, s.Gauges[k]); err != nil {
+			return err
+		}
+	}
+	names = names[:0]
+	for k := range s.Histograms {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	for _, k := range names {
+		h := s.Histograms[k]
+		for _, b := range h.Buckets {
+			le := "+Inf"
+			if b.LENanos > 0 {
+				le = fmt.Sprintf("%d", b.LENanos)
+			}
+			if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", k, le, b.Count); err != nil {
+				return err
+			}
+		}
+		if _, err := fmt.Fprintf(w, "%s_sum %d\n%s_count %d\n", k, h.SumNanos, k, h.Count); err != nil {
+			return err
+		}
+	}
+	return nil
+}

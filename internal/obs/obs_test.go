@@ -1,0 +1,210 @@
+package obs
+
+import (
+	"bytes"
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestCounterConcurrent(t *testing.T) {
+	var c Counter
+	const workers, perWorker = 8, 10_000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				c.Inc()
+			}
+		}()
+	}
+	wg.Wait()
+	if got := c.Value(); got != workers*perWorker {
+		t.Fatalf("counter = %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestNilMetricsNoop(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	var r *Registry
+	c.Inc()
+	c.Add(5)
+	g.Set(3)
+	g.Add(-1)
+	h.Observe(time.Second)
+	h.ObserveSince(time.Now())
+	if c.Value() != 0 || g.Value() != 0 {
+		t.Fatal("nil metrics should read zero")
+	}
+	if r.Counter("x") != nil || r.Gauge("x") != nil || r.Histogram("x") != nil {
+		t.Fatal("nil registry should hand out nil metrics")
+	}
+	r.Counter("x").Inc() // must not panic
+	s := r.Snapshot()
+	if len(s.Counters) != 0 {
+		t.Fatalf("nil registry snapshot not empty: %+v", s)
+	}
+}
+
+func TestHistogramBuckets(t *testing.T) {
+	var h Histogram
+	// One observation per bucket bound (inclusive upper bounds), plus one
+	// overflowing observation.
+	for _, n := range bucketBounds {
+		h.Observe(time.Duration(n))
+	}
+	h.Observe(time.Duration(bucketBounds[len(bucketBounds)-1] + 1))
+
+	s := h.Snapshot()
+	if want := int64(len(bucketBounds) + 1); s.Count != want {
+		t.Fatalf("count = %d, want %d", s.Count, want)
+	}
+	if len(s.Buckets) != numBuckets {
+		t.Fatalf("buckets = %d, want %d", len(s.Buckets), numBuckets)
+	}
+	// Cumulative: bucket i holds exactly the i+1 observations <= its bound.
+	for i, b := range s.Buckets[:len(bucketBounds)] {
+		if b.LENanos != bucketBounds[i] {
+			t.Errorf("bucket %d bound = %d, want %d", i, b.LENanos, bucketBounds[i])
+		}
+		if b.Count != int64(i+1) {
+			t.Errorf("bucket %d cumulative = %d, want %d", i, b.Count, i+1)
+		}
+	}
+	last := s.Buckets[len(s.Buckets)-1]
+	if last.LENanos != 0 || last.Count != s.Count {
+		t.Errorf("+Inf bucket = %+v, want le=0 count=%d", last, s.Count)
+	}
+}
+
+func TestHistogramConcurrent(t *testing.T) {
+	var h Histogram
+	const workers, perWorker = 8, 5_000
+	var wg sync.WaitGroup
+	for i := 0; i < workers; i++ {
+		wg.Add(1)
+		go func(d time.Duration) {
+			defer wg.Done()
+			for j := 0; j < perWorker; j++ {
+				h.Observe(d)
+			}
+		}(time.Duration(i+1) * time.Microsecond)
+	}
+	wg.Wait()
+	s := h.Snapshot()
+	if s.Count != workers*perWorker {
+		t.Fatalf("count = %d, want %d", s.Count, workers*perWorker)
+	}
+	if s.Buckets[len(s.Buckets)-1].Count != s.Count {
+		t.Fatal("+Inf bucket must equal total count")
+	}
+}
+
+func TestMeanAndQuantile(t *testing.T) {
+	var h Histogram
+	for i := 0; i < 100; i++ {
+		h.Observe(10 * time.Microsecond) // bucket (4µs, 16µs]
+	}
+	s := h.Snapshot()
+	if got := s.Mean(); got != 10*time.Microsecond {
+		t.Errorf("mean = %s, want 10µs", got)
+	}
+	// All mass in one bucket: any quantile must land inside its bounds.
+	for _, q := range []float64{0.1, 0.5, 0.99} {
+		d := s.Quantile(q)
+		if d < 4*time.Microsecond || d > 16*time.Microsecond {
+			t.Errorf("quantile(%g) = %s, want within (4µs, 16µs]", q, d)
+		}
+	}
+	if (HistSnapshot{}).Quantile(0.5) != 0 {
+		t.Error("empty quantile should be 0")
+	}
+	if (HistSnapshot{}).Mean() != 0 {
+		t.Error("empty mean should be 0")
+	}
+}
+
+func TestRegistryGetOrCreate(t *testing.T) {
+	r := NewRegistry()
+	if r.Counter("a") != r.Counter("a") {
+		t.Error("same name must return the same counter")
+	}
+	if r.Histogram("h") != r.Histogram("h") {
+		t.Error("same name must return the same histogram")
+	}
+	r.Counter("a").Add(7)
+	r.Gauge("g").Set(-2)
+	r.Histogram("h").Observe(time.Millisecond)
+
+	s := r.Snapshot()
+	if s.Counters["a"] != 7 || s.Gauges["g"] != -2 || s.Histograms["h"].Count != 1 {
+		t.Fatalf("snapshot mismatch: %+v", s)
+	}
+	if _, err := json.Marshal(s); err != nil {
+		t.Fatalf("snapshot must be JSON-marshalable: %v", err)
+	}
+}
+
+func TestWriteText(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(3)
+	r.Gauge("resident_bytes").Set(42)
+	r.Histogram("query_nanos").Observe(2 * time.Microsecond)
+	var buf bytes.Buffer
+	if err := r.WriteText(&buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{
+		"queries_total 3\n",
+		"resident_bytes 42\n",
+		`query_nanos_bucket{le="4000"} 1`,
+		`query_nanos_bucket{le="+Inf"} 1`,
+		"query_nanos_sum 2000\n",
+		"query_nanos_count 1\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("WriteText output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestHTTPHandlers(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("queries_total").Add(5)
+	r.Histogram("query_nanos").Observe(time.Millisecond)
+
+	srv := httptest.NewServer(Handler(r))
+	defer srv.Close()
+
+	res, err := srv.Client().Get(srv.URL + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	buf.ReadFrom(res.Body)
+	res.Body.Close()
+	if !strings.Contains(buf.String(), "queries_total 5") {
+		t.Errorf("/metrics missing counter:\n%s", buf.String())
+	}
+
+	res, err = srv.Client().Get(srv.URL + "/stats")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer res.Body.Close()
+	var s Snapshot
+	if err := json.NewDecoder(res.Body).Decode(&s); err != nil {
+		t.Fatalf("/stats is not valid JSON: %v", err)
+	}
+	if s.Counters["queries_total"] != 5 || s.Histograms["query_nanos"].Count != 1 {
+		t.Errorf("/stats snapshot mismatch: %+v", s)
+	}
+}

@@ -1,0 +1,45 @@
+package obs
+
+import "time"
+
+// OpStats holds the runtime statistics of one physical operator instance.
+// Each operator is driven by a single goroutine, so the fields are plain
+// integers — no atomics on the per-batch path. Readers (the EXPLAIN ANALYZE
+// renderer) only look after execution finishes; parallel operators provide
+// the necessary happens-before edge by joining their workers on Close.
+type OpStats struct {
+	// Batches and Rows count the operator's output (what Next returned).
+	Batches int64
+	Rows    int64
+	// Nanos is cumulative wall time spent inside the operator's Open/Next,
+	// inclusive of its children (Postgres EXPLAIN ANALYZE semantics).
+	Nanos int64
+	// EstRows is the cost model's cardinality estimate attached at plan
+	// build time; 0 means unknown (e.g. an operator synthesized below the
+	// granularity of the logical plan).
+	EstRows int64
+	// EstCost is the cost model's total cost for the subtree, in abstract
+	// cost units; 0 means unknown.
+	EstCost float64
+}
+
+// AddBatch records one emitted batch of n rows.
+func (s *OpStats) AddBatch(n int) {
+	s.Batches++
+	s.Rows += int64(n)
+}
+
+// AddTime accumulates the wall time elapsed since start.
+func (s *OpStats) AddTime(start time.Time) {
+	s.Nanos += int64(time.Since(start))
+}
+
+// Duration returns the accumulated wall time.
+func (s *OpStats) Duration() time.Duration { return time.Duration(s.Nanos) }
+
+// KV is one operator-specific counter (e.g. patch_hits=42) surfaced next to
+// the generic stats in EXPLAIN ANALYZE output.
+type KV struct {
+	Key   string
+	Value int64
+}

@@ -24,8 +24,21 @@ func Build(n Node, cfg Config) (exec.Operator, error) {
 }
 
 // buildNode builds n; bounds, when non-nil, carries per-table-column value
-// bounds extracted from an enclosing filter for scan-range pruning.
+// bounds extracted from an enclosing filter for scan-range pruning. The cost
+// model's estimates are stamped onto the resulting operator so EXPLAIN
+// ANALYZE can print them next to the actuals.
 func buildNode(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, error) {
+	op, err := buildNodeOp(n, cfg, bounds)
+	if err != nil {
+		return nil, err
+	}
+	st := op.Stats()
+	st.EstRows = int64(EstimateRows(n))
+	st.EstCost = Cost(n)
+	return op, nil
+}
+
+func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, error) {
 	switch x := n.(type) {
 	case *ScanNode:
 		return buildScan(x, cfg, bounds)

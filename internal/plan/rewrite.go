@@ -6,6 +6,7 @@ import (
 	"patchindex/internal/catalog"
 	"patchindex/internal/exec"
 	"patchindex/internal/expr"
+	"patchindex/internal/obs"
 	"patchindex/internal/patch"
 )
 
@@ -21,6 +22,11 @@ type Optimizer struct {
 	// kept only if its estimated cost is lower than the original's (the
 	// integration of the future-work cost model into query optimization).
 	CostBased bool
+	// RewritesFired and RewritesRejected, when set, count rewrites that were
+	// applied and rewrites that matched but lost the cost comparison. Nil
+	// counters no-op, so wiring them is optional.
+	RewritesFired    *obs.Counter
+	RewritesRejected *obs.Counter
 }
 
 // Optimize rewrites the plan bottom-up and returns the (possibly new) root.
@@ -85,25 +91,33 @@ func (o *Optimizer) Optimize(n Node) (Node, error) {
 		case *AggregateNode:
 			if nn, ok, err := o.rewriteDistinct(x); err != nil {
 				return nil, err
-			} else if ok && o.accept(n, nn) {
-				return nn, nil
+			} else if ok {
+				if o.accept(n, nn) {
+					return nn, nil
+				}
 			}
 			if nn, ok, err := o.rewriteCountDistinct(x); err != nil {
 				return nil, err
-			} else if ok && o.accept(n, nn) {
-				return nn, nil
+			} else if ok {
+				if o.accept(n, nn) {
+					return nn, nil
+				}
 			}
 		case *SortNode:
 			if nn, ok, err := o.rewriteSort(x); err != nil {
 				return nil, err
-			} else if ok && o.accept(n, nn) {
-				return nn, nil
+			} else if ok {
+				if o.accept(n, nn) {
+					return nn, nil
+				}
 			}
 		case *JoinNode:
 			if nn, ok, err := o.rewriteJoin(x); err != nil {
 				return nil, err
-			} else if ok && o.accept(n, nn) {
-				return nn, nil
+			} else if ok {
+				if o.accept(n, nn) {
+					return nn, nil
+				}
 			}
 		}
 	}
@@ -122,10 +136,12 @@ func (o *Optimizer) Optimize(n Node) (Node, error) {
 // cost-based optimization every applicable rewrite is taken (the paper's
 // behaviour); with it, the rewrite must be estimated cheaper.
 func (o *Optimizer) accept(orig, rewritten Node) bool {
-	if !o.CostBased {
+	if !o.CostBased || Cost(rewritten) < Cost(orig) {
+		o.RewritesFired.Inc()
 		return true
 	}
-	return Cost(rewritten) < Cost(orig)
+	o.RewritesRejected.Inc()
+	return false
 }
 
 // matchChain matches a subtree X consisting only of Filter and Project nodes

@@ -114,8 +114,12 @@ type CopyStmt struct {
 
 func (*CopyStmt) stmt() {}
 
-// ExplainStmt wraps a SELECT for plan display.
-type ExplainStmt struct{ Query *SelectStmt }
+// ExplainStmt wraps a SELECT for plan display. With Analyze set the query is
+// executed and the plan is annotated with runtime statistics.
+type ExplainStmt struct {
+	Query   *SelectStmt
+	Analyze bool
+}
 
 func (*ExplainStmt) stmt() {}
 

@@ -78,7 +78,7 @@ var softKeywords = map[string]bool{
 	"KIND": true, "HEADER": true, "THRESHOLD": true, "FORCE": true,
 	"PARTITIONS": true, "SORTKEY": true, "IDENTIFIER": true,
 	"BITMAP": true, "AUTO": true, "TABLES": true, "PATCHINDEXES": true,
-	"COPY": true, "SHOW": true, "DATE": true,
+	"COPY": true, "SHOW": true, "DATE": true, "ANALYZE": true,
 }
 
 func (p *Parser) expectIdent() (string, error) {
@@ -98,11 +98,16 @@ func (p *Parser) parseStatement() (Statement, error) {
 		return p.parseSelect()
 	case t.Kind == TokKeyword && t.Text == "EXPLAIN":
 		p.advance()
+		analyze := false
+		if t := p.peek(); t.Kind == TokKeyword && t.Text == "ANALYZE" {
+			p.advance()
+			analyze = true
+		}
 		sel, err := p.parseSelect()
 		if err != nil {
 			return nil, err
 		}
-		return &ExplainStmt{Query: sel}, nil
+		return &ExplainStmt{Query: sel, Analyze: analyze}, nil
 	case t.Kind == TokKeyword && t.Text == "CREATE":
 		return p.parseCreate()
 	case t.Kind == TokKeyword && t.Text == "DROP":

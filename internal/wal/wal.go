@@ -24,6 +24,9 @@ import (
 	"math"
 	"os"
 	"sync"
+	"time"
+
+	"patchindex/internal/obs"
 )
 
 const magic uint32 = 0x50574c31
@@ -62,6 +65,20 @@ type Log struct {
 	mu   sync.Mutex
 	f    *os.File
 	path string
+
+	// Optional metrics (nil-safe: an unwired log records nothing).
+	appends     *obs.Counter
+	appendNanos *obs.Histogram
+	syncNanos   *obs.Histogram
+}
+
+// SetMetrics wires append/sync latency metrics into the given registry.
+func (l *Log) SetMetrics(r *obs.Registry) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.appends = r.Counter("wal_appends_total")
+	l.appendNanos = r.Histogram("wal_append_nanos")
+	l.syncNanos = r.Histogram("wal_sync_nanos")
 }
 
 // Open opens (or creates) the log at path.
@@ -120,6 +137,9 @@ func (l *Log) append(kind RecordKind, payload []byte) error {
 	if l.f == nil {
 		return fmt.Errorf("wal: log is closed")
 	}
+	l.appends.Inc()
+	start := time.Now()
+	defer l.appendNanos.ObserveSince(start)
 	var hdr [9]byte
 	binary.LittleEndian.PutUint32(hdr[0:4], magic)
 	hdr[4] = byte(kind)
@@ -138,7 +158,10 @@ func (l *Log) append(kind RecordKind, payload []byte) error {
 	if _, err := l.f.Write(tail[:]); err != nil {
 		return fmt.Errorf("wal: append: %w", err)
 	}
-	return l.f.Sync()
+	syncStart := time.Now()
+	err := l.f.Sync()
+	l.syncNanos.ObserveSince(syncStart)
+	return err
 }
 
 // Entry is one decoded WAL record.
