@@ -8,6 +8,7 @@
 //	patchcli -wal engine.wal       # enable WAL logging / recovery
 //	patchcli -e "SELECT ..."       # execute one statement and exit
 //	patchcli -e "SELECT ..." stats # ... then dump engine metrics
+//	patchcli -connect host:5433    # remote shell against a patchserver
 //
 // Inside the shell, statements end with ';', and \stats prints the engine
 // metrics registry. Try:
@@ -29,6 +30,7 @@ import (
 
 	"patchindex"
 	"patchindex/internal/datagen"
+	"patchindex/internal/server"
 )
 
 func main() {
@@ -42,7 +44,15 @@ func main() {
 	execStmt := flag.String("e", "", "execute one statement and exit")
 	parallel := flag.Bool("parallel", false, "parallel partition scans")
 	slowMS := flag.Int("slow-ms", 0, "log statements slower than this many milliseconds")
+	connect := flag.String("connect", "", "connect to a patchserver at host:port instead of running an embedded engine")
 	flag.Parse()
+
+	if *connect != "" {
+		if err := remoteShell(*connect, *execStmt); err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	eng, err := patchindex.New(patchindex.Config{
 		DefaultPartitions:  *partitions,
@@ -156,6 +166,88 @@ func main() {
 			prompt = "...> "
 		}
 	}
+}
+
+// remoteShell runs the REPL (or a single -e statement) against a remote
+// patchserver. \stats fetches the server-side metrics registry; \set
+// KEY VALUE adjusts session settings (timeout_ms, max_rows,
+// disable_rewrites).
+func remoteShell(addr, execStmt string) error {
+	cli, err := server.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer cli.Close()
+
+	if execStmt != "" {
+		return runRemote(cli, execStmt)
+	}
+
+	fmt.Printf("patchindex shell — connected to %s (session %d)\n", addr, cli.SessionID())
+	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings")
+	scanner := bufio.NewScanner(os.Stdin)
+	scanner.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := "sql> "
+	for {
+		fmt.Print(prompt)
+		if !scanner.Scan() {
+			break
+		}
+		line := scanner.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && (trimmed == "\\q" || trimmed == "quit" || trimmed == "exit") {
+			break
+		}
+		if buf.Len() == 0 && trimmed == "\\stats" {
+			text, err := cli.Stats()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Print(text)
+			continue
+		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\set ") {
+			fields := strings.Fields(trimmed)
+			if len(fields) != 3 {
+				fmt.Fprintln(os.Stderr, "usage: \\set KEY VALUE")
+				continue
+			}
+			if err := cli.Set(map[string]string{fields[1]: fields[2]}); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			stmt := buf.String()
+			buf.Reset()
+			prompt = "sql> "
+			if err := runRemote(cli, stmt); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
+		} else if buf.Len() > 0 {
+			prompt = "...> "
+		}
+	}
+	return nil
+}
+
+// runRemote executes one statement over the wire and prints the result.
+func runRemote(cli *server.Client, stmt string) error {
+	res, err := cli.Query(stmt)
+	if err != nil {
+		return err
+	}
+	s := res.String()
+	fmt.Print(s)
+	if !strings.HasSuffix(s, "\n") {
+		fmt.Println()
+	}
+	fmt.Printf("-- %s\n", res.Duration.Round(time.Microsecond))
+	return nil
 }
 
 func runStatement(eng *patchindex.Engine, stmt string) error {

@@ -1,0 +1,146 @@
+// Command patchserver runs the patchindex engine as a network server. It
+// listens on one TCP port that serves both the patchserver wire protocol
+// (see internal/server/protocol; connect with `patchcli -connect`) and
+// plain HTTP for /metrics, /stats, and /healthz.
+//
+//	patchserver -listen :5433 -demo tpcds -rows 1000000
+//	patchcli -connect localhost:5433
+//	curl localhost:5433/metrics
+//
+// The server bounds concurrent query execution (-max-concurrent) with a
+// bounded admission queue (-queue-depth); excess load is shed with a
+// "busy" error instead of piling up. SIGINT/SIGTERM trigger a graceful
+// shutdown that drains in-flight queries for up to -grace seconds.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"patchindex"
+	"patchindex/internal/datagen"
+	"patchindex/internal/server"
+)
+
+func main() {
+	listen := flag.String("listen", ":5433", "TCP listen address (wire protocol + HTTP)")
+	demo := flag.String("demo", "", "preload dataset: tpcds or custom")
+	rows := flag.Int("rows", 1_000_000, "rows for -demo custom / sales rows for -demo tpcds")
+	partitions := flag.Int("partitions", 8, "partitions for preloaded tables")
+	uniqueRate := flag.Float64("unique-rate", 0.05, "uniqueness exception rate for -demo custom")
+	sortedRate := flag.Float64("sorted-rate", 0.05, "sortedness exception rate for -demo custom")
+	walPath := flag.String("wal", "", "write-ahead log path (enables durability of index definitions)")
+	indexDir := flag.String("indexdir", "", "directory for materialized PatchIndex payloads (fast recovery)")
+	parallel := flag.Bool("parallel", false, "parallel partition scans")
+	slowMS := flag.Int("slow-ms", 0, "log statements slower than this many milliseconds")
+	maxConcurrent := flag.Int("max-concurrent", 0, "max queries executing at once (0 = GOMAXPROCS)")
+	queueDepth := flag.Int("queue-depth", 64, "max queries waiting for a slot before shedding")
+	timeoutMS := flag.Int("timeout-ms", 0, "default per-query timeout in ms (0 = none; sessions can override)")
+	maxRows := flag.Int("max-rows", 0, "default result-set clip (0 = unlimited; sessions can override)")
+	grace := flag.Int("grace", 10, "graceful-shutdown drain window in seconds")
+	flag.Parse()
+
+	eng, err := patchindex.New(patchindex.Config{
+		DefaultPartitions:  *partitions,
+		Parallel:           *parallel,
+		WALPath:            *walPath,
+		IndexDir:           *indexDir,
+		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	defer eng.Close()
+
+	if err := loadDemo(eng, *demo, *rows, *partitions, *uniqueRate, *sortedRate); err != nil {
+		fatal(err)
+	}
+	if *walPath != "" && *demo != "" {
+		if err := eng.Recover(); err != nil {
+			fmt.Fprintf(os.Stderr, "warning: WAL recovery failed: %v\n", err)
+		}
+	}
+
+	srv, err := server.New(server.Config{
+		Addr:           *listen,
+		Engine:         eng,
+		MaxConcurrent:  *maxConcurrent,
+		QueueDepth:     *queueDepth,
+		DefaultTimeout: time.Duration(*timeoutMS) * time.Millisecond,
+		DefaultMaxRows: *maxRows,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	if err := srv.Start(); err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz)\n", srv.Addr())
+
+	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
+	defer stop()
+	<-ctx.Done()
+	fmt.Fprintf(os.Stderr, "patchserver: shutting down (draining up to %ds)...\n", *grace)
+	shutdownCtx, cancel := context.WithTimeout(context.Background(), time.Duration(*grace)*time.Second)
+	defer cancel()
+	if err := srv.Shutdown(shutdownCtx); err != nil {
+		fmt.Fprintf(os.Stderr, "patchserver: drain incomplete: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Fprintln(os.Stderr, "patchserver: bye")
+}
+
+// loadDemo preloads the same demo datasets patchcli offers.
+func loadDemo(eng *patchindex.Engine, demo string, rows, partitions int, uniqueRate, sortedRate float64) error {
+	switch demo {
+	case "":
+		return nil
+	case "tpcds":
+		cfg := datagen.TPCDSConfig{
+			CustomerRows: rows / 8,
+			SalesRows:    rows,
+			Partitions:   partitions,
+			Seed:         1,
+		}
+		fmt.Fprintf(os.Stderr, "loading tpcds-lite (customer=%d, catalog_sales=%d, date_dim=%d)...\n",
+			cfg.CustomerRows, cfg.SalesRows, datagen.DateDimRows)
+		cust, err := datagen.GenCustomer(cfg)
+		if err != nil {
+			return err
+		}
+		if err := eng.Catalog().AddTable(cust); err != nil {
+			return err
+		}
+		sales, err := datagen.GenCatalogSales(cfg)
+		if err != nil {
+			return err
+		}
+		if err := eng.Catalog().AddTable(sales); err != nil {
+			return err
+		}
+		dates, err := datagen.GenDateDim()
+		if err != nil {
+			return err
+		}
+		return eng.Catalog().AddTable(dates)
+	case "custom":
+		fmt.Fprintf(os.Stderr, "loading custom table data(u,s,payload) with %d rows...\n", rows)
+		t, err := datagen.LoadCustom("data", rows, partitions, uniqueRate, sortedRate, 1)
+		if err != nil {
+			return err
+		}
+		return eng.Catalog().AddTable(t)
+	default:
+		return fmt.Errorf("unknown demo %q (tpcds, custom)", demo)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintf(os.Stderr, "patchserver: %v\n", err)
+	os.Exit(1)
+}

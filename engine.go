@@ -13,11 +13,13 @@ package patchindex
 
 import (
 	"bufio"
+	"context"
 	"encoding/csv"
 	"fmt"
 	"io"
 	"os"
 	"path/filepath"
+	"sort"
 	"strconv"
 	"strings"
 	"sync"
@@ -80,10 +82,30 @@ type ExecOptions struct {
 }
 
 // Engine is a self-contained database instance.
+//
+// Concurrency contract: an Engine is safe for concurrent use by multiple
+// goroutines. Statements acquire per-table reader/writer latches before
+// touching table data — SELECT/EXPLAIN take shared latches so reads run in
+// parallel, while INSERT, COPY, CREATE/DROP PATCHINDEX and DROP TABLE take
+// exclusive latches on the tables they mutate (multi-table statements
+// acquire latches in sorted name order, so they cannot deadlock against
+// each other). The catalog, the metrics registry, the WAL, the maintainer
+// cache, and the slow-query log are each internally synchronized. The
+// public bulk APIs (Append, LoadColumns, CreatePatchIndex) take the same
+// exclusive latches as their SQL counterparts. Long-running statements are
+// cancellable mid-batch via the context accepted by the *Context methods.
 type Engine struct {
 	cfg Config
 	cat *catalog.Catalog
 	log *wal.Log
+
+	// latchMu guards the latches map; the per-table latches themselves
+	// implement the reader/writer table locking described above.
+	latchMu sync.Mutex
+	latches map[string]*sync.RWMutex
+
+	// slowMu serializes slow-query log writes (the io.Writer is shared).
+	slowMu sync.Mutex
 
 	metrics *obs.Registry
 	slowLog io.Writer
@@ -115,7 +137,12 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.SlowQueryLog == nil {
 		cfg.SlowQueryLog = os.Stderr
 	}
-	e := &Engine{cfg: cfg, cat: catalog.New(), maintainers: map[string]*maintain.Set{}}
+	e := &Engine{
+		cfg:         cfg,
+		cat:         catalog.New(),
+		maintainers: map[string]*maintain.Set{},
+		latches:     map[string]*sync.RWMutex{},
+	}
 	e.metrics = cfg.Metrics
 	e.slowLog = cfg.SlowQueryLog
 	e.mStatements = e.metrics.Counter("statements_total")
@@ -213,12 +240,66 @@ func (e *Engine) Exec(query string) (*Result, error) {
 	return e.ExecWith(query, ExecOptions{})
 }
 
+// ExecContext is Exec under a cancellable context: a deadline or
+// cancellation stops execution mid-batch with the context's error.
+func (e *Engine) ExecContext(ctx context.Context, query string) (*Result, error) {
+	return e.ExecWithContext(ctx, query, ExecOptions{})
+}
+
 // ExecWith parses and executes one SQL statement, recording its duration in
 // the metrics registry, stamping Result.Duration, and writing a slow-query
 // log line when the configured threshold is exceeded.
 func (e *Engine) ExecWith(query string, opts ExecOptions) (*Result, error) {
+	return e.ExecWithContext(context.Background(), query, opts)
+}
+
+// ExecWithContext is ExecWith under a cancellable context.
+func (e *Engine) ExecWithContext(ctx context.Context, query string, opts ExecOptions) (*Result, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return e.execPrepared(ctx, query, stmt, opts)
+}
+
+// Prepared is a parsed statement bound to the engine that produced it. It
+// skips re-parsing on repeated execution (the server's per-session statement
+// cache) but is re-planned each run, so it always sees the current index
+// set. A Prepared is immutable and safe for concurrent use.
+type Prepared struct {
+	text string
+	stmt sql.Statement
+}
+
+// Text returns the original SQL text.
+func (p *Prepared) Text() string { return p.text }
+
+// Prepare parses one statement for repeated execution.
+func (e *Engine) Prepare(query string) (*Prepared, error) {
+	stmt, err := sql.Parse(query)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{text: query, stmt: stmt}, nil
+}
+
+// ExecPrepared executes a prepared statement with default options.
+func (e *Engine) ExecPrepared(p *Prepared) (*Result, error) {
+	return e.ExecPreparedContext(context.Background(), p, ExecOptions{})
+}
+
+// ExecPreparedContext executes a prepared statement under a context.
+func (e *Engine) ExecPreparedContext(ctx context.Context, p *Prepared, opts ExecOptions) (*Result, error) {
+	return e.execPrepared(ctx, p.text, p.stmt, opts)
+}
+
+// execPrepared latches the referenced tables, dispatches the statement, and
+// records duration metrics and the slow-query log.
+func (e *Engine) execPrepared(ctx context.Context, query string, stmt sql.Statement, opts ExecOptions) (*Result, error) {
 	start := time.Now()
-	res, err := e.execStmt(query, opts)
+	release := e.latchStmt(stmt)
+	res, err := e.execStmt(ctx, stmt, opts)
+	release()
 	elapsed := time.Since(start)
 	e.mStatements.Inc()
 	e.hQuery.Observe(elapsed)
@@ -235,23 +316,125 @@ func (e *Engine) noteSlow(query string, elapsed time.Duration) {
 		return
 	}
 	e.mSlowQueries.Inc()
+	e.slowMu.Lock()
+	defer e.slowMu.Unlock()
 	fmt.Fprintf(e.slowLog, "slow query (%s): %s\n",
 		elapsed.Round(time.Microsecond), strings.Join(strings.Fields(query), " "))
 }
 
-func (e *Engine) execStmt(query string, opts ExecOptions) (*Result, error) {
-	stmt, err := sql.Parse(query)
-	if err != nil {
-		return nil, err
+// latch returns the reader/writer latch of a table, creating it on first
+// use. Latches outlive DROP TABLE so a reused name keeps its latch.
+func (e *Engine) latch(name string) *sync.RWMutex {
+	e.latchMu.Lock()
+	defer e.latchMu.Unlock()
+	l, ok := e.latches[name]
+	if !ok {
+		l = &sync.RWMutex{}
+		e.latches[name] = l
 	}
+	return l
+}
+
+// latchStmt acquires the table latches a statement needs — shared for reads,
+// exclusive for writes — in sorted name order (deadlock-free), and returns
+// the release function.
+func (e *Engine) latchStmt(stmt sql.Statement) func() {
+	reads, writes := stmtTables(stmt)
+	return e.acquireLatches(reads, writes)
+}
+
+// acquireLatches locks the given tables (exclusive wins when a name appears
+// in both lists) and returns a function releasing them in reverse order.
+func (e *Engine) acquireLatches(reads, writes []string) func() {
+	if len(reads) == 0 && len(writes) == 0 {
+		return func() {}
+	}
+	excl := make(map[string]bool, len(writes))
+	for _, t := range writes {
+		excl[t] = true
+	}
+	seen := make(map[string]bool, len(reads)+len(writes))
+	names := make([]string, 0, len(reads)+len(writes))
+	for _, t := range append(append([]string{}, writes...), reads...) {
+		if !seen[t] {
+			seen[t] = true
+			names = append(names, t)
+		}
+	}
+	sort.Strings(names)
+	release := make([]func(), 0, len(names))
+	for _, n := range names {
+		l := e.latch(n)
+		if excl[n] {
+			l.Lock()
+			release = append(release, l.Unlock)
+		} else {
+			l.RLock()
+			release = append(release, l.RUnlock)
+		}
+	}
+	return func() {
+		for i := len(release) - 1; i >= 0; i-- {
+			release[i]()
+		}
+	}
+}
+
+// stmtTables classifies the tables a statement reads and writes. SHOW and
+// CREATE TABLE need no latches: they only touch the internally-synchronized
+// catalog (SHOW latches per table while rendering).
+func stmtTables(stmt sql.Statement) (reads, writes []string) {
 	switch s := stmt.(type) {
 	case *sql.SelectStmt:
-		return e.runSelect(s, opts)
+		reads = selectTables(s, nil)
+	case *sql.ExplainStmt:
+		reads = selectTables(s.Query, nil)
+	case *sql.InsertStmt:
+		writes = []string{s.Table}
+	case *sql.CopyStmt:
+		writes = []string{s.Table}
+	case *sql.CreatePatchIndexStmt:
+		writes = []string{s.Table}
+	case *sql.DropPatchIndexStmt:
+		writes = []string{s.Table}
+	case *sql.DropTableStmt:
+		writes = []string{s.Name}
+	}
+	return reads, writes
+}
+
+// selectTables collects every base table referenced by a SELECT, including
+// joins and derived tables.
+func selectTables(s *sql.SelectStmt, acc []string) []string {
+	if s == nil {
+		return acc
+	}
+	acc = tableRefTables(s.From, acc)
+	for _, j := range s.Joins {
+		acc = tableRefTables(j.Table, acc)
+	}
+	return acc
+}
+
+func tableRefTables(r *sql.TableRef, acc []string) []string {
+	if r == nil {
+		return acc
+	}
+	if r.Subquery != nil {
+		return selectTables(r.Subquery, acc)
+	}
+	return append(acc, r.Name)
+}
+
+func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, opts ExecOptions) (*Result, error) {
+	switch s := stmt.(type) {
+	case *sql.SelectStmt:
+		return e.runSelect(ctx, s, opts)
 	case *sql.ExplainStmt:
 		var text string
 		var err error
 		if s.Analyze {
-			text, err = e.explainAnalyze(s.Query, opts)
+			text, err = e.explainAnalyze(ctx, s.Query, opts)
 		} else {
 			text, err = e.explain(s.Query, opts)
 		}
@@ -300,6 +483,11 @@ func (e *Engine) execStmt(query string, opts ExecOptions) (*Result, error) {
 // materializing the result. Benchmarks use it so that timing covers query
 // execution rather than result buffering.
 func (e *Engine) DrainWith(query string, opts ExecOptions) (int, error) {
+	return e.DrainWithContext(context.Background(), query, opts)
+}
+
+// DrainWithContext is DrainWith under a cancellable context.
+func (e *Engine) DrainWithContext(ctx context.Context, query string, opts ExecOptions) (int, error) {
 	stmt, err := sql.Parse(query)
 	if err != nil {
 		return 0, err
@@ -309,6 +497,8 @@ func (e *Engine) DrainWith(query string, opts ExecOptions) (int, error) {
 		return 0, fmt.Errorf("patchindex: DrainWith requires a SELECT statement")
 	}
 	start := time.Now()
+	release := e.acquireLatches(selectTables(s, nil), nil)
+	defer release()
 	node, err := e.planSelect(s, opts)
 	if err != nil {
 		return 0, err
@@ -317,7 +507,7 @@ func (e *Engine) DrainWith(query string, opts ExecOptions) (int, error) {
 	if err != nil {
 		return 0, err
 	}
-	n, err := exec.Drain(op)
+	n, err := exec.DrainContext(ctx, op)
 	elapsed := time.Since(start)
 	e.mQueries.Inc()
 	e.hQuery.Observe(elapsed)
@@ -353,7 +543,7 @@ func (e *Engine) planSelect(s *sql.SelectStmt, opts ExecOptions) (plan.Node, err
 	return opt.Optimize(node)
 }
 
-func (e *Engine) runSelect(s *sql.SelectStmt, opts ExecOptions) (*Result, error) {
+func (e *Engine) runSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (*Result, error) {
 	node, err := e.planSelect(s, opts)
 	if err != nil {
 		return nil, err
@@ -362,7 +552,7 @@ func (e *Engine) runSelect(s *sql.SelectStmt, opts ExecOptions) (*Result, error)
 	if err != nil {
 		return nil, err
 	}
-	rows, err := exec.Collect(op)
+	rows, err := exec.CollectContext(ctx, op)
 	if err != nil {
 		return nil, err
 	}
@@ -385,7 +575,7 @@ func (e *Engine) explain(s *sql.SelectStmt, opts ExecOptions) (string, error) {
 // explainAnalyze executes the query (discarding its rows) and renders the
 // physical operator tree annotated with per-operator runtime statistics next
 // to the cost model's estimates.
-func (e *Engine) explainAnalyze(s *sql.SelectStmt, opts ExecOptions) (string, error) {
+func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (string, error) {
 	node, err := e.planSelect(s, opts)
 	if err != nil {
 		return "", err
@@ -395,7 +585,7 @@ func (e *Engine) explainAnalyze(s *sql.SelectStmt, opts ExecOptions) (string, er
 		return "", err
 	}
 	start := time.Now()
-	n, err := exec.Drain(op)
+	n, err := exec.DrainContext(ctx, op)
 	elapsed := time.Since(start)
 	if err != nil {
 		return "", err
@@ -498,7 +688,8 @@ func (e *Engine) runCopy(s *sql.CopyStmt) (*Result, error) {
 		if chunk[0].Len() == 0 {
 			return nil
 		}
-		if err := e.Append(s.Table, part, chunk); err != nil {
+		// The statement dispatcher already holds the table's exclusive latch.
+		if err := e.appendLatched(s.Table, part, chunk); err != nil {
 			return err
 		}
 		part = (part + 1) % t.NumPartitions()
@@ -619,7 +810,8 @@ func (e *Engine) runCreatePatchIndex(s *sql.CreatePatchIndexStmt) (*Result, erro
 	default:
 		kind = patch.Auto
 	}
-	ix, err := e.CreatePatchIndex(s.Table, s.Column, constraint, discovery.BuildOptions{
+	// The statement dispatcher already holds the table's exclusive latch.
+	ix, err := e.createPatchIndexLatched(s.Table, s.Column, constraint, discovery.BuildOptions{
 		Kind:       kind,
 		Threshold:  s.Threshold,
 		Descending: s.Descending,
@@ -637,6 +829,14 @@ func (e *Engine) runCreatePatchIndex(s *sql.CreatePatchIndexStmt) (*Result, erro
 // ("the determined patches are not written to the WAL in order to keep it
 // slim", Section V).
 func (e *Engine) CreatePatchIndex(table, column string, c patch.Constraint, opts discovery.BuildOptions) (*patch.Index, error) {
+	release := e.acquireLatches(nil, []string{table})
+	defer release()
+	return e.createPatchIndexLatched(table, column, c, opts)
+}
+
+// createPatchIndexLatched is CreatePatchIndex with the table's exclusive
+// latch already held by the caller.
+func (e *Engine) createPatchIndexLatched(table, column string, c patch.Constraint, opts discovery.BuildOptions) (*patch.Index, error) {
 	t, err := e.cat.Table(table)
 	if err != nil {
 		return nil, err
@@ -703,6 +903,8 @@ func (e *Engine) Recover() error {
 }
 
 func (e *Engine) createIndexNoLog(r *wal.CreateIndexRecord) (*patch.Index, error) {
+	release := e.acquireLatches(nil, []string{r.Table})
+	defer release()
 	t, err := e.cat.Table(r.Table)
 	if err != nil {
 		return nil, err
@@ -764,23 +966,32 @@ func (e *Engine) materializedMatches(ix *patch.Index, t *storage.Table) bool {
 func (e *Engine) runShow(s *sql.ShowStmt) (*Result, error) {
 	switch s.What {
 	case "tables":
+		// TableNames is sorted, so the output is deterministic; each table is
+		// latched shared while its row is rendered so counts are consistent
+		// under concurrent writers.
 		res := &Result{Columns: []string{"table", "rows", "partitions", "sortkey"}}
 		for _, name := range e.cat.TableNames() {
 			t, err := e.cat.Table(name)
 			if err != nil {
-				return nil, err
+				continue // dropped concurrently
 			}
+			release := e.acquireLatches([]string{name}, nil)
 			res.Rows = append(res.Rows, []vector.Value{
 				vector.StringValue(name),
 				vector.IntValue(int64(t.NumRows())),
 				vector.IntValue(int64(t.NumPartitions())),
 				vector.StringValue(t.SortKey()),
 			})
+			release()
 		}
 		return res, nil
 	case "patchindexes":
+		// Indexes() is sorted by (table, column, constraint), so the output
+		// is deterministic and diffable; each index's table is latched shared
+		// while its row is rendered.
 		res := &Result{Columns: []string{"table", "column", "constraint", "kind", "patches", "rate", "bytes"}}
 		for _, ix := range e.cat.Indexes() {
+			release := e.acquireLatches([]string{ix.Table()}, nil)
 			res.Rows = append(res.Rows, []vector.Value{
 				vector.StringValue(ix.Table()),
 				vector.StringValue(ix.Column()),
@@ -790,6 +1001,7 @@ func (e *Engine) runShow(s *sql.ShowStmt) (*Result, error) {
 				vector.FloatValue(ix.ExceptionRate()),
 				vector.IntValue(int64(ix.MemoryBytes())),
 			})
+			release()
 		}
 		return res, nil
 	default:
@@ -797,8 +1009,11 @@ func (e *Engine) runShow(s *sql.ShowStmt) (*Result, error) {
 	}
 }
 
-// Advise runs the constraint advisor over a table.
+// Advise runs the constraint advisor over a table (under a shared latch, so
+// it can run concurrently with queries but not with writers).
 func (e *Engine) Advise(table string, cfg discovery.AdvisorConfig) ([]discovery.Proposal, error) {
+	release := e.acquireLatches([]string{table}, nil)
+	defer release()
 	t, err := e.cat.Table(table)
 	if err != nil {
 		return nil, err
@@ -810,6 +1025,8 @@ func (e *Engine) Advise(table string, cfg discovery.AdvisorConfig) ([]discovery.
 // table (the fast path used by generators and loaders). Existing
 // PatchIndexes are NOT maintained — use Append for that.
 func (e *Engine) LoadColumns(table string, part int, cols []*vector.Vector) error {
+	release := e.acquireLatches(nil, []string{table})
+	defer release()
 	t, err := e.cat.Table(table)
 	if err != nil {
 		return err
@@ -822,6 +1039,14 @@ func (e *Engine) LoadColumns(table string, part int, cols []*vector.Vector) erro
 // future-work insert support, without a full table scan. The first Append
 // after an index change scans once to (re)build the maintenance state.
 func (e *Engine) Append(table string, part int, cols []*vector.Vector) error {
+	release := e.acquireLatches(nil, []string{table})
+	defer release()
+	return e.appendLatched(table, part, cols)
+}
+
+// appendLatched is Append with the table's exclusive latch already held by
+// the caller (the COPY statement path).
+func (e *Engine) appendLatched(table string, part int, cols []*vector.Vector) error {
 	t, err := e.cat.Table(table)
 	if err != nil {
 		return err

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"encoding/binary"
 	"fmt"
 	"math"
@@ -133,17 +134,19 @@ func (h *HashAgg) ExtraStats() []obs.KV {
 	return []obs.KV{{Key: "groups", Value: h.built}}
 }
 
-// Open builds the entire hash table (pipeline breaker).
-func (h *HashAgg) Open() error {
+// Open builds the entire hash table (pipeline breaker). A cancelled context
+// aborts the build through the child's Next.
+func (h *HashAgg) Open(ctx context.Context) error {
+	h.bindCtx(ctx)
 	start := time.Now()
-	err := h.open()
+	err := h.open(ctx)
 	h.stats.AddTime(start)
 	h.built = int64(len(h.keys))
 	return err
 }
 
-func (h *HashAgg) open() error {
-	if err := h.child.Open(); err != nil {
+func (h *HashAgg) open(ctx context.Context) error {
+	if err := h.child.Open(ctx); err != nil {
 		return err
 	}
 	h.groups = make(map[string]int)
@@ -266,6 +269,9 @@ func max0(c int) int {
 
 // Next emits result groups in hash-table insertion order.
 func (h *HashAgg) Next() (*vector.Batch, error) {
+	if err := h.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := h.next()
 	h.stats.AddTime(start)

@@ -1,0 +1,85 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// TestScanCancelMidStream cancels a context between batches and checks the
+// scan stops with context.Canceled after having produced a partial result
+// (some batches, fewer than the table holds).
+func TestScanCancelMidStream(t *testing.T) {
+	const rows = 8 * vector.BatchSize
+	chunk := make([]int64, rows)
+	for i := range chunk {
+		chunk[i] = int64(i)
+	}
+	tab := buildTable(t, "big", chunk)
+	s, err := NewScan(tab, 0, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	if err := s.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	defer s.Close()
+
+	if b, err := s.Next(); err != nil || b == nil {
+		t.Fatalf("first batch: batch=%v err=%v", b, err)
+	}
+	cancel()
+	if _, err := s.Next(); !errors.Is(err, context.Canceled) {
+		t.Fatalf("after cancel: want context.Canceled, got %v", err)
+	}
+
+	st := s.Stats()
+	if st.Batches < 1 || st.Rows >= rows {
+		t.Fatalf("expected a partial result (got %d batches, %d of %d rows)", st.Batches, st.Rows, rows)
+	}
+}
+
+// TestCollectContextCanceled runs a scan under an already-dead context and
+// checks the very first batch fails with context.Canceled.
+func TestCollectContextCanceled(t *testing.T) {
+	const rows = 4 * vector.BatchSize
+	chunk := make([]int64, rows)
+	for i := range chunk {
+		chunk[i] = int64(i)
+	}
+	tab := buildTable(t, "big", chunk)
+	s, err := NewScan(tab, 0, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // already done before Open: the very first Next must fail
+	_, err = CollectContext(ctx, s)
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from CollectContext, got %v", err)
+	}
+}
+
+// TestDrainContextCancel checks DrainContext aborts a multi-batch drain when
+// the context dies mid-stream.
+func TestDrainContextCancel(t *testing.T) {
+	const rows = 8 * vector.BatchSize
+	chunk := make([]int64, rows)
+	for i := range chunk {
+		chunk[i] = int64(i)
+	}
+	tab := buildTable(t, "big", chunk)
+	s, err := NewScan(tab, 0, []int{0}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := DrainContext(ctx, s); !errors.Is(err, context.Canceled) {
+		t.Fatalf("want context.Canceled from DrainContext, got %v", err)
+	}
+}

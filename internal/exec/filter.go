@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -32,9 +33,10 @@ func (f *Filter) Name() string { return fmt.Sprintf("Filter(%s)", f.pred) }
 func (f *Filter) Types() []vector.Type { return f.child.Types() }
 
 // Open opens the child.
-func (f *Filter) Open() error {
+func (f *Filter) Open(ctx context.Context) error {
+	f.bindCtx(ctx)
 	f.out = vector.NewBatch(f.child.Types())
-	return f.child.Open()
+	return f.child.Open(ctx)
 }
 
 // Children returns the single input.
@@ -42,6 +44,9 @@ func (f *Filter) Children() []Operator { return []Operator{f.child} }
 
 // Next evaluates the predicate and gathers qualifying rows.
 func (f *Filter) Next() (*vector.Batch, error) {
+	if err := f.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := f.next()
 	f.stats.AddTime(start)
@@ -117,13 +122,19 @@ func (p *Project) Name() string { return "Project" }
 func (p *Project) Types() []vector.Type { return p.types }
 
 // Open opens the child.
-func (p *Project) Open() error { return p.child.Open() }
+func (p *Project) Open(ctx context.Context) error {
+	p.bindCtx(ctx)
+	return p.child.Open(ctx)
+}
 
 // Children returns the single input.
 func (p *Project) Children() []Operator { return []Operator{p.child} }
 
 // Next evaluates all projection expressions over the next batch.
 func (p *Project) Next() (*vector.Batch, error) {
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := p.next()
 	p.stats.AddTime(start)
@@ -178,9 +189,10 @@ func (l *Limit) Name() string { return fmt.Sprintf("Limit(%d)", l.n) }
 func (l *Limit) Types() []vector.Type { return l.child.Types() }
 
 // Open opens the child and resets the counter.
-func (l *Limit) Open() error {
+func (l *Limit) Open(ctx context.Context) error {
+	l.bindCtx(ctx)
 	l.seen = 0
-	return l.child.Open()
+	return l.child.Open(ctx)
 }
 
 // Children returns the single input.
@@ -188,6 +200,9 @@ func (l *Limit) Children() []Operator { return []Operator{l.child} }
 
 // Next truncates the stream after n rows.
 func (l *Limit) Next() (*vector.Batch, error) {
+	if err := l.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := l.next()
 	l.stats.AddTime(start)

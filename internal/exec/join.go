@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -81,15 +82,17 @@ func (j *HashJoin) ExtraStats() []obs.KV {
 	return []obs.KV{{Key: "build_rows", Value: j.buildRows}}
 }
 
-// Open builds the hash table on the configured side.
-func (j *HashJoin) Open() error {
+// Open builds the hash table on the configured side. A cancelled context
+// aborts the build through the build child's Next.
+func (j *HashJoin) Open(ctx context.Context) error {
+	j.bindCtx(ctx)
 	start := time.Now()
-	err := j.open()
+	err := j.open(ctx)
 	j.stats.AddTime(start)
 	return err
 }
 
-func (j *HashJoin) open() error {
+func (j *HashJoin) open(ctx context.Context) error {
 	var build Operator
 	var buildKey int
 	if j.buildLeft {
@@ -99,7 +102,7 @@ func (j *HashJoin) open() error {
 		build, j.probe = j.right, j.left
 		buildKey, j.probeKey = j.rightKey, j.leftKey
 	}
-	if err := build.Open(); err != nil {
+	if err := build.Open(ctx); err != nil {
 		return err
 	}
 	cols, n, err := materialize(build, build.Types())
@@ -129,11 +132,14 @@ func (j *HashJoin) open() error {
 		}
 	}
 	j.out = vector.NewBatch(j.types)
-	return j.probe.Open()
+	return j.probe.Open(ctx)
 }
 
 // Next probes the hash table with the next probe-side batch.
 func (j *HashJoin) Next() (*vector.Batch, error) {
+	if err := j.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := j.next()
 	j.stats.AddTime(start)
@@ -290,11 +296,12 @@ func (j *MergeJoin) Name() string { return "MergeJoin" }
 func (j *MergeJoin) Types() []vector.Type { return j.types }
 
 // Open opens both children.
-func (j *MergeJoin) Open() error {
-	if err := j.left.Open(); err != nil {
+func (j *MergeJoin) Open(ctx context.Context) error {
+	j.bindCtx(ctx)
+	if err := j.left.Open(ctx); err != nil {
 		return err
 	}
-	if err := j.right.Open(); err != nil {
+	if err := j.right.Open(ctx); err != nil {
 		return err
 	}
 	j.lc = newMergeCursor(j.left, j.leftKey)
@@ -322,6 +329,9 @@ func (j *MergeJoin) Children() []Operator { return []Operator{j.left, j.right} }
 // row on the left, e.g. a dimension primary key) streams the right side
 // directly into the output without buffering the right group.
 func (j *MergeJoin) Next() (*vector.Batch, error) {
+	if err := j.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := j.next()
 	j.stats.AddTime(start)

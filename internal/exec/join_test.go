@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 	"testing"
@@ -172,7 +173,7 @@ func TestMergeJoinRejectsUnsortedInput(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := j.Open(); err != nil {
+	if err := j.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer j.Close()
@@ -188,7 +189,7 @@ func TestMergeJoinRejectsUnsortedAcrossBatches(t *testing.T) {
 	right := newMemOp([]vector.Type{vector.Int64, vector.Int64},
 		pairsBatch([][2]int64{{2, 10}, {5, 50}}))
 	j, _ := NewMergeJoin(left, right, 0, 0)
-	if err := j.Open(); err != nil {
+	if err := j.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer j.Close()

@@ -8,6 +8,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 
 	"patchindex/internal/obs"
@@ -20,11 +21,19 @@ import (
 // call to Next or Close on the same operator — operators reuse their output
 // buffers. Consumers that need data across calls (pipeline breakers like
 // sort, hash build, materialization) must copy.
+//
+// Cancellation: the context passed to Open is retained for the operator's
+// lifetime. Every operator checks it once per batch in Next (and pipeline
+// breakers observe it through their children while materializing), so a
+// cancelled or deadline-exceeded context stops execution mid-stream with
+// the context's error.
 type Operator interface {
 	// Types returns the output column types.
 	Types() []vector.Type
-	// Open prepares the operator for execution (build phase).
-	Open() error
+	// Open prepares the operator for execution (build phase). The context
+	// governs the whole execution: Open, every Next, and any worker
+	// goroutines the operator starts.
+	Open(ctx context.Context) error
 	// Next returns the next batch, or nil at end of stream.
 	Next() (*vector.Batch, error)
 	// Close releases resources. It is safe to call after an error.
@@ -47,18 +56,43 @@ type ExtraStatser interface {
 	ExtraStats() []obs.KV
 }
 
-// opStats is embedded by every operator to satisfy Stats().
+// opStats is embedded by every operator to satisfy Stats() and to hold the
+// execution context bound at Open.
 type opStats struct {
 	stats obs.OpStats
+	ctx   context.Context
 }
 
 // Stats returns the operator's runtime statistics.
 func (o *opStats) Stats() *obs.OpStats { return &o.stats }
 
+// bindCtx records the execution context; nil defaults to Background so
+// operators opened outside a request (tests, tools) need no special casing.
+func (o *opStats) bindCtx(ctx context.Context) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
+	o.ctx = ctx
+}
+
+// ctxErr reports the bound context's cancellation state; checked once per
+// Next call by every operator.
+func (o *opStats) ctxErr() error {
+	if o.ctx == nil {
+		return nil
+	}
+	return o.ctx.Err()
+}
+
 // Collect drains an operator into row-oriented values, managing Open/Close.
 // It is the main helper for tests and result materialization.
 func Collect(op Operator) ([][]vector.Value, error) {
-	if err := op.Open(); err != nil {
+	return CollectContext(context.Background(), op)
+}
+
+// CollectContext is Collect under a cancellable context.
+func CollectContext(ctx context.Context, op Operator) ([][]vector.Value, error) {
+	if err := op.Open(ctx); err != nil {
 		return nil, err
 	}
 	defer op.Close()
@@ -79,7 +113,12 @@ func Collect(op Operator) ([][]vector.Value, error) {
 
 // Drain consumes an operator, counting rows without materializing them.
 func Drain(op Operator) (int, error) {
-	if err := op.Open(); err != nil {
+	return DrainContext(context.Background(), op)
+}
+
+// DrainContext is Drain under a cancellable context.
+func DrainContext(ctx context.Context, op Operator) (int, error) {
+	if err := op.Open(ctx); err != nil {
 		return 0, err
 	}
 	defer op.Close()

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -79,8 +80,9 @@ func (p *PatchSelect) Name() string { return fmt.Sprintf("PatchSelect(%s)", p.mo
 func (p *PatchSelect) Types() []vector.Type { return p.child.Types() }
 
 // Open opens the child and fetches the patch pointer from the index.
-func (p *PatchSelect) Open() error {
-	if err := p.child.Open(); err != nil {
+func (p *PatchSelect) Open(ctx context.Context) error {
+	p.bindCtx(ctx)
+	if err := p.child.Open(ctx); err != nil {
 		return err
 	}
 	// The pointer into the patch data is fetched once here, during the
@@ -105,6 +107,9 @@ func (p *PatchSelect) ExtraStats() []obs.KV {
 
 // Next applies the patch information to the next child batch.
 func (p *PatchSelect) Next() (*vector.Batch, error) {
+	if err := p.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := p.next()
 	p.stats.AddTime(start)

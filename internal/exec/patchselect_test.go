@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 	"testing/quick"
@@ -193,7 +194,7 @@ func TestPatchSelectRejectsNonContiguous(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := ps.Open(); err != nil {
+	if err := ps.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer ps.Close()
@@ -208,7 +209,7 @@ func TestPatchSelectRejectsBackwardsBatches(t *testing.T) {
 	src := newMemOp([]vector.Type{vector.Int64}, b1, b2)
 	set, _ := patch.Build(patch.Identifier, nil, 200)
 	ps, _ := NewPatchSelect(src, set, ExcludePatches)
-	if err := ps.Open(); err != nil {
+	if err := ps.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer ps.Close()

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -78,7 +79,8 @@ func (s *Scan) Partition() int { return s.part }
 func (s *Scan) Table() *storage.Table { return s.table }
 
 // Open captures the column vectors of the partition.
-func (s *Scan) Open() error {
+func (s *Scan) Open(ctx context.Context) error {
+	s.bindCtx(ctx)
 	p := s.table.Partition(s.part)
 	s.src = make([]*vector.Vector, len(s.cols))
 	for i, c := range s.cols {
@@ -104,6 +106,9 @@ func (s *Scan) ExtraStats() []obs.KV {
 
 // Next emits up to BatchSize contiguous rows from the current range.
 func (s *Scan) Next() (*vector.Batch, error) {
+	if err := s.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := s.next()
 	s.stats.AddTime(start)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"testing"
 
 	"patchindex/internal/storage"
@@ -17,7 +18,7 @@ func TestScanFullPartition(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := sc.Open(); err != nil {
+	if err := sc.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer sc.Close()

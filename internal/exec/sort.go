@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -56,16 +57,18 @@ func (s *Sort) ExtraStats() []obs.KV {
 	return []obs.KV{{Key: "sorted_rows", Value: s.sortedRows}}
 }
 
-// Open materializes and sorts the entire input (pipeline breaker).
-func (s *Sort) Open() error {
+// Open materializes and sorts the entire input (pipeline breaker). A
+// cancelled context aborts the materialization through the child's Next.
+func (s *Sort) Open(ctx context.Context) error {
+	s.bindCtx(ctx)
 	start := time.Now()
-	err := s.open()
+	err := s.open(ctx)
 	s.stats.AddTime(start)
 	return err
 }
 
-func (s *Sort) open() error {
-	if err := s.child.Open(); err != nil {
+func (s *Sort) open(ctx context.Context) error {
+	if err := s.child.Open(ctx); err != nil {
 		return err
 	}
 	cols, n, err := materialize(s.child, s.child.Types())
@@ -103,6 +106,9 @@ func (s *Sort) open() error {
 
 // Next emits the next sorted batch.
 func (s *Sort) Next() (*vector.Batch, error) {
+	if err := s.ctxErr(); err != nil {
+		return nil, err
+	}
 	if s.emit == nil {
 		return nil, errOp(s, fmt.Errorf("not opened"))
 	}

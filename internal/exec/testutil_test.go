@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"testing"
 
@@ -32,7 +33,8 @@ func (m *memOp) Name() string         { return "mem" }
 func (m *memOp) Types() []vector.Type { return m.types }
 func (m *memOp) Children() []Operator { return nil }
 
-func (m *memOp) Open() error {
+func (m *memOp) Open(ctx context.Context) error {
+	m.bindCtx(ctx)
 	m.opened = true
 	m.openCount++
 	m.pos = 0

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"fmt"
 	"sync"
 	"time"
@@ -50,10 +51,11 @@ func (u *Union) Name() string { return fmt.Sprintf("Union(%d)", len(u.children))
 func (u *Union) Types() []vector.Type { return u.types }
 
 // Open opens all children.
-func (u *Union) Open() error {
+func (u *Union) Open(ctx context.Context) error {
+	u.bindCtx(ctx)
 	u.cur = 0
 	for _, c := range u.children {
-		if err := c.Open(); err != nil {
+		if err := c.Open(ctx); err != nil {
 			return err
 		}
 	}
@@ -65,6 +67,9 @@ func (u *Union) Children() []Operator { return u.children }
 
 // Next drains children in order.
 func (u *Union) Next() (*vector.Batch, error) {
+	if err := u.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := u.next()
 	u.stats.AddTime(start)
@@ -178,18 +183,19 @@ func (m *MergeUnion) Types() []vector.Type { return m.types }
 func (m *MergeUnion) Children() []Operator { return m.children }
 
 // Open opens all children, primes the cursors and builds the heap.
-func (m *MergeUnion) Open() error {
+func (m *MergeUnion) Open(ctx context.Context) error {
+	m.bindCtx(ctx)
 	start := time.Now()
-	err := m.open()
+	err := m.open(ctx)
 	m.stats.AddTime(start)
 	return err
 }
 
-func (m *MergeUnion) open() error {
+func (m *MergeUnion) open(ctx context.Context) error {
 	m.cursors = m.cursors[:0]
 	m.heap = m.heap[:0]
 	for _, c := range m.children {
-		if err := c.Open(); err != nil {
+		if err := c.Open(ctx); err != nil {
 			return err
 		}
 		m.cursors = append(m.cursors, &unionCursor{op: c})
@@ -235,6 +241,9 @@ func (m *MergeUnion) siftDown(i int) {
 
 // Next emits the next batch of globally smallest rows.
 func (m *MergeUnion) Next() (*vector.Batch, error) {
+	if err := m.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := m.next()
 	m.stats.AddTime(start)
@@ -362,8 +371,11 @@ func (u *ParallelUnion) Name() string { return fmt.Sprintf("ParallelUnion(%d)", 
 // Types returns the common child types.
 func (u *ParallelUnion) Types() []vector.Type { return u.types }
 
-// Open starts one producer goroutine per child.
-func (u *ParallelUnion) Open() error {
+// Open starts one producer goroutine per child. Producers stop on context
+// cancellation: their children return the context error from Next, and the
+// send path also watches the context so no producer blocks forever.
+func (u *ParallelUnion) Open(ctx context.Context) error {
+	u.bindCtx(ctx)
 	u.ch = make(chan parallelItem, 2*len(u.children))
 	u.done = make(chan struct{})
 	u.started = true
@@ -371,7 +383,7 @@ func (u *ParallelUnion) Open() error {
 		u.wg.Add(1)
 		go func(op Operator) {
 			defer u.wg.Done()
-			if err := op.Open(); err != nil {
+			if err := op.Open(ctx); err != nil {
 				u.send(parallelItem{err: err})
 				return
 			}
@@ -401,10 +413,16 @@ func (u *ParallelUnion) Open() error {
 }
 
 func (u *ParallelUnion) send(it parallelItem) bool {
+	var cancel <-chan struct{}
+	if u.ctx != nil {
+		cancel = u.ctx.Done()
+	}
 	select {
 	case u.ch <- it:
 		return true
 	case <-u.done:
+		return false
+	case <-cancel:
 		return false
 	}
 }
@@ -416,6 +434,9 @@ func (u *ParallelUnion) Children() []Operator { return u.children }
 // Next returns the next batch from any child. The recorded time includes
 // waiting for producers, so it reflects the critical path, not CPU work.
 func (u *ParallelUnion) Next() (*vector.Batch, error) {
+	if err := u.ctxErr(); err != nil {
+		return nil, err
+	}
 	start := time.Now()
 	b, err := u.next()
 	u.stats.AddTime(start)

@@ -1,6 +1,7 @@
 package exec
 
 import (
+	"context"
 	"errors"
 	"sort"
 	"testing"
@@ -43,7 +44,7 @@ func TestUnionValidation(t *testing.T) {
 
 func TestUnionClearsContiguity(t *testing.T) {
 	u, _ := NewUnion(newMemOp([]vector.Type{vector.Int64}, contiguous(intBatch(1), 0)))
-	if err := u.Open(); err != nil {
+	if err := u.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	defer u.Close()
@@ -189,7 +190,7 @@ func TestParallelUnionEarlyClose(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if err := u.Open(); err != nil {
+	if err := u.Open(context.Background()); err != nil {
 		t.Fatal(err)
 	}
 	if _, err := u.Next(); err != nil {
