@@ -6,11 +6,18 @@
 //	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory]
 //	           [-rows N] [-customer-rows N] [-sales-rows N]
 //	           [-partitions N] [-reps N] [-parallel] [-quick]
-//	           [-json FILE]
+//	           [-json FILE] [-trace FILE] [-trace-sql SQL]
 //
 // With -json the run additionally emits a machine-readable document holding
 // the configuration, every individual measurement, and a snapshot of the
 // engine-wide metrics registry accumulated across all experiments.
+//
+// With -trace the run (instead of the experiments) executes one traced
+// benchmark query against the custom dataset and writes its span tree in
+// Chrome trace-event format, ready for chrome://tracing or Perfetto:
+//
+//	patchbench -quick -trace trace.json
+//	patchbench -quick -trace trace.json -trace-sql 'SELECT COUNT(*) FROM data WHERE u > 100'
 package main
 
 import (
@@ -46,6 +53,8 @@ func main() {
 	quick := flag.Bool("quick", false, "small quick configuration")
 	rates := flag.String("rates", "", "comma-separated exception rates, e.g. 0,0.1,0.5")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file ('-' for stdout)")
+	traceOut := flag.String("trace", "", "trace one benchmark query and write a Chrome trace-event file ('-' for stdout)")
+	traceSQL := flag.String("trace-sql", "", "query to trace with -trace (default: the Table 1 COUNT DISTINCT probe)")
 	flag.Parse()
 
 	cfg := bench.DefaultConfig()
@@ -78,6 +87,14 @@ func main() {
 			}
 			cfg.Rates = append(cfg.Rates, f)
 		}
+	}
+
+	if *traceOut != "" {
+		if err := emitTrace(cfg, *traceSQL, *traceOut); err != nil {
+			fmt.Fprintf(os.Stderr, "patchbench: trace: %v\n", err)
+			os.Exit(1)
+		}
+		return
 	}
 
 	rep := report{Measurements: []bench.Measurement{}}
@@ -120,4 +137,28 @@ func main() {
 			os.Exit(1)
 		}
 	}
+}
+
+// emitTrace runs one traced benchmark query and writes the resulting span
+// tree as a Chrome trace-event document to path ('-' for stdout).
+func emitTrace(cfg bench.Config, sqlText, path string) error {
+	tr, err := bench.TraceQuery(cfg, sqlText)
+	if err != nil {
+		return err
+	}
+	out := os.Stdout
+	if path != "-" {
+		f, err := os.Create(path)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	if err := tr.WriteChrome(out); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "patchbench: trace %d (%s, %d rows, %d spans) written to %s\n",
+		tr.ID, time.Duration(tr.Duration), tr.Rows, len(tr.Spans), path)
+	return nil
 }

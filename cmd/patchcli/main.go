@@ -10,8 +10,10 @@
 //	patchcli -e "SELECT ..." stats # ... then dump engine metrics
 //	patchcli -connect host:5433    # remote shell against a patchserver
 //
-// Inside the shell, statements end with ';', and \stats prints the engine
-// metrics registry. Try:
+// Inside the shell, statements end with ';', \stats prints the engine
+// metrics registry, \trace on|off toggles per-statement tracing (the trace
+// id is printed after each result), and \queries lists the recent query
+// history from the tracer's ring. Try:
 //
 //	SHOW TABLES;
 //	CREATE PATCHINDEX ON customer(c_email_address) UNIQUE THRESHOLD 0.1;
@@ -30,6 +32,7 @@ import (
 
 	"patchindex"
 	"patchindex/internal/datagen"
+	"patchindex/internal/obs"
 	"patchindex/internal/server"
 )
 
@@ -118,7 +121,7 @@ func main() {
 	}
 
 	if *execStmt != "" {
-		if err := runStatement(eng, *execStmt); err != nil {
+		if err := runStatement(eng, *execStmt, false); err != nil {
 			fatal(err)
 		}
 		if flag.Arg(0) == "stats" {
@@ -134,10 +137,11 @@ func main() {
 		return
 	}
 
-	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics")
+	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics, \\trace on|off, \\queries")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
+	traceOn := false
 	prompt := "sql> "
 	for {
 		fmt.Print(prompt)
@@ -153,13 +157,26 @@ func main() {
 			eng.Metrics().WriteText(os.Stdout)
 			continue
 		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\trace") {
+			if on, err := parseTraceArg(trimmed); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				traceOn = on
+				fmt.Printf("tracing %s\n", onOff(traceOn))
+			}
+			continue
+		}
+		if buf.Len() == 0 && trimmed == "\\queries" {
+			printQueries(eng.Tracer().Recent(20))
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
 			stmt := buf.String()
 			buf.Reset()
 			prompt = "sql> "
-			if err := runStatement(eng, stmt); err != nil {
+			if err := runStatement(eng, stmt, traceOn); err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
 			}
 		} else if buf.Len() > 0 {
@@ -168,10 +185,47 @@ func main() {
 	}
 }
 
+// parseTraceArg parses "\trace on" / "\trace off".
+func parseTraceArg(cmd string) (bool, error) {
+	fields := strings.Fields(cmd)
+	if len(fields) != 2 || (fields[1] != "on" && fields[1] != "off") {
+		return false, fmt.Errorf("usage: \\trace on|off")
+	}
+	return fields[1] == "on", nil
+}
+
+func onOff(b bool) string {
+	if b {
+		return "on"
+	}
+	return "off"
+}
+
+// printQueries renders the local engine's recent query history.
+func printQueries(traces []*obs.Trace) {
+	if len(traces) == 0 {
+		fmt.Println("no completed queries recorded (enable with \\trace on or -trace-sample)")
+		return
+	}
+	fmt.Printf("%-8s  %-7s  %-12s  %8s  %10s  %s\n", "trace_id", "sampled", "duration", "rows", "patch_hits", "sql")
+	for _, t := range traces {
+		sqlText := strings.Join(strings.Fields(t.SQL), " ")
+		if len(sqlText) > 60 {
+			sqlText = sqlText[:60] + "..."
+		}
+		if t.Error != "" {
+			sqlText += " [error: " + t.Error + "]"
+		}
+		fmt.Printf("%-8d  %-7t  %-12s  %8d  %10d  %s\n",
+			t.ID, t.Sampled, t.Duration.Round(time.Microsecond), t.Rows, t.PatchHits, sqlText)
+	}
+}
+
 // remoteShell runs the REPL (or a single -e statement) against a remote
 // patchserver. \stats fetches the server-side metrics registry; \set
 // KEY VALUE adjusts session settings (timeout_ms, max_rows,
-// disable_rewrites).
+// disable_rewrites); \trace on|off requests a server-side trace for every
+// statement; \queries lists the server's recent query history.
 func remoteShell(addr, execStmt string) error {
 	cli, err := server.Dial(addr)
 	if err != nil {
@@ -184,7 +238,7 @@ func remoteShell(addr, execStmt string) error {
 	}
 
 	fmt.Printf("patchindex shell — connected to %s (session %d)\n", addr, cli.SessionID())
-	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings")
+	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings, \\trace on|off, \\queries")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -219,6 +273,24 @@ func remoteShell(addr, execStmt string) error {
 			}
 			continue
 		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\trace") {
+			if on, err := parseTraceArg(trimmed); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			} else {
+				cli.Trace(on)
+				fmt.Printf("tracing %s\n", onOff(on))
+			}
+			continue
+		}
+		if buf.Len() == 0 && trimmed == "\\queries" {
+			res, err := cli.Queries()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Print(res.String())
+			continue
+		}
 		buf.WriteString(line)
 		buf.WriteByte('\n')
 		if strings.HasSuffix(trimmed, ";") {
@@ -246,12 +318,16 @@ func runRemote(cli *server.Client, stmt string) error {
 	if !strings.HasSuffix(s, "\n") {
 		fmt.Println()
 	}
-	fmt.Printf("-- %s\n", res.Duration.Round(time.Microsecond))
+	if res.TraceID != 0 {
+		fmt.Printf("-- %s (trace %d)\n", res.Duration.Round(time.Microsecond), res.TraceID)
+	} else {
+		fmt.Printf("-- %s\n", res.Duration.Round(time.Microsecond))
+	}
 	return nil
 }
 
-func runStatement(eng *patchindex.Engine, stmt string) error {
-	res, err := eng.Exec(stmt)
+func runStatement(eng *patchindex.Engine, stmt string, trace bool) error {
+	res, err := eng.ExecWith(stmt, patchindex.ExecOptions{Trace: trace})
 	if err != nil {
 		return err
 	}
@@ -260,7 +336,11 @@ func runStatement(eng *patchindex.Engine, stmt string) error {
 	if !strings.HasSuffix(s, "\n") {
 		fmt.Println()
 	}
-	fmt.Printf("-- %s\n", res.Duration.Round(time.Microsecond))
+	if res.TraceID != 0 {
+		fmt.Printf("-- %s (trace %d)\n", res.Duration.Round(time.Microsecond), res.TraceID)
+	} else {
+		fmt.Printf("-- %s\n", res.Duration.Round(time.Microsecond))
+	}
 	return nil
 }
 

@@ -1,11 +1,15 @@
 // Command patchserver runs the patchindex engine as a network server. It
 // listens on one TCP port that serves both the patchserver wire protocol
 // (see internal/server/protocol; connect with `patchcli -connect`) and
-// plain HTTP for /metrics, /stats, and /healthz.
+// plain HTTP for /metrics, /stats (with PatchIndex health), /healthz, the
+// query history at /queries, Chrome-exportable statement traces at
+// /trace/<id>, and (with -pprof) /debug/pprof/.
 //
-//	patchserver -listen :5433 -demo tpcds -rows 1000000
+//	patchserver -listen :5433 -demo tpcds -rows 1000000 -trace-sample 1
 //	patchcli -connect localhost:5433
 //	curl localhost:5433/metrics
+//	curl localhost:5433/queries
+//	curl 'localhost:5433/trace/7?format=chrome' > trace.json  # chrome://tracing
 //
 // The server bounds concurrent query execution (-max-concurrent) with a
 // bounded admission queue (-queue-depth); excess load is shed with a
@@ -43,6 +47,9 @@ func main() {
 	timeoutMS := flag.Int("timeout-ms", 0, "default per-query timeout in ms (0 = none; sessions can override)")
 	maxRows := flag.Int("max-rows", 0, "default result-set clip (0 = unlimited; sessions can override)")
 	grace := flag.Int("grace", 10, "graceful-shutdown drain window in seconds")
+	traceSample := flag.Int("trace-sample", 0, "trace every Nth statement (0 = off; clients can still request traces per statement)")
+	traceHistory := flag.Int("trace-history", 0, "completed-query profiles kept for /queries and /trace/<id> (0 = default 128)")
+	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	eng, err := patchindex.New(patchindex.Config{
@@ -51,6 +58,8 @@ func main() {
 		WALPath:            *walPath,
 		IndexDir:           *indexDir,
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+		TraceSample:        *traceSample,
+		TraceHistory:       *traceHistory,
 	})
 	if err != nil {
 		fatal(err)
@@ -73,6 +82,7 @@ func main() {
 		QueueDepth:     *queueDepth,
 		DefaultTimeout: time.Duration(*timeoutMS) * time.Millisecond,
 		DefaultMaxRows: *maxRows,
+		EnablePprof:    *enablePprof,
 	})
 	if err != nil {
 		fatal(err)
@@ -80,7 +90,7 @@ func main() {
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz /queries /trace/<id>)\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

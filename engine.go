@@ -72,6 +72,14 @@ type Config struct {
 	SlowQueryThreshold time.Duration
 	// SlowQueryLog receives slow-query lines (default os.Stderr).
 	SlowQueryLog io.Writer
+	// TraceHistory is the capacity of the completed-query trace ring served
+	// via Tracer (default obs.DefaultTraceHistory).
+	TraceHistory int
+	// TraceSample, when positive, enables statement tracing: every statement
+	// is recorded in the query history and every TraceSample-th statement
+	// collects a full span tree (1 = all). Zero leaves tracing disabled;
+	// individual statements can still force a trace via ExecOptions.Trace.
+	TraceSample int
 }
 
 // ExecOptions tune a single statement execution.
@@ -79,6 +87,15 @@ type ExecOptions struct {
 	// DisablePatchRewrites runs the statement without PatchIndex rewrites
 	// (the baseline plan), regardless of existing indexes.
 	DisablePatchRewrites bool
+	// Trace forces a full trace (span tree) for this statement, regardless
+	// of the tracer's enabled/sampling state. The trace id is returned in
+	// Result.TraceID and the profile lands in the tracer's history ring.
+	Trace bool
+	// SessionID and ClientAddr identify the server session that issued the
+	// statement; they annotate traces and slow-query log lines. Zero/empty
+	// for embedded (library) use.
+	SessionID  uint64
+	ClientAddr string
 }
 
 // Engine is a self-contained database instance.
@@ -108,6 +125,7 @@ type Engine struct {
 	slowMu sync.Mutex
 
 	metrics *obs.Registry
+	tracer  *obs.Tracer
 	slowLog io.Writer
 	// Hot-path metrics are resolved once here; incrementing them is
 	// lock-free.
@@ -145,6 +163,11 @@ func New(cfg Config) (*Engine, error) {
 	}
 	e.metrics = cfg.Metrics
 	e.slowLog = cfg.SlowQueryLog
+	e.tracer = obs.NewTracer(cfg.TraceHistory)
+	if cfg.TraceSample > 0 {
+		e.tracer.SetSampleEvery(cfg.TraceSample)
+		e.tracer.SetEnabled(true)
+	}
 	e.mStatements = e.metrics.Counter("statements_total")
 	e.mQueries = e.metrics.Counter("queries_total")
 	e.mSlowQueries = e.metrics.Counter("slow_queries_total")
@@ -167,6 +190,11 @@ func New(cfg Config) (*Engine, error) {
 // Metrics returns the engine's metric registry (never nil).
 func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 
+// Tracer returns the engine's statement tracer (never nil). Flip it on with
+// Tracer().SetEnabled(true) or Config.TraceSample; its ring holds the
+// query history served at /queries and /trace/<id>.
+func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
 // Close releases the WAL (if any).
 func (e *Engine) Close() error {
 	if e.log != nil {
@@ -186,6 +214,9 @@ type Result struct {
 	Message string
 	// Duration is the wall time of the statement, parse to materialization.
 	Duration time.Duration
+	// TraceID identifies the statement's profile in the engine tracer's
+	// history ring when the statement was traced; 0 otherwise.
+	TraceID uint64
 }
 
 // String renders the result as an aligned text table (for the CLI and the
@@ -255,11 +286,27 @@ func (e *Engine) ExecWith(query string, opts ExecOptions) (*Result, error) {
 
 // ExecWithContext is ExecWith under a cancellable context.
 func (e *Engine) ExecWithContext(ctx context.Context, query string, opts ExecOptions) (*Result, error) {
+	at, ctx := e.beginTrace(ctx, query, opts)
+	sp := at.StartSpan("parse", -1)
 	stmt, err := sql.Parse(query)
+	at.EndSpan(sp)
 	if err != nil {
+		at.Finish(0, err)
 		return nil, err
 	}
 	return e.execPrepared(ctx, query, stmt, opts)
+}
+
+// beginTrace starts a trace for one statement (nil when tracing is off and
+// the statement does not force it) and attaches it to the context so the
+// execution phases and operators can record spans.
+func (e *Engine) beginTrace(ctx context.Context, query string, opts ExecOptions) (*obs.ActiveTrace, context.Context) {
+	at := e.tracer.Start(query, opts.Trace)
+	if at == nil {
+		return nil, ctx
+	}
+	at.SetSession(opts.SessionID, opts.ClientAddr)
+	return at, obs.ContextWithTrace(ctx, at)
 }
 
 // Prepared is a parsed statement bound to the engine that produced it. It
@@ -294,8 +341,14 @@ func (e *Engine) ExecPreparedContext(ctx context.Context, p *Prepared, opts Exec
 }
 
 // execPrepared latches the referenced tables, dispatches the statement, and
-// records duration metrics and the slow-query log.
+// records duration metrics, the trace, and the slow-query log. A trace
+// begun by ExecWithContext (with its parse span) rides in on the context;
+// the prepared path starts one here (no parse happened).
 func (e *Engine) execPrepared(ctx context.Context, query string, stmt sql.Statement, opts ExecOptions) (*Result, error) {
+	at := obs.TraceFromContext(ctx)
+	if at == nil {
+		at, ctx = e.beginTrace(ctx, query, opts)
+	}
 	start := time.Now()
 	release := e.latchStmt(stmt)
 	res, err := e.execStmt(ctx, stmt, opts)
@@ -303,23 +356,43 @@ func (e *Engine) execPrepared(ctx context.Context, query string, stmt sql.Statem
 	elapsed := time.Since(start)
 	e.mStatements.Inc()
 	e.hQuery.Observe(elapsed)
-	e.noteSlow(query, elapsed)
+	var rows int64
+	if res != nil {
+		rows = int64(len(res.Rows))
+	}
+	tr := at.Finish(rows, err)
 	if res != nil {
 		res.Duration = elapsed
+		if tr != nil {
+			res.TraceID = tr.ID
+		}
 	}
+	e.noteSlow(query, elapsed, opts, at.ID())
 	return res, err
 }
 
-// noteSlow logs a statement that crossed the slow-query threshold.
-func (e *Engine) noteSlow(query string, elapsed time.Duration) {
+// noteSlow logs a statement that crossed the slow-query threshold, tagging
+// it with the issuing session, the client address, and the trace id when the
+// statement arrived via the server / was traced.
+func (e *Engine) noteSlow(query string, elapsed time.Duration, opts ExecOptions, traceID uint64) {
 	if e.cfg.SlowQueryThreshold <= 0 || elapsed < e.cfg.SlowQueryThreshold {
 		return
 	}
 	e.mSlowQueries.Inc()
+	var tags strings.Builder
+	if opts.SessionID != 0 {
+		fmt.Fprintf(&tags, " session=%d", opts.SessionID)
+	}
+	if opts.ClientAddr != "" {
+		fmt.Fprintf(&tags, " client=%s", opts.ClientAddr)
+	}
+	if traceID != 0 {
+		fmt.Fprintf(&tags, " trace=%d", traceID)
+	}
 	e.slowMu.Lock()
 	defer e.slowMu.Unlock()
-	fmt.Fprintf(e.slowLog, "slow query (%s): %s\n",
-		elapsed.Round(time.Microsecond), strings.Join(strings.Fields(query), " "))
+	fmt.Fprintf(e.slowLog, "slow query (%s)%s: %s\n",
+		elapsed.Round(time.Microsecond), tags.String(), strings.Join(strings.Fields(query), " "))
 }
 
 // latch returns the reader/writer latch of a table, creating it on first
@@ -436,7 +509,7 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, opts ExecOpti
 		if s.Analyze {
 			text, err = e.explainAnalyze(ctx, s.Query, opts)
 		} else {
-			text, err = e.explain(s.Query, opts)
+			text, err = e.explain(ctx, s.Query, opts)
 		}
 		if err != nil {
 			return nil, err
@@ -488,30 +561,44 @@ func (e *Engine) DrainWith(query string, opts ExecOptions) (int, error) {
 
 // DrainWithContext is DrainWith under a cancellable context.
 func (e *Engine) DrainWithContext(ctx context.Context, query string, opts ExecOptions) (int, error) {
+	at, ctx := e.beginTrace(ctx, query, opts)
+	sp := at.StartSpan("parse", -1)
 	stmt, err := sql.Parse(query)
+	at.EndSpan(sp)
 	if err != nil {
+		at.Finish(0, err)
 		return 0, err
 	}
 	s, ok := stmt.(*sql.SelectStmt)
 	if !ok {
-		return 0, fmt.Errorf("patchindex: DrainWith requires a SELECT statement")
+		err := fmt.Errorf("patchindex: DrainWith requires a SELECT statement")
+		at.Finish(0, err)
+		return 0, err
 	}
 	start := time.Now()
 	release := e.acquireLatches(selectTables(s, nil), nil)
 	defer release()
-	node, err := e.planSelect(s, opts)
+	node, err := e.planSelect(ctx, s, opts)
 	if err != nil {
+		at.Finish(0, err)
 		return 0, err
 	}
-	op, err := plan.Build(node, plan.Config{Parallel: e.cfg.Parallel, DisableScanRanges: e.cfg.DisableScanRanges})
+	op, err := e.buildPlan(ctx, node)
 	if err != nil {
+		at.Finish(0, err)
 		return 0, err
 	}
+	execSp := at.StartSpan("execute", -1)
 	n, err := exec.DrainContext(ctx, op)
+	at.EndSpan(execSp)
 	elapsed := time.Since(start)
+	if err == nil {
+		at.AddPatchHits(exec.AppendOpSpans(at, execSp, op))
+	}
+	at.Finish(int64(n), err)
 	e.mQueries.Inc()
 	e.hQuery.Observe(elapsed)
-	e.noteSlow(query, elapsed)
+	e.noteSlow(query, elapsed, opts, at.ID())
 	return n, err
 }
 
@@ -527,9 +614,14 @@ func (e *Engine) Query(query string) (*Result, error) {
 	return res, nil
 }
 
-func (e *Engine) planSelect(s *sql.SelectStmt, opts ExecOptions) (plan.Node, error) {
+// planSelect binds and optimizes a SELECT, recording "bind" and "rewrite"
+// trace spans when the context carries an active trace.
+func (e *Engine) planSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (plan.Node, error) {
+	at := obs.TraceFromContext(ctx)
 	b := &sql.Binder{Cat: e.cat}
+	sp := at.StartSpan("bind", -1)
 	node, err := b.BindSelect(s)
+	at.EndSpan(sp)
 	if err != nil {
 		return nil, err
 	}
@@ -540,22 +632,39 @@ func (e *Engine) planSelect(s *sql.SelectStmt, opts ExecOptions) (plan.Node, err
 		RewritesFired:        e.mRewFired,
 		RewritesRejected:     e.mRewRejected,
 	}
-	return opt.Optimize(node)
+	sp = at.StartSpan("rewrite", -1)
+	node, err = opt.Optimize(node)
+	at.EndSpan(sp)
+	return node, err
+}
+
+// buildPlan lowers a logical plan into the physical operator tree under a
+// "build" trace span.
+func (e *Engine) buildPlan(ctx context.Context, node plan.Node) (exec.Operator, error) {
+	at := obs.TraceFromContext(ctx)
+	sp := at.StartSpan("build", -1)
+	op, err := plan.Build(node, plan.Config{Parallel: e.cfg.Parallel, DisableScanRanges: e.cfg.DisableScanRanges})
+	at.EndSpan(sp)
+	return op, err
 }
 
 func (e *Engine) runSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (*Result, error) {
-	node, err := e.planSelect(s, opts)
+	node, err := e.planSelect(ctx, s, opts)
 	if err != nil {
 		return nil, err
 	}
-	op, err := plan.Build(node, plan.Config{Parallel: e.cfg.Parallel, DisableScanRanges: e.cfg.DisableScanRanges})
+	op, err := e.buildPlan(ctx, node)
 	if err != nil {
 		return nil, err
 	}
+	at := obs.TraceFromContext(ctx)
+	execSp := at.StartSpan("execute", -1)
 	rows, err := exec.CollectContext(ctx, op)
+	at.EndSpan(execSp)
 	if err != nil {
 		return nil, err
 	}
+	at.AddPatchHits(exec.AppendOpSpans(at, execSp, op))
 	e.mQueries.Inc()
 	cols := make([]string, len(node.Schema()))
 	for i, c := range node.Schema() {
@@ -564,8 +673,8 @@ func (e *Engine) runSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOpti
 	return &Result{Columns: cols, Rows: rows}, nil
 }
 
-func (e *Engine) explain(s *sql.SelectStmt, opts ExecOptions) (string, error) {
-	node, err := e.planSelect(s, opts)
+func (e *Engine) explain(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (string, error) {
+	node, err := e.planSelect(ctx, s, opts)
 	if err != nil {
 		return "", err
 	}
@@ -574,22 +683,28 @@ func (e *Engine) explain(s *sql.SelectStmt, opts ExecOptions) (string, error) {
 
 // explainAnalyze executes the query (discarding its rows) and renders the
 // physical operator tree annotated with per-operator runtime statistics next
-// to the cost model's estimates.
+// to the cost model's estimates. When the statement is traced, the operator
+// spans are copied from the same OpStats the rendered text shows, so both
+// views report identical timings.
 func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (string, error) {
-	node, err := e.planSelect(s, opts)
+	node, err := e.planSelect(ctx, s, opts)
 	if err != nil {
 		return "", err
 	}
-	op, err := plan.Build(node, plan.Config{Parallel: e.cfg.Parallel, DisableScanRanges: e.cfg.DisableScanRanges})
+	op, err := e.buildPlan(ctx, node)
 	if err != nil {
 		return "", err
 	}
+	at := obs.TraceFromContext(ctx)
+	execSp := at.StartSpan("execute", -1)
 	start := time.Now()
 	n, err := exec.DrainContext(ctx, op)
 	elapsed := time.Since(start)
+	at.EndSpan(execSp)
 	if err != nil {
 		return "", err
 	}
+	at.AddPatchHits(exec.AppendOpSpans(at, execSp, op))
 	e.mQueries.Inc()
 	var sb strings.Builder
 	sb.WriteString(exec.FormatStats(op))
@@ -1007,6 +1122,73 @@ func (e *Engine) runShow(s *sql.ShowStmt) (*Result, error) {
 	default:
 		return nil, fmt.Errorf("patchindex: unknown SHOW target %q", s.What)
 	}
+}
+
+// IndexHealth is the health report of one PatchIndex: how many exceptions
+// it carries, how close its patch ratio is to the 1/64 bitmap/identifier
+// crossover of Section V, which physical representation its partitions
+// currently use, and its memory footprint. The server embeds it in /stats
+// so index degradation is visible without running SQL.
+type IndexHealth struct {
+	Table      string `json:"table"`
+	Column     string `json:"column"`
+	Constraint string `json:"constraint"`
+	// RequestedKind is the representation requested at creation (possibly
+	// "auto"); Kinds is what the partitions actually use ("identifier",
+	// "bitmap", or "mixed").
+	RequestedKind string `json:"requested_kind"`
+	Kinds         string `json:"kinds"`
+	Patches       int    `json:"patches"`
+	Rows          int    `json:"rows"`
+	// PatchRatio is |P_c|/|R|; BitmapThreshold is the 1/64 crossover at
+	// which the bitmap representation becomes cheaper; ThresholdUtilization
+	// is their ratio (>= 1 means the index is past the crossover).
+	PatchRatio           float64 `json:"patch_ratio"`
+	BitmapThreshold      float64 `json:"bitmap_threshold"`
+	ThresholdUtilization float64 `json:"threshold_utilization"`
+	MemoryBytes          int     `json:"memory_bytes"`
+}
+
+// IndexHealth reports the health of every PatchIndex, sorted by (table,
+// column, constraint). It reads only the internally-synchronized catalog
+// and index structures, so it is cheap enough to serve on every /stats hit.
+func (e *Engine) IndexHealth() []IndexHealth {
+	indexes := e.cat.Indexes()
+	out := make([]IndexHealth, 0, len(indexes))
+	for _, ix := range indexes {
+		h := IndexHealth{
+			Table:           ix.Table(),
+			Column:          ix.Column(),
+			Constraint:      ix.Constraint().String(),
+			RequestedKind:   ix.RequestedKind().String(),
+			Patches:         ix.Cardinality(),
+			Rows:            ix.NumRows(),
+			BitmapThreshold: patch.CrossoverRate,
+			MemoryBytes:     ix.MemoryBytes(),
+		}
+		if h.Rows > 0 {
+			h.PatchRatio = float64(h.Patches) / float64(h.Rows)
+			h.ThresholdUtilization = h.PatchRatio / patch.CrossoverRate
+		}
+		kinds := map[patch.Kind]bool{}
+		for p := 0; p < ix.NumPartitions(); p++ {
+			if set := ix.Partition(p); set != nil {
+				kinds[set.Kind()] = true
+			}
+		}
+		switch {
+		case len(kinds) > 1:
+			h.Kinds = "mixed"
+		case len(kinds) == 1:
+			for k := range kinds {
+				h.Kinds = k.String()
+			}
+		default:
+			h.Kinds = "unbuilt"
+		}
+		out = append(out, h)
+	}
+	return out
 }
 
 // Advise runs the constraint advisor over a table (under a shared latch, so

@@ -311,6 +311,37 @@ func kindSweep(e *patchindex.Engine, cfg Config, col string, c patch.Constraint,
 
 // Fig4 reproduces Figure 4: count-distinct runtime with varying uniqueness
 // exception rate, for no index and both representations.
+// TraceQuery builds the custom dataset at cfg scale with a 5% exception
+// rate, creates the NUC PatchIndex on u, runs one query with tracing
+// forced, and returns its completed trace (span tree included) — the
+// profiling artifact behind patchbench -trace. An empty sqlText runs the
+// canonical count-distinct benchmark query.
+func TraceQuery(cfg Config, sqlText string) (*obs.Trace, error) {
+	if sqlText == "" {
+		sqlText = "SELECT COUNT(DISTINCT u) FROM data"
+	}
+	e, err := newEngine(cfg)
+	if err != nil {
+		return nil, err
+	}
+	defer e.Close()
+	if err := loadCustomTable(e, cfg, 0.05, 0.05); err != nil {
+		return nil, err
+	}
+	if _, err := e.CreatePatchIndex("data", "u", patch.NearlyUnique, discovery.BuildOptions{Threshold: 1}); err != nil {
+		return nil, err
+	}
+	res, err := e.ExecWith(sqlText, patchindex.ExecOptions{Trace: true})
+	if err != nil {
+		return nil, err
+	}
+	t := e.Tracer().Get(res.TraceID)
+	if t == nil {
+		return nil, fmt.Errorf("bench: trace %d not retained", res.TraceID)
+	}
+	return t, nil
+}
+
 func Fig4(cfg Config, w io.Writer) error {
 	fmt.Fprintf(w, "== Figure 4: count distinct vs. exception rate (%d rows) ==\n", cfg.Rows)
 	fmt.Fprintf(w, "%-8s %-12s %-14s %-14s\n", "rate", "w/o PI", "PI identifier", "PI bitmap")

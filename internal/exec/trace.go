@@ -1,0 +1,46 @@
+package exec
+
+import "patchindex/internal/obs"
+
+// AppendOpSpans records one trace span per operator of an executed tree
+// under parent (the "execute" phase span), walking the tree in the same
+// pre-order as FormatStats. Span durations are copied verbatim from each
+// operator's OpStats, so a trace and EXPLAIN ANALYZE of the same execution
+// report identical timings; operator timings are inclusive of their
+// children, so every span is anchored at the execute span's start.
+//
+// It returns the total PatchSelect patch hits of the tree, which it also
+// tallies when the trace does not collect spans — callers record it as the
+// trace's patch-hit summary. Call only after execution has completed.
+func AppendOpSpans(at *obs.ActiveTrace, parent int, root Operator) int64 {
+	if at == nil {
+		return 0
+	}
+	base := at.SpanStart(parent)
+	var hits int64
+	var walk func(op Operator, parent int)
+	walk = func(op Operator, parent int) {
+		st := op.Stats()
+		attrs := []obs.KV{
+			{Key: "rows", Value: st.Rows},
+			{Key: "batches", Value: st.Batches},
+		}
+		if st.EstRows > 0 {
+			attrs = append(attrs, obs.KV{Key: "est_rows", Value: st.EstRows})
+		}
+		if ex, ok := op.(ExtraStatser); ok {
+			for _, kv := range ex.ExtraStats() {
+				attrs = append(attrs, kv)
+				if kv.Key == "patch_hits" {
+					hits += kv.Value
+				}
+			}
+		}
+		id := at.AddSpan(parent, op.Name(), base, st.Nanos, attrs)
+		for _, c := range op.Children() {
+			walk(c, id)
+		}
+	}
+	walk(root, parent)
+	return hits
+}

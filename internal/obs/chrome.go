@@ -1,0 +1,83 @@
+package obs
+
+import (
+	"encoding/json"
+	"io"
+)
+
+// chromeEvent is one Chrome trace-event ("catapult") complete event. ts and
+// dur are in microseconds, as the format requires.
+type chromeEvent struct {
+	Name string         `json:"name"`
+	Ph   string         `json:"ph"`
+	TS   float64        `json:"ts"`
+	Dur  float64        `json:"dur"`
+	PID  int            `json:"pid"`
+	TID  int            `json:"tid"`
+	Args map[string]any `json:"args,omitempty"`
+}
+
+// chromeDoc is the top-level catapult JSON object.
+type chromeDoc struct {
+	TraceEvents     []chromeEvent `json:"traceEvents"`
+	DisplayTimeUnit string        `json:"displayTimeUnit"`
+}
+
+// WriteChrome renders the trace in the Chrome trace-event format, loadable
+// in chrome://tracing or Perfetto. Every span becomes one "X" (complete)
+// event; spans are laid out on one track per tree depth, with the whole
+// statement as the depth-0 event. Operator timings are inclusive of their
+// children (Postgres EXPLAIN ANALYZE semantics), matching the nesting the
+// viewer renders.
+func (t *Trace) WriteChrome(w io.Writer) error {
+	name := t.SQL
+	if len(name) > 120 {
+		name = name[:120] + "..."
+	}
+	events := []chromeEvent{{
+		Name: name,
+		Ph:   "X",
+		TS:   0,
+		Dur:  micros(int64(t.Duration)),
+		PID:  1,
+		TID:  0,
+		Args: map[string]any{
+			"trace_id":   t.ID,
+			"session_id": t.SessionID,
+			"rows":       t.Rows,
+			"patch_hits": t.PatchHits,
+		},
+	}}
+	depth := make([]int, len(t.Spans))
+	for _, sp := range t.Spans {
+		d := 1
+		if sp.Parent >= 0 && sp.Parent < sp.ID {
+			d = depth[sp.Parent] + 1
+		}
+		depth[sp.ID] = d
+		args := map[string]any{"span_id": sp.ID, "parent": sp.Parent}
+		for _, kv := range sp.Attrs {
+			args[kv.Key] = kv.Value
+		}
+		events = append(events, chromeEvent{
+			Name: sp.Name,
+			Ph:   "X",
+			TS:   micros(sp.StartNS),
+			Dur:  micros(sp.DurNS),
+			PID:  1,
+			TID:  d,
+			Args: args,
+		})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(chromeDoc{TraceEvents: events, DisplayTimeUnit: "ms"})
+}
+
+// micros converts nanoseconds to the fractional microseconds of the trace
+// format, with a 1ns floor so zero-duration spans stay visible.
+func micros(ns int64) float64 {
+	if ns < 1 {
+		ns = 1
+	}
+	return float64(ns) / 1e3
+}

@@ -3,6 +3,9 @@ package obs
 import (
 	"encoding/json"
 	"net/http"
+	"strconv"
+	"strings"
+	"time"
 )
 
 // MetricsHandler serves the registry in plain-text exposition format
@@ -24,11 +27,99 @@ func StatsHandler(r *Registry) http.Handler {
 	})
 }
 
+// QuerySummary is one /queries entry: a completed statement's profile
+// without its span tree (fetch /trace/<id> for the spans).
+type QuerySummary struct {
+	ID        uint64        `json:"id"`
+	SQL       string        `json:"sql"`
+	SessionID uint64        `json:"session_id,omitempty"`
+	Client    string        `json:"client,omitempty"`
+	Start     time.Time     `json:"start"`
+	Duration  time.Duration `json:"duration_ns"`
+	Rows      int64         `json:"rows"`
+	PatchHits int64         `json:"patch_hits"`
+	Error     string        `json:"error,omitempty"`
+	Sampled   bool          `json:"sampled"`
+	Spans     int           `json:"spans"`
+}
+
+// Summarize strips a trace down to its /queries row.
+func Summarize(t *Trace) QuerySummary {
+	return QuerySummary{
+		ID:        t.ID,
+		SQL:       t.SQL,
+		SessionID: t.SessionID,
+		Client:    t.Client,
+		Start:     t.Start,
+		Duration:  t.Duration,
+		Rows:      t.Rows,
+		PatchHits: t.PatchHits,
+		Error:     t.Error,
+		Sampled:   t.Sampled,
+		Spans:     len(t.Spans),
+	}
+}
+
+// QueriesHandler serves the recent query history as a JSON array, newest
+// first — mount at /queries. ?n=N limits the count (default 50).
+func QueriesHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := 50
+		if q := r.URL.Query().Get("n"); q != "" {
+			if v, err := strconv.Atoi(q); err == nil && v > 0 {
+				n = v
+			}
+		}
+		traces := t.Recent(n)
+		out := make([]QuerySummary, len(traces))
+		for i, tr := range traces {
+			out[i] = Summarize(tr)
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(out)
+	})
+}
+
+// TraceHandler serves one completed trace — mount at /trace/ (note the
+// trailing slash; the id is the rest of the path). The default response is
+// the full trace JSON including the span tree; ?format=chrome emits the
+// Chrome trace-event (catapult) document for chrome://tracing / Perfetto.
+func TraceHandler(t *Tracer) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		idText := strings.TrimPrefix(r.URL.Path, "/trace/")
+		id, err := strconv.ParseUint(idText, 10, 64)
+		if err != nil {
+			http.Error(w, "bad trace id", http.StatusBadRequest)
+			return
+		}
+		tr := t.Get(id)
+		if tr == nil {
+			http.Error(w, "trace not found (evicted or never recorded)", http.StatusNotFound)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		if r.URL.Query().Get("format") == "chrome" {
+			_ = tr.WriteChrome(w)
+			return
+		}
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(tr)
+	})
+}
+
 // Handler mounts MetricsHandler at /metrics and StatsHandler at /stats on a
-// fresh mux, ready for http.ListenAndServe.
-func Handler(r *Registry) http.Handler {
+// fresh mux, ready for http.ListenAndServe. When tracer is non-nil the
+// query-history endpoints /queries and /trace/<id> are mounted too.
+func Handler(r *Registry, tracer ...*Tracer) http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", MetricsHandler(r))
 	mux.Handle("/stats", StatsHandler(r))
+	if len(tracer) > 0 && tracer[0] != nil {
+		mux.Handle("/queries", QueriesHandler(tracer[0]))
+		mux.Handle("/trace/", TraceHandler(tracer[0]))
+	}
 	return mux
 }

@@ -38,8 +38,9 @@ func (s *OpStats) AddTime(start time.Time) {
 func (s *OpStats) Duration() time.Duration { return time.Duration(s.Nanos) }
 
 // KV is one operator-specific counter (e.g. patch_hits=42) surfaced next to
-// the generic stats in EXPLAIN ANALYZE output.
+// the generic stats in EXPLAIN ANALYZE output and as span attributes in
+// query traces.
 type KV struct {
-	Key   string
-	Value int64
+	Key   string `json:"key"`
+	Value int64  `json:"value"`
 }

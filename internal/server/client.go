@@ -21,6 +21,7 @@ type Client struct {
 	mu        sync.Mutex
 	nextID    uint64
 	sessionID uint64
+	trace     bool // request a trace with every query (\trace on)
 }
 
 // ClientResult is a rendered query result from the server.
@@ -30,6 +31,9 @@ type ClientResult struct {
 	Message   string
 	Truncated bool
 	Duration  time.Duration
+	// TraceID identifies the statement's server-side trace when it was
+	// traced; fetch it with Queries or HTTP /trace/<id>.
+	TraceID uint64
 }
 
 // String renders the result as an aligned text table.
@@ -134,7 +138,7 @@ func (c *Client) QueryContext(ctx context.Context, sqlText string) (*ClientResul
 	c.nextID++
 	id := c.nextID
 	if err := protocol.WriteMessage(c.conn, &protocol.Request{
-		ID: id, Type: protocol.TypeQuery, SQL: sqlText,
+		ID: id, Type: protocol.TypeQuery, SQL: sqlText, Trace: c.trace,
 	}); err != nil {
 		return nil, err
 	}
@@ -199,6 +203,23 @@ func (c *Client) Ping() error {
 	return err
 }
 
+// Trace toggles per-statement tracing: when on, every subsequent Query asks
+// the server for a full span trace and the response carries its trace id.
+func (c *Client) Trace(on bool) {
+	c.mu.Lock()
+	c.trace = on
+	c.mu.Unlock()
+}
+
+// Queries fetches the server's recent query history (newest first).
+func (c *Client) Queries() (*ClientResult, error) {
+	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeQueries})
+	if err != nil {
+		return nil, err
+	}
+	return toResult(resp)
+}
+
 // Stats fetches the server metrics as Prometheus-style text.
 func (c *Client) Stats() (string, error) {
 	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeStats})
@@ -255,5 +276,6 @@ func toResult(resp *protocol.Response) (*ClientResult, error) {
 		Message:   resp.Message,
 		Truncated: resp.Truncated,
 		Duration:  time.Duration(resp.DurationUS) * time.Microsecond,
+		TraceID:   resp.TraceID,
 	}, nil
 }

@@ -34,6 +34,9 @@ const (
 	TypeCancel = "cancel"
 	// TypeStats returns the server's metric registry as text.
 	TypeStats = "stats"
+	// TypeQueries returns the recent query history (the tracer's ring) as a
+	// result set.
+	TypeQueries = "queries"
 	// TypeClose ends the session gracefully.
 	TypeClose = "close"
 )
@@ -64,6 +67,10 @@ type Request struct {
 	Settings map[string]string `json:"settings,omitempty"`
 	// CancelID names the in-flight query to abort for TypeCancel.
 	CancelID uint64 `json:"cancel_id,omitempty"`
+	// Trace, for TypeQuery, forces a full trace (span tree) of this
+	// statement; the trace id comes back in Response.TraceID and the
+	// profile is retrievable via TypeQueries or HTTP /trace/<id>.
+	Trace bool `json:"trace,omitempty"`
 }
 
 // Response is one server→client message.
@@ -81,6 +88,10 @@ type Response struct {
 	Truncated bool `json:"truncated,omitempty"`
 	// DurationUS is the server-side statement wall time in microseconds.
 	DurationUS int64 `json:"duration_us,omitempty"`
+	// TraceID identifies the statement's profile in the server's query
+	// history when the statement was traced (Request.Trace or server-side
+	// sampling); 0 otherwise.
+	TraceID uint64 `json:"trace_id,omitempty"`
 	// Error and Code are set instead of a result on failure.
 	Error string `json:"error,omitempty"`
 	Code  string `json:"code,omitempty"`

@@ -8,16 +8,20 @@
 // The same TCP port also serves plain HTTP: the first bytes of each
 // connection are sniffed — protocol connections start with the "PIDX1\n"
 // magic, everything else is handed to an HTTP mux exposing /metrics,
-// /stats, and /healthz.
+// /stats (with per-index PatchIndex health), /healthz, the query history
+// at /queries, Chrome-exportable traces at /trace/<id>, and (opt-in)
+// /debug/pprof/.
 package server
 
 import (
 	"bufio"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -56,6 +60,10 @@ type Config struct {
 	// DefaultMaxRows clips result sets for sessions that do not set
 	// max_rows. Zero means unlimited.
 	DefaultMaxRows int
+	// EnablePprof mounts net/http/pprof under /debug/pprof/ on the shared
+	// HTTP mux. Off by default: the profiler can observe query contents, so
+	// exposing it is an explicit operator decision.
+	EnablePprof bool
 }
 
 // Server is a running SQL server. Create with New, start with Start, stop
@@ -300,11 +308,32 @@ func (s *Server) Shutdown(ctx context.Context) error {
 	return err
 }
 
-// httpMux builds the HTTP side of the shared listener.
+// httpMux builds the HTTP side of the shared listener: /metrics, /stats
+// (metrics snapshot + per-index PatchIndex health), /healthz, the query
+// history at /queries, single traces at /trace/<id> (?format=chrome for a
+// chrome://tracing document), and — when enabled — /debug/pprof/.
 func (s *Server) httpMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(s.metrics))
-	mux.Handle("/stats", obs.StatsHandler(s.metrics))
+	mux.Handle("/stats", http.HandlerFunc(func(w http.ResponseWriter, _ *http.Request) {
+		doc := struct {
+			obs.Snapshot
+			PatchIndexes []patchindex.IndexHealth `json:"patchindexes"`
+		}{s.metrics.Snapshot(), s.eng.IndexHealth()}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	}))
+	mux.Handle("/queries", obs.QueriesHandler(s.eng.Tracer()))
+	mux.Handle("/trace/", obs.TraceHandler(s.eng.Tracer()))
+	if s.cfg.EnablePprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		s.mu.Lock()

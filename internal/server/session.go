@@ -20,9 +20,10 @@ const stmtCacheCap = 64
 
 // session is the per-connection state of one wire-protocol client.
 type session struct {
-	srv  *Server
-	id   uint64
-	conn net.Conn
+	srv    *Server
+	id     uint64
+	conn   net.Conn
+	remote string // client remote address, annotates traces and slow-query log
 
 	// Settings, adjustable via "set" requests.
 	timeout         time.Duration // per-query deadline; 0 = none
@@ -49,6 +50,7 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader) {
 		srv:     s,
 		id:      s.nextSession.Add(1),
 		conn:    conn,
+		remote:  conn.RemoteAddr().String(),
 		timeout: s.cfg.DefaultTimeout,
 		maxRows: s.cfg.DefaultMaxRows,
 		cache:   map[string]*patchindex.Prepared{},
@@ -117,6 +119,8 @@ func (sess *session) handle(req *protocol.Request, reqCh chan *protocol.Request,
 		var sb strings.Builder
 		sess.srv.metrics.WriteText(&sb)
 		return sess.write(&protocol.Response{ID: req.ID, Message: sb.String()})
+	case protocol.TypeQueries:
+		return sess.write(sess.renderQueries(req.ID))
 	case protocol.TypeClose:
 		_ = protocol.WriteMessage(sess.conn, &protocol.Response{ID: req.ID, Message: "bye"})
 		return false
@@ -232,6 +236,9 @@ func (sess *session) execute(ctx context.Context, req *protocol.Request) (*proto
 	start := time.Now()
 	res, err := s.eng.ExecPreparedContext(ctx, prep, patchindex.ExecOptions{
 		DisablePatchRewrites: sess.disableRewrites,
+		Trace:                req.Trace,
+		SessionID:            sess.id,
+		ClientAddr:           sess.remote,
 	})
 	s.hQuery.Observe(time.Since(start))
 	if err != nil {
@@ -271,6 +278,7 @@ func (sess *session) render(id uint64, res *patchindex.Result) *protocol.Respons
 		Columns:    res.Columns,
 		Message:    res.Message,
 		DurationUS: res.Duration.Microseconds(),
+		TraceID:    res.TraceID,
 	}
 	rows := res.Rows
 	if sess.maxRows > 0 && len(rows) > sess.maxRows {
@@ -284,6 +292,32 @@ func (sess *session) render(id uint64, res *patchindex.Result) *protocol.Respons
 			out[j] = v.String()
 		}
 		resp.Rows[i] = out
+	}
+	return resp
+}
+
+// renderQueries renders the server's recent query history (the engine
+// tracer's ring, newest first) as a result set — the `\queries` command.
+func (sess *session) renderQueries(id uint64) *protocol.Response {
+	resp := &protocol.Response{
+		ID:      id,
+		Columns: []string{"trace_id", "session", "duration", "rows", "patch_hits", "sampled", "error", "sql"},
+	}
+	for _, t := range sess.srv.eng.Tracer().Recent(50) {
+		sqlText := strings.Join(strings.Fields(t.SQL), " ")
+		if len(sqlText) > 80 {
+			sqlText = sqlText[:80] + "..."
+		}
+		resp.Rows = append(resp.Rows, []string{
+			strconv.FormatUint(t.ID, 10),
+			strconv.FormatUint(t.SessionID, 10),
+			t.Duration.Round(time.Microsecond).String(),
+			strconv.FormatInt(t.Rows, 10),
+			strconv.FormatInt(t.PatchHits, 10),
+			strconv.FormatBool(t.Sampled),
+			t.Error,
+			sqlText,
+		})
 	}
 	return resp
 }

@@ -1,0 +1,243 @@
+package patchindex
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"regexp"
+	"strings"
+	"testing"
+	"time"
+)
+
+var timeRe = regexp.MustCompile(`time=([^ )]+)`)
+var opNameRe = regexp.MustCompile(`^(\s*)(\S+) \(`)
+
+// TestTraceMatchesExplainAnalyze asserts the acceptance criterion that a
+// traced query's operator span durations equal the actuals EXPLAIN ANALYZE
+// reports: both are rendered from the same OpStats.
+func TestTraceMatchesExplainAnalyze(t *testing.T) {
+	e := newTestEngine(t)
+	loadExceptionTable(t, e, "data", 20000, 4, 0.05, 42)
+	mustExec(t, e, "CREATE PATCHINDEX ON data(u) UNIQUE THRESHOLD 0.5")
+
+	res, err := e.ExecWith("EXPLAIN ANALYZE SELECT COUNT(DISTINCT u) FROM data", ExecOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.TraceID == 0 {
+		t.Fatal("forced trace did not assign a trace id")
+	}
+	tr := e.Tracer().Get(res.TraceID)
+	if tr == nil {
+		t.Fatalf("trace %d not in history ring", res.TraceID)
+	}
+	if !tr.Sampled {
+		t.Fatal("forced trace should carry a span tree")
+	}
+
+	// Operator spans are recorded after the "execute" phase span, in the
+	// same pre-order FormatStats prints.
+	execID := -1
+	for _, sp := range tr.Spans {
+		if sp.Name == "execute" {
+			execID = sp.ID
+			break
+		}
+	}
+	if execID < 0 {
+		t.Fatalf("no execute span in %+v", tr.Spans)
+	}
+	ops := tr.Spans[execID+1:]
+
+	// Drop the "Execution: N rows in ..." trailer; the remaining lines are
+	// the operator tree, one line per operator.
+	lines := strings.Split(strings.TrimRight(res.Message, "\n"), "\n")
+	for len(lines) > 0 && !opNameRe.MatchString(lines[len(lines)-1]) {
+		lines = lines[:len(lines)-1]
+	}
+	if len(lines) != len(ops) {
+		t.Fatalf("EXPLAIN ANALYZE has %d operators, trace has %d spans:\n%s\nspans: %+v",
+			len(lines), len(ops), res.Message, ops)
+	}
+	for i, line := range lines {
+		nm := opNameRe.FindStringSubmatch(line)
+		if nm == nil {
+			t.Fatalf("cannot parse operator line %q", line)
+		}
+		if ops[i].Name != nm[2] {
+			t.Errorf("line %d: EXPLAIN ANALYZE operator %q, trace span %q", i, nm[2], ops[i].Name)
+		}
+		tm := timeRe.FindStringSubmatch(line)
+		if tm == nil {
+			t.Fatalf("no time= in line %q", line)
+		}
+		want, err := time.ParseDuration(tm[1])
+		if err != nil {
+			t.Fatalf("bad duration %q in line %q: %v", tm[1], line, err)
+		}
+		got := time.Duration(ops[i].DurNS).Round(time.Microsecond)
+		if got != want {
+			t.Errorf("line %d (%s): EXPLAIN ANALYZE time=%s, trace span %s", i, ops[i].Name, want, got)
+		}
+	}
+	// The rewrite fired, so the trace must carry patch-hit telemetry.
+	if !strings.Contains(res.Message, "patch_hits=") {
+		t.Fatalf("expected PatchSelect in plan:\n%s", res.Message)
+	}
+	if tr.PatchHits <= 0 {
+		t.Errorf("trace patch hits = %d, want > 0", tr.PatchHits)
+	}
+}
+
+func TestForcedTraceViaExecOptions(t *testing.T) {
+	e := newTestEngine(t)
+	mustExec(t, e, "CREATE TABLE kv (k BIGINT, v BIGINT)")
+	mustExec(t, e, "INSERT INTO kv VALUES (1, 10), (2, 20)")
+
+	// Tracer starts disabled; an untraced statement leaves no history.
+	if _, err := e.Exec("SELECT * FROM kv"); err != nil {
+		t.Fatal(err)
+	}
+	if got := e.Tracer().Recent(10); len(got) != 0 {
+		t.Fatalf("disabled tracer recorded %d traces", len(got))
+	}
+
+	res, err := e.ExecWith("SELECT k FROM kv WHERE v > 15", ExecOptions{Trace: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr := e.Tracer().Get(res.TraceID)
+	if tr == nil {
+		t.Fatalf("trace %d not retained", res.TraceID)
+	}
+	if tr.Rows != 1 || tr.SQL != "SELECT k FROM kv WHERE v > 15" {
+		t.Fatalf("trace summary wrong: %+v", tr)
+	}
+	names := map[string]bool{}
+	for _, sp := range tr.Spans {
+		names[sp.Name] = true
+	}
+	for _, phase := range []string{"parse", "bind", "rewrite", "build", "execute"} {
+		if !names[phase] {
+			t.Errorf("missing %s span; have %v", phase, names)
+		}
+	}
+	// The full trace round-trips through Chrome trace-event export.
+	var buf bytes.Buffer
+	if err := tr.WriteChrome(&buf); err != nil {
+		t.Fatal(err)
+	}
+	var doc map[string]any
+	if err := json.Unmarshal(buf.Bytes(), &doc); err != nil {
+		t.Fatalf("chrome export not JSON: %v", err)
+	}
+	if _, ok := doc["traceEvents"].([]any); !ok {
+		t.Fatalf("chrome export missing traceEvents: %v", doc)
+	}
+}
+
+func TestEngineTraceSampling(t *testing.T) {
+	e, err := New(Config{TraceSample: 2, TraceHistory: 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustExec(t, e, "CREATE TABLE t (x BIGINT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1)")
+	for i := 0; i < 4; i++ {
+		mustExec(t, e, "SELECT x FROM t")
+	}
+	recent := e.Tracer().Recent(100)
+	// All statements (DDL included) are in the history; every 2nd is sampled.
+	if len(recent) != 6 {
+		t.Fatalf("history holds %d statements, want 6", len(recent))
+	}
+	sampled := 0
+	for _, tr := range recent {
+		if tr.Sampled {
+			sampled++
+		}
+	}
+	if sampled != 3 {
+		t.Fatalf("sampled = %d of 6 with TraceSample=2, want 3", sampled)
+	}
+}
+
+func TestSlowQueryLogEnrichment(t *testing.T) {
+	var buf bytes.Buffer
+	e, err := New(Config{SlowQueryThreshold: time.Nanosecond, SlowQueryLog: &buf})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	mustExec(t, e, "CREATE TABLE t (x BIGINT)")
+	mustExec(t, e, "INSERT INTO t VALUES (1)")
+	buf.Reset()
+	res, err := e.ExecWith("SELECT x FROM t", ExecOptions{
+		Trace: true, SessionID: 7, ClientAddr: "10.0.0.8:5000",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	line := buf.String()
+	if !strings.Contains(line, "slow query") || !strings.Contains(line, "SELECT x FROM t") {
+		t.Fatalf("slow log line missing statement: %q", line)
+	}
+	for _, tag := range []string{"session=7", "client=10.0.0.8:5000", fmt.Sprintf("trace=%d", res.TraceID)} {
+		if !strings.Contains(line, tag) {
+			t.Errorf("slow log line %q missing %q", line, tag)
+		}
+	}
+
+	// Library use without session/trace stays untagged.
+	buf.Reset()
+	mustExec(t, e, "SELECT x FROM t")
+	if line := buf.String(); strings.Contains(line, "session=") || strings.Contains(line, "trace=") {
+		t.Errorf("untagged statement produced tags: %q", line)
+	}
+}
+
+// BenchmarkExecTraceOff measures the per-statement cost with tracing fully
+// disabled (the default); compare against BenchmarkExecTraceOn for the
+// tracing overhead. The disabled path is one atomic load.
+func BenchmarkExecTraceOff(b *testing.B) {
+	benchmarkExec(b, false)
+}
+
+func BenchmarkExecTraceOn(b *testing.B) {
+	benchmarkExec(b, true)
+}
+
+func benchmarkExec(b *testing.B, trace bool) {
+	e, err := New(Config{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer e.Close()
+	if _, err := e.Exec("CREATE TABLE t (x BIGINT, y BIGINT)"); err != nil {
+		b.Fatal(err)
+	}
+	var sb strings.Builder
+	sb.WriteString("INSERT INTO t VALUES ")
+	for i := 0; i < 1000; i++ {
+		if i > 0 {
+			sb.WriteByte(',')
+		}
+		sb.WriteString(fmt.Sprintf("(%d, %d)", i, i%7))
+	}
+	if _, err := e.Exec(sb.String()); err != nil {
+		b.Fatal(err)
+	}
+	if trace {
+		e.Tracer().SetEnabled(true)
+		e.Tracer().SetSampleEvery(1)
+	}
+	q := "SELECT COUNT(*) FROM t WHERE y = 3"
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := e.Exec(q); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
