@@ -3,10 +3,17 @@
 //
 // Usage:
 //
-//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory]
+//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel]
 //	           [-rows N] [-customer-rows N] [-sales-rows N]
-//	           [-partitions N] [-reps N] [-parallel] [-quick]
+//	           [-partitions N] [-reps N] [-parallel N] [-quick]
 //	           [-json FILE] [-trace FILE] [-trace-sql SQL]
+//
+// -parallel N sets the degree of intra-query parallelism for every engine
+// the experiments create (0 = serial plans; workers are still bounded by
+// GOMAXPROCS at execution time). The "parallel" experiment compares serial
+// against parallel execution directly and reports speedups:
+//
+//	patchbench -quick -exp parallel -parallel 8 -json BENCH_parallel.json
 //
 // With -json the run additionally emits a machine-readable document holding
 // the configuration, every individual measurement, and a snapshot of the
@@ -49,7 +56,7 @@ func main() {
 	salesRows := flag.Int("sales-rows", 0, "catalog_sales rows (default 10M)")
 	partitions := flag.Int("partitions", 0, "table partitions (default 24)")
 	reps := flag.Int("reps", 0, "repetitions per measurement (median reported)")
-	parallel := flag.Bool("parallel", false, "parallel partition scans")
+	parallel := flag.Int("parallel", 0, "degree of intra-query parallelism (0 = serial)")
 	quick := flag.Bool("quick", false, "small quick configuration")
 	rates := flag.String("rates", "", "comma-separated exception rates, e.g. 0,0.1,0.5")
 	jsonOut := flag.String("json", "", "write machine-readable results to this file ('-' for stdout)")
@@ -76,7 +83,7 @@ func main() {
 	if *reps > 0 {
 		cfg.Reps = *reps
 	}
-	cfg.Parallel = *parallel
+	cfg.Parallelism = *parallel
 	if *rates != "" {
 		cfg.Rates = nil
 		for _, part := range strings.Split(*rates, ",") {

@@ -45,7 +45,8 @@ func main() {
 	walPath := flag.String("wal", "", "write-ahead log path (enables durability of index definitions)")
 	indexDir := flag.String("indexdir", "", "directory for materialized PatchIndex payloads (fast recovery)")
 	execStmt := flag.String("e", "", "execute one statement and exit")
-	parallel := flag.Bool("parallel", false, "parallel partition scans")
+	parallel := flag.Bool("parallel", false, "parallel partition scans (legacy; implies -parallelism 2*GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0, "degree of intra-query parallelism (0 = serial, >1 = bounded worker pool)")
 	slowMS := flag.Int("slow-ms", 0, "log statements slower than this many milliseconds")
 	connect := flag.String("connect", "", "connect to a patchserver at host:port instead of running an embedded engine")
 	flag.Parse()
@@ -60,6 +61,7 @@ func main() {
 	eng, err := patchindex.New(patchindex.Config{
 		DefaultPartitions:  *partitions,
 		Parallel:           *parallel,
+		Parallelism:        *parallelism,
 		WALPath:            *walPath,
 		IndexDir:           *indexDir,
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,

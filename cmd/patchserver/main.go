@@ -40,7 +40,8 @@ func main() {
 	sortedRate := flag.Float64("sorted-rate", 0.05, "sortedness exception rate for -demo custom")
 	walPath := flag.String("wal", "", "write-ahead log path (enables durability of index definitions)")
 	indexDir := flag.String("indexdir", "", "directory for materialized PatchIndex payloads (fast recovery)")
-	parallel := flag.Bool("parallel", false, "parallel partition scans")
+	parallel := flag.Bool("parallel", false, "parallel partition scans (legacy; implies -parallelism 2*GOMAXPROCS)")
+	parallelism := flag.Int("parallelism", 0, "degree of intra-query parallelism (0 = serial, >1 = bounded worker pool)")
 	slowMS := flag.Int("slow-ms", 0, "log statements slower than this many milliseconds")
 	maxConcurrent := flag.Int("max-concurrent", 0, "max queries executing at once (0 = GOMAXPROCS)")
 	queueDepth := flag.Int("queue-depth", 64, "max queries waiting for a slot before shedding")
@@ -55,6 +56,7 @@ func main() {
 	eng, err := patchindex.New(patchindex.Config{
 		DefaultPartitions:  *partitions,
 		Parallel:           *parallel,
+		Parallelism:        *parallelism,
 		WALPath:            *walPath,
 		IndexDir:           *indexDir,
 		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,

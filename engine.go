@@ -19,6 +19,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"sort"
 	"strconv"
 	"strings"
@@ -44,7 +45,17 @@ type Config struct {
 	// PARTITIONS clause (default 1).
 	DefaultPartitions int
 	// Parallel executes partition scans concurrently where order allows.
+	// Deprecated shorthand: it is equivalent to Parallelism =
+	// runtime.GOMAXPROCS(0) and is ignored when Parallelism is set.
 	Parallel bool
+	// Parallelism is the default intra-query degree of parallelism: the
+	// worker-pool bound for parallel scans, partial aggregation, and
+	// PatchIndex discovery/builds. 1 forces serial execution, values > 1 are
+	// capped at runtime.GOMAXPROCS(0), and 0 defers to the legacy Parallel
+	// flag (GOMAXPROCS if set, serial otherwise). Sessions can override it
+	// per connection via the `parallelism` setting, and ExecOptions per
+	// statement.
+	Parallelism int
 	// DisablePatchRewrites turns the optimizer's PatchIndex rewrites off
 	// globally (per-query control is available via ExecOptions).
 	DisablePatchRewrites bool
@@ -96,6 +107,10 @@ type ExecOptions struct {
 	// for embedded (library) use.
 	SessionID  uint64
 	ClientAddr string
+	// Parallelism overrides the engine's degree of parallelism for this
+	// statement (1 = serial, >1 = bounded worker pool, 0 = use the engine
+	// configuration). Set from the session `parallelism` setting.
+	Parallelism int
 }
 
 // Engine is a self-contained database instance.
@@ -583,7 +598,7 @@ func (e *Engine) DrainWithContext(ctx context.Context, query string, opts ExecOp
 		at.Finish(0, err)
 		return 0, err
 	}
-	op, err := e.buildPlan(ctx, node)
+	op, err := e.buildPlan(ctx, node, opts)
 	if err != nil {
 		at.Finish(0, err)
 		return 0, err
@@ -638,12 +653,36 @@ func (e *Engine) planSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOpt
 	return node, err
 }
 
+// effectiveParallelism resolves the degree of parallelism for one statement:
+// a per-statement override wins, then Config.Parallelism, then the legacy
+// Config.Parallel flag (GOMAXPROCS). The result is a concrete degree — 1
+// means strictly serial plans. Values above GOMAXPROCS are allowed: they
+// enable plan splitting, and the executor's exchange bounds its actual
+// worker pool at GOMAXPROCS (and at the morsel count) on its own.
+func (e *Engine) effectiveParallelism(opts ExecOptions) int {
+	p := opts.Parallelism
+	if p <= 0 {
+		p = e.cfg.Parallelism
+	}
+	if p <= 0 {
+		if e.cfg.Parallel {
+			p = 2 * runtime.GOMAXPROCS(0)
+		} else {
+			p = 1
+		}
+	}
+	return p
+}
+
 // buildPlan lowers a logical plan into the physical operator tree under a
 // "build" trace span.
-func (e *Engine) buildPlan(ctx context.Context, node plan.Node) (exec.Operator, error) {
+func (e *Engine) buildPlan(ctx context.Context, node plan.Node, opts ExecOptions) (exec.Operator, error) {
 	at := obs.TraceFromContext(ctx)
 	sp := at.StartSpan("build", -1)
-	op, err := plan.Build(node, plan.Config{Parallel: e.cfg.Parallel, DisableScanRanges: e.cfg.DisableScanRanges})
+	op, err := plan.Build(node, plan.Config{
+		Parallelism:       e.effectiveParallelism(opts),
+		DisableScanRanges: e.cfg.DisableScanRanges,
+	})
 	at.EndSpan(sp)
 	return op, err
 }
@@ -653,7 +692,7 @@ func (e *Engine) runSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOpti
 	if err != nil {
 		return nil, err
 	}
-	op, err := e.buildPlan(ctx, node)
+	op, err := e.buildPlan(ctx, node, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -691,7 +730,7 @@ func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, opts Exe
 	if err != nil {
 		return "", err
 	}
-	op, err := e.buildPlan(ctx, node)
+	op, err := e.buildPlan(ctx, node, opts)
 	if err != nil {
 		return "", err
 	}
@@ -956,6 +995,10 @@ func (e *Engine) createPatchIndexLatched(table, column string, c patch.Constrain
 	if err != nil {
 		return nil, err
 	}
+	if opts.Parallelism == 0 {
+		// Discovery and patch building honor the engine's configured degree.
+		opts.Parallelism = e.effectiveParallelism(ExecOptions{})
+	}
 	buildStart := time.Now()
 	ix, err := discovery.BuildIndex(t, column, c, opts)
 	if err != nil {
@@ -1040,10 +1083,11 @@ func (e *Engine) createIndexNoLog(r *wal.CreateIndexRecord) (*patch.Index, error
 		}
 	}
 	ix, err := discovery.BuildIndex(t, r.Column, patch.Constraint(r.Constraint), discovery.BuildOptions{
-		Kind:       patch.Kind(r.Kind),
-		Threshold:  r.Threshold,
-		Descending: r.Descending,
-		Force:      true, // the threshold was already validated at creation
+		Kind:        patch.Kind(r.Kind),
+		Threshold:   r.Threshold,
+		Descending:  r.Descending,
+		Force:       true, // the threshold was already validated at creation
+		Parallelism: e.effectiveParallelism(ExecOptions{}),
 	})
 	if err != nil {
 		return nil, err

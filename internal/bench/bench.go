@@ -31,9 +31,14 @@ type Config struct {
 	Rates []float64 `json:"rates"`
 	// Reps is the number of repetitions per measurement (median reported).
 	Reps int `json:"reps"`
-	// Parallel enables parallel partition scans.
-	Parallel bool  `json:"parallel"`
-	Seed     int64 `json:"seed"`
+	// Parallel enables parallel partition scans (legacy switch; prefer
+	// Parallelism).
+	Parallel bool `json:"parallel"`
+	// Parallelism is the degree of intra-query parallelism for every engine
+	// the experiments create (0 = engine default, 1 = serial, >1 = bounded
+	// worker pool) and the worker bound for parallel index builds.
+	Parallelism int   `json:"parallelism,omitempty"`
+	Seed        int64 `json:"seed"`
 
 	// Metrics, when non-nil, is shared by every engine the experiments
 	// create, so a run accumulates engine-wide counters across experiments.
@@ -95,17 +100,19 @@ func QuickConfig() Config {
 
 // Experiment names accepted by Run.
 const (
-	ExpTable1  = "table1"
-	ExpNSCJoin = "nsc-join"
-	ExpFig4    = "fig4"
-	ExpFig5    = "fig5"
-	ExpFig6    = "fig6"
-	ExpMemory  = "memory"
+	ExpTable1   = "table1"
+	ExpNSCJoin  = "nsc-join"
+	ExpFig4     = "fig4"
+	ExpFig5     = "fig5"
+	ExpFig6     = "fig6"
+	ExpMemory   = "memory"
+	ExpParallel = "parallel"
 )
 
-// All lists every experiment id in paper order.
+// All lists every experiment id in paper order, followed by the engine
+// experiments that have no paper counterpart.
 func All() []string {
-	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory}
+	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel}
 }
 
 // Run executes one experiment by id, writing its report to w.
@@ -123,6 +130,8 @@ func Run(id string, cfg Config, w io.Writer) error {
 		return Fig6(cfg, w)
 	case ExpMemory:
 		return Memory(cfg, w)
+	case ExpParallel:
+		return Parallel(cfg, w)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, All())
 	}
@@ -150,6 +159,7 @@ func newEngine(cfg Config) (*patchindex.Engine, error) {
 	return patchindex.New(patchindex.Config{
 		DefaultPartitions: cfg.Partitions,
 		Parallel:          cfg.Parallel,
+		Parallelism:       cfg.Parallelism,
 		Metrics:           cfg.Metrics,
 	})
 }

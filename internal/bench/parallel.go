@@ -1,0 +1,117 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"time"
+
+	"patchindex"
+	"patchindex/internal/discovery"
+	"patchindex/internal/patch"
+)
+
+// Parallel runs the parallelism experiment: the same scan, aggregation, and
+// index-build workloads run serially and with a bounded worker pool, and the
+// report shows the speedup. It has no counterpart in the paper (whose
+// measurements are single-threaded); it documents the engine's Section VI-A2
+// partitioning paying off a second time, as the natural morsel boundary for
+// parallel execution. Speedups above 1x require real cores — on a
+// single-core host the parallel numbers measure scheduling overhead.
+func Parallel(cfg Config, w io.Writer) error {
+	dop := cfg.Parallelism
+	if dop <= 1 {
+		dop = 2 * runtime.GOMAXPROCS(0)
+	}
+	fmt.Fprintf(w, "== Parallelism: morsel-driven execution (%d rows, %d partitions, dop=%d, GOMAXPROCS=%d) ==\n",
+		cfg.Rows, cfg.Partitions, dop, runtime.GOMAXPROCS(0))
+
+	e, err := newEngine(cfg)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	if err := loadCustomTable(e, cfg, 0.05, 0.05); err != nil {
+		return err
+	}
+	if _, err := e.CreatePatchIndex("data", "u", patch.NearlyUnique, discovery.BuildOptions{
+		Kind: patch.Auto, Threshold: 1.0,
+	}); err != nil {
+		return err
+	}
+
+	fmt.Fprintf(w, "%-28s %-10s %-10s %-8s\n", "workload", "serial", "parallel", "speedup")
+	queries := []struct{ name, sql string }{
+		{"scan+filter", fmt.Sprintf("SELECT u FROM data WHERE u > %d", cfg.Rows/2)},
+		{"agg count-distinct", "SELECT COUNT(DISTINCT u) FROM data"},
+		{"agg group-by", "SELECT payload, COUNT(*), SUM(u) FROM data GROUP BY payload"},
+	}
+	for _, q := range queries {
+		serial, err := median(cfg.Reps, func() error {
+			_, err := e.DrainWith(q.sql, patchindex.ExecOptions{Parallelism: 1})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		par, err := median(cfg.Reps, func() error {
+			_, err := e.DrainWith(q.sql, patchindex.ExecOptions{Parallelism: dop})
+			return err
+		})
+		if err != nil {
+			return err
+		}
+		reportSpeedup(cfg, w, q.name, serial, par)
+	}
+
+	// Discovery/build: rebuild the NSC index serially and in parallel on a
+	// fresh engine each time so the catalog does not already hold it.
+	for _, c := range []struct {
+		name       string
+		constraint patch.Constraint
+		column     string
+	}{
+		{"discovery nuc", patch.NearlyUnique, "u"},
+		{"discovery nsc", patch.NearlySorted, "s"},
+	} {
+		build := func(par int) (time.Duration, error) {
+			return median(cfg.Reps, func() error {
+				eb, err := newEngine(cfg)
+				if err != nil {
+					return err
+				}
+				defer eb.Close()
+				if err := loadCustomTable(eb, cfg, 0.05, 0.05); err != nil {
+					return err
+				}
+				_, err = eb.CreatePatchIndex("data", c.column, c.constraint, discovery.BuildOptions{
+					Kind: patch.Auto, Threshold: 1.0, Parallelism: par,
+				})
+				return err
+			})
+		}
+		serial, err := build(1)
+		if err != nil {
+			return err
+		}
+		par, err := build(dop)
+		if err != nil {
+			return err
+		}
+		reportSpeedup(cfg, w, c.name, serial, par)
+	}
+	return nil
+}
+
+// reportSpeedup prints one workload row and records its measurements.
+func reportSpeedup(cfg Config, w io.Writer, name string, serial, par time.Duration) {
+	speedup := 0.0
+	if par > 0 {
+		speedup = float64(serial) / float64(par)
+	}
+	fmt.Fprintf(w, "%-28s %-10s %-10s %.2fx\n",
+		name, serial.Round(time.Microsecond), par.Round(time.Microsecond), speedup)
+	cfg.record(ExpParallel, name+"/serial", 0, ms(serial), "ms")
+	cfg.record(ExpParallel, name+"/parallel", 0, ms(par), "ms")
+	cfg.record(ExpParallel, name+"/speedup", 0, speedup, "x")
+}

@@ -2,6 +2,9 @@ package discovery
 
 import (
 	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
 
 	"patchindex/internal/patch"
 	"patchindex/internal/storage"
@@ -19,6 +22,53 @@ type BuildOptions struct {
 	Descending bool
 	// Force creates the index even if the threshold is exceeded.
 	Force bool
+	// Parallelism bounds the worker pool used for per-partition discovery
+	// and patch-set construction (capped at runtime.GOMAXPROCS(0) and the
+	// partition count). <= 1 runs serially.
+	Parallelism int
+}
+
+// buildWorkers resolves the worker count for nParts partitions.
+func (o BuildOptions) buildWorkers(nParts int) int {
+	w := o.Parallelism
+	if max := runtime.GOMAXPROCS(0); w > max {
+		w = max
+	}
+	if w > nParts {
+		w = nParts
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// forEachPartition runs f(p) for every partition on up to workers
+// goroutines, each claiming partitions from a shared counter (the same
+// morsel scheme as the executor's Exchange). workers <= 1 runs inline.
+func forEachPartition(nParts, workers int, f func(p int)) {
+	if workers <= 1 {
+		for p := 0; p < nParts; p++ {
+			f(p)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				p := int(next.Add(1) - 1)
+				if p >= nParts {
+					return
+				}
+				f(p)
+			}
+		}()
+	}
+	wg.Wait()
 }
 
 // ThresholdError reports that a column does not qualify as a NUC/NSC under
@@ -58,19 +108,25 @@ func BuildIndex(table *storage.Table, column string, c patch.Constraint, opts Bu
 	}
 	ix.SetDescending(opts.Descending)
 
+	nParts := table.NumPartitions()
+	workers := opts.buildWorkers(nParts)
 	var totalPatches, totalRows int
-	perPart := make([][]uint64, table.NumPartitions())
+	perPart := make([][]uint64, nParts)
 	switch c {
 	case patch.NearlySorted:
-		for p := 0; p < table.NumPartitions(); p++ {
-			col := table.Partition(p).Column(colIdx)
-			res := DiscoverNSC(col, opts.Descending)
+		// NSC discovery is partition-local (Section VI-A2), so the longest
+		// sorted subsequence of each partition is an independent morsel.
+		results := make([]Result, nParts)
+		forEachPartition(nParts, workers, func(p int) {
+			results[p] = DiscoverNSC(table.Partition(p).Column(colIdx), opts.Descending)
+		})
+		for p, res := range results {
 			perPart[p] = res.Patches
 			totalPatches += len(res.Patches)
 			totalRows += res.NumRows
 		}
 	case patch.NearlyUnique:
-		results := discoverNUCGlobal(table, colIdx)
+		results := discoverNUCGlobal(table, colIdx, workers)
 		for p, res := range results {
 			perPart[p] = res.Patches
 			totalPatches += len(res.Patches)
@@ -90,10 +146,12 @@ func BuildIndex(table *storage.Table, column string, c patch.Constraint, opts Bu
 			Rate: rate, Threshold: opts.Threshold,
 		}
 	}
-	for p := 0; p < table.NumPartitions(); p++ {
-		if err := ix.SetPartition(p, perPart[p], table.Partition(p).NumRows()); err != nil {
-			return nil, err
-		}
+	rows := make([]int, nParts)
+	for p := range rows {
+		rows[p] = table.Partition(p).NumRows()
+	}
+	if err := ix.SetPartitions(perPart, rows, workers); err != nil {
+		return nil, err
 	}
 	return ix, nil
 }
@@ -102,26 +160,43 @@ func BuildIndex(table *storage.Table, column string, c patch.Constraint, opts Bu
 // partitions: the grouping subquery of the discovery SQL is global, then
 // "each partition's PatchIndex receives all tuple identifiers for its
 // responsible partition".
-func discoverNUCGlobal(table *storage.Table, colIdx int) []Result {
+//
+// Parallel shape: each worker counts values of its claimed partitions into a
+// private map (no shared mutable state), the per-partition maps are merged
+// into the global count serially, then patch extraction — a read-only probe
+// of the merged map — fans out per partition again.
+func discoverNUCGlobal(table *storage.Table, colIdx int, workers int) []Result {
 	nParts := table.NumPartitions()
-	counts := make(map[string]int)
-	var buf []byte
-	for p := 0; p < nParts; p++ {
+	partCounts := make([]map[string]int, nParts)
+	forEachPartition(nParts, workers, func(p int) {
 		col := table.Partition(p).Column(colIdx)
 		n := col.Len()
+		local := make(map[string]int, n)
+		var buf []byte
 		for i := 0; i < n; i++ {
 			if col.IsNull(i) {
 				continue
 			}
 			buf = encodeElem(buf[:0], col, i)
-			counts[string(buf)]++
+			local[string(buf)]++
+		}
+		partCounts[p] = local
+	})
+	counts := partCounts[0]
+	if nParts > 1 {
+		counts = make(map[string]int)
+		for _, local := range partCounts {
+			for k, c := range local {
+				counts[k] += c
+			}
 		}
 	}
 	out := make([]Result, nParts)
-	for p := 0; p < nParts; p++ {
+	forEachPartition(nParts, workers, func(p int) {
 		col := table.Partition(p).Column(colIdx)
 		n := col.Len()
 		var patches []uint64
+		var buf []byte
 		for i := 0; i < n; i++ {
 			if col.IsNull(i) {
 				patches = append(patches, uint64(i))
@@ -133,7 +208,7 @@ func discoverNUCGlobal(table *storage.Table, colIdx int) []Result {
 			}
 		}
 		out[p] = Result{Patches: patches, NumRows: n}
-	}
+	})
 	return out
 }
 

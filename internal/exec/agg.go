@@ -95,22 +95,9 @@ type HashAgg struct {
 // NewHashAgg creates a hash aggregation. groupCols may be empty (global
 // aggregation, emits exactly one row), aggs may be empty (pure DISTINCT).
 func NewHashAgg(child Operator, groupCols []int, aggs []AggSpec) (*HashAgg, error) {
-	in := child.Types()
-	if len(groupCols) == 0 && len(aggs) == 0 {
-		return nil, fmt.Errorf("exec: hash aggregation needs group columns or aggregates")
-	}
-	var types []vector.Type
-	for _, c := range groupCols {
-		if c < 0 || c >= len(in) {
-			return nil, fmt.Errorf("exec: group column %d out of range", c)
-		}
-		types = append(types, in[c])
-	}
-	for _, a := range aggs {
-		if a.Func != CountStar && (a.Col < 0 || a.Col >= len(in)) {
-			return nil, fmt.Errorf("exec: aggregate column %d out of range", a.Col)
-		}
-		types = append(types, a.ResultType(in))
+	types, err := aggOutputTypes(groupCols, aggs, child.Types())
+	if err != nil {
+		return nil, err
 	}
 	return &HashAgg{child: child, groupCols: groupCols, aggs: aggs, types: types}, nil
 }
@@ -160,8 +147,7 @@ func (h *HashAgg) open(ctx context.Context) error {
 	}
 
 	in := h.child.Types()
-	var keyBuf []byte
-	var elemBuf []byte
+	bld := newAggBuilder(h.groupCols, h.aggs, in)
 	for {
 		b, err := h.child.Next()
 		if err != nil {
@@ -170,69 +156,9 @@ func (h *HashAgg) open(ctx context.Context) error {
 		if b == nil {
 			break
 		}
-		n := b.Len()
-		for i := 0; i < n; i++ {
-			keyBuf = keyBuf[:0]
-			for _, c := range h.groupCols {
-				keyBuf = encodeValue(keyBuf, b.Vecs[c], i)
-			}
-			gi, ok := h.groups[string(keyBuf)]
-			if !ok {
-				gi = len(h.keys)
-				h.groups[string(keyBuf)] = gi
-				key := make([]vector.Value, len(h.groupCols))
-				for k, c := range h.groupCols {
-					key[k] = b.Vecs[c].Value(i)
-				}
-				h.keys = append(h.keys, key)
-				h.states = append(h.states, newAggState(h.aggs, in))
-			}
-			st := h.states[gi]
-			for ai, a := range h.aggs {
-				switch a.Func {
-				case CountStar:
-					st.counts[ai]++
-				case Count:
-					if !b.Vecs[a.Col].IsNull(i) {
-						st.counts[ai]++
-					}
-				case CountDistinct:
-					if !b.Vecs[a.Col].IsNull(i) {
-						elemBuf = encodeValue(elemBuf[:0], b.Vecs[a.Col], i)
-						if _, seen := st.distinct[ai][string(elemBuf)]; !seen {
-							st.distinct[ai][string(elemBuf)] = struct{}{}
-						}
-					}
-				case Sum:
-					v := b.Vecs[a.Col]
-					if !v.IsNull(i) {
-						st.counts[ai]++
-						if v.Typ == vector.Float64 {
-							st.sumsF[ai] += v.F64[i]
-						} else {
-							st.sumsI[ai] += v.I64[i]
-						}
-					}
-				case Min:
-					v := b.Vecs[a.Col]
-					if !v.IsNull(i) {
-						val := v.Value(i)
-						if st.minmax[ai].Null || val.Compare(st.minmax[ai]) < 0 {
-							st.minmax[ai] = val
-						}
-					}
-				case Max:
-					v := b.Vecs[a.Col]
-					if !v.IsNull(i) {
-						val := v.Value(i)
-						if st.minmax[ai].Null || val.Compare(st.minmax[ai]) > 0 {
-							st.minmax[ai] = val
-						}
-					}
-				}
-			}
-		}
+		bld.add(b)
 	}
+	h.groups, h.keys, h.states = bld.groups, bld.keys, bld.states
 	// Global aggregation over zero rows still yields one row.
 	if len(h.groupCols) == 0 && len(h.keys) == 0 {
 		h.keys = append(h.keys, nil)
@@ -293,41 +219,8 @@ func (h *HashAgg) next() (*vector.Batch, error) {
 		end = len(h.keys)
 	}
 	out := vector.NewBatch(h.types)
-	in := h.child.Types()
-	for g := h.outPos; g < end; g++ {
-		col := 0
-		for k := range h.groupCols {
-			if err := out.Vecs[col].AppendValue(h.keys[g][k]); err != nil {
-				return nil, errOp(h, err)
-			}
-			col++
-		}
-		st := h.states[g]
-		for ai, a := range h.aggs {
-			switch a.Func {
-			case CountStar, Count:
-				out.Vecs[col].AppendInt64(st.counts[ai])
-			case CountDistinct:
-				if st.resolved {
-					out.Vecs[col].AppendInt64(st.counts[ai])
-				} else {
-					out.Vecs[col].AppendInt64(int64(len(st.distinct[ai])))
-				}
-			case Sum:
-				if st.counts[ai] == 0 {
-					out.Vecs[col].AppendNull()
-				} else if in[a.Col] == vector.Float64 {
-					out.Vecs[col].AppendFloat64(st.sumsF[ai])
-				} else {
-					out.Vecs[col].AppendInt64(st.sumsI[ai])
-				}
-			case Min, Max:
-				if err := out.Vecs[col].AppendValue(st.minmax[ai]); err != nil {
-					return nil, errOp(h, err)
-				}
-			}
-			col++
-		}
+	if err := emitGroups(out, h.keys, h.states, h.groupCols, h.aggs, h.child.Types(), h.outPos, end); err != nil {
+		return nil, errOp(h, err)
 	}
 	h.outPos = end
 	return out, nil

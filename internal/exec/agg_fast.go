@@ -2,6 +2,44 @@ package exec
 
 import "patchindex/internal/vector"
 
+// fastAggKind classifies the aggregation shapes served by the specialized
+// fast paths instead of the generic byte-encoding hash table.
+type fastAggKind uint8
+
+const (
+	fastNone fastAggKind = iota
+	// DISTINCT over a single int64/date column.
+	fastDistinctInt64
+	// DISTINCT over a single string column.
+	fastDistinctString
+	// Global COUNT(DISTINCT c) over an int64/date column.
+	fastCountDistinctInt64
+	// Global COUNT(DISTINCT c) over a string column.
+	fastCountDistinctString
+)
+
+// classifyFastAgg returns the fast-path kind of an aggregation, and the input
+// column it operates on (meaningless for fastNone).
+func classifyFastAgg(groupCols []int, aggs []AggSpec, in []vector.Type) (fastAggKind, int) {
+	switch {
+	case len(groupCols) == 1 && len(aggs) == 0:
+		switch in[groupCols[0]] {
+		case vector.Int64, vector.Date:
+			return fastDistinctInt64, groupCols[0]
+		case vector.String:
+			return fastDistinctString, groupCols[0]
+		}
+	case len(groupCols) == 0 && len(aggs) == 1 && aggs[0].Func == CountDistinct:
+		switch in[aggs[0].Col] {
+		case vector.Int64, vector.Date:
+			return fastCountDistinctInt64, aggs[0].Col
+		case vector.String:
+			return fastCountDistinctString, aggs[0].Col
+		}
+	}
+	return fastNone, -1
+}
+
 // openFast handles the aggregation shapes that dominate the evaluation
 // workloads with type-specialized hash tables, avoiding the generic
 // byte-encoding path:
@@ -14,38 +52,52 @@ import "patchindex/internal/vector"
 // the shared keys/states slices.
 func (h *HashAgg) openFast() (bool, error) {
 	in := h.child.Types()
-	switch {
-	case len(h.groupCols) == 1 && len(h.aggs) == 0:
-		t := in[h.groupCols[0]]
-		if t == vector.Int64 || t == vector.Date {
-			return true, h.distinctInt64(h.groupCols[0], t)
+	kind, col := classifyFastAgg(h.groupCols, h.aggs, in)
+	switch kind {
+	case fastDistinctInt64:
+		seen, sawNull, err := collectDistinctInt64(h.child, col)
+		if err != nil {
+			return true, errOp(h, err)
 		}
-		if t == vector.String {
-			return true, h.distinctString(h.groupCols[0])
+		h.keys, h.states = appendDistinctInt64(h.keys, h.states, in[col], seen, sawNull)
+		return true, nil
+	case fastDistinctString:
+		seen, sawNull, err := collectDistinctString(h.child, col)
+		if err != nil {
+			return true, errOp(h, err)
 		}
-	case len(h.groupCols) == 0 && len(h.aggs) == 1 && h.aggs[0].Func == CountDistinct:
-		t := in[h.aggs[0].Col]
-		if t == vector.Int64 || t == vector.Date {
-			return true, h.countDistinctInt64(h.aggs[0].Col)
+		h.keys, h.states = appendDistinctString(h.keys, h.states, seen, sawNull)
+		return true, nil
+	case fastCountDistinctInt64:
+		seen, _, err := collectDistinctInt64(h.child, col)
+		if err != nil {
+			return true, errOp(h, err)
 		}
-		if t == vector.String {
-			return true, h.countDistinctString(h.aggs[0].Col)
+		h.keys, h.states = appendGlobalCount(h.keys, h.states, len(seen))
+		return true, nil
+	case fastCountDistinctString:
+		seen, _, err := collectDistinctString(h.child, col)
+		if err != nil {
+			return true, errOp(h, err)
 		}
+		h.keys, h.states = appendGlobalCount(h.keys, h.states, len(seen))
+		return true, nil
 	}
 	return false, nil
 }
 
-// distinctInt64 implements DISTINCT over one int64/date column.
-func (h *HashAgg) distinctInt64(col int, t vector.Type) error {
+// collectDistinctInt64 drains child, collecting the distinct non-NULL values
+// of its int64/date column col and whether a NULL was seen.
+func collectDistinctInt64(child Operator, col int) (map[int64]struct{}, bool, error) {
 	seen := make(map[int64]struct{})
 	sawNull := false
 	for {
-		b, err := h.child.Next()
+		b, err := child.Next()
 		if err != nil {
-			return errOp(h, err)
+			return nil, false, err
 		}
 		if b == nil {
-			break
+			return seen, sawNull, nil
 		}
 		v := b.Vecs[col]
 		n := v.Len()
@@ -63,28 +115,19 @@ func (h *HashAgg) distinctInt64(col int, t vector.Type) error {
 			seen[v.I64[i]] = struct{}{}
 		}
 	}
-	if sawNull {
-		h.keys = append(h.keys, []vector.Value{vector.NullValue(t)})
-		h.states = append(h.states, &aggState{})
-	}
-	for val := range seen {
-		h.keys = append(h.keys, []vector.Value{{Typ: t, I64: val}})
-		h.states = append(h.states, &aggState{})
-	}
-	return nil
 }
 
-// distinctString implements DISTINCT over one string column.
-func (h *HashAgg) distinctString(col int) error {
+// collectDistinctString is collectDistinctInt64 for string columns.
+func collectDistinctString(child Operator, col int) (map[string]struct{}, bool, error) {
 	seen := make(map[string]struct{})
 	sawNull := false
 	for {
-		b, err := h.child.Next()
+		b, err := child.Next()
 		if err != nil {
-			return errOp(h, err)
+			return nil, false, err
 		}
 		if b == nil {
-			break
+			return seen, sawNull, nil
 		}
 		v := b.Vecs[col]
 		n := v.Len()
@@ -102,84 +145,42 @@ func (h *HashAgg) distinctString(col int) error {
 			seen[v.Str[i]] = struct{}{}
 		}
 	}
+}
+
+// appendDistinctInt64 registers the collected distinct set as result groups
+// (NULL group first, then map iteration order — DISTINCT promises no order).
+func appendDistinctInt64(keys [][]vector.Value, states []*aggState,
+	t vector.Type, seen map[int64]struct{}, sawNull bool) ([][]vector.Value, []*aggState) {
 	if sawNull {
-		h.keys = append(h.keys, []vector.Value{vector.NullValue(vector.String)})
-		h.states = append(h.states, &aggState{})
+		keys = append(keys, []vector.Value{vector.NullValue(t)})
+		states = append(states, &aggState{})
 	}
 	for val := range seen {
-		h.keys = append(h.keys, []vector.Value{vector.StringValue(val)})
-		h.states = append(h.states, &aggState{})
+		keys = append(keys, []vector.Value{{Typ: t, I64: val}})
+		states = append(states, &aggState{})
 	}
-	return nil
+	return keys, states
 }
 
-// countDistinctInt64 implements a global COUNT(DISTINCT c) over an
-// int64/date column (NULLs are not counted, per SQL).
-func (h *HashAgg) countDistinctInt64(col int) error {
-	seen := make(map[int64]struct{})
-	for {
-		b, err := h.child.Next()
-		if err != nil {
-			return errOp(h, err)
-		}
-		if b == nil {
-			break
-		}
-		v := b.Vecs[col]
-		n := v.Len()
-		if v.Nulls == nil {
-			for i := 0; i < n; i++ {
-				seen[v.I64[i]] = struct{}{}
-			}
-			continue
-		}
-		for i := 0; i < n; i++ {
-			if !v.Nulls[i] {
-				seen[v.I64[i]] = struct{}{}
-			}
-		}
+// appendDistinctString is appendDistinctInt64 for string sets.
+func appendDistinctString(keys [][]vector.Value, states []*aggState,
+	seen map[string]struct{}, sawNull bool) ([][]vector.Value, []*aggState) {
+	if sawNull {
+		keys = append(keys, []vector.Value{vector.NullValue(vector.String)})
+		states = append(states, &aggState{})
 	}
-	h.emitGlobalCount(len(seen))
-	return nil
+	for val := range seen {
+		keys = append(keys, []vector.Value{vector.StringValue(val)})
+		states = append(states, &aggState{})
+	}
+	return keys, states
 }
 
-// countDistinctString implements a global COUNT(DISTINCT c) over a string
-// column.
-func (h *HashAgg) countDistinctString(col int) error {
-	seen := make(map[string]struct{})
-	for {
-		b, err := h.child.Next()
-		if err != nil {
-			return errOp(h, err)
-		}
-		if b == nil {
-			break
-		}
-		v := b.Vecs[col]
-		n := v.Len()
-		if v.Nulls == nil {
-			for i := 0; i < n; i++ {
-				seen[v.Str[i]] = struct{}{}
-			}
-			continue
-		}
-		for i := 0; i < n; i++ {
-			if !v.Nulls[i] {
-				seen[v.Str[i]] = struct{}{}
-			}
-		}
-	}
-	h.emitGlobalCount(len(seen))
-	return nil
-}
-
-// emitGlobalCount registers the single result row of a global
-// count-distinct through the generic result state. Next() reads the count
-// from counts[0] (the Func is CountDistinct, so it reads distinct[0] in the
-// generic path; we pre-size a fake distinct map would be wasteful, so the
-// state carries the count directly and Next special-cases resolved=true).
-func (h *HashAgg) emitGlobalCount(n int) {
-	st := &aggState{counts: []int64{int64(n)}, resolved: true}
-	h.keys = append(h.keys, nil)
-	h.states = append(h.states, st)
+// appendGlobalCount registers the single result row of a global
+// count-distinct. The state carries the final count directly and is marked
+// resolved so emitGroups reads counts[0] instead of a distinct map.
+func appendGlobalCount(keys [][]vector.Value, states []*aggState, n int) ([][]vector.Value, []*aggState) {
+	keys = append(keys, nil)
+	states = append(states, &aggState{counts: []int64{int64(n)}, resolved: true})
+	return keys, states
 }

@@ -1,0 +1,338 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"patchindex/internal/obs"
+	"patchindex/internal/vector"
+)
+
+// ParallelAgg is the morsel-driven counterpart of HashAgg: each child is an
+// independent per-partition pipeline, a bounded worker pool runs a partial
+// aggregation over every pipeline, and Open merges the partials in
+// child-index order before Next emits results.
+//
+// The child-order merge is what keeps parallel aggregation deterministic:
+// each partial preserves partition-local first-occurrence order, so merging
+// partial 0, then 1, ... reproduces exactly the group insertion order a
+// serial HashAgg sees over Union(child 0, child 1, ...). The specialized
+// fast paths (single-column DISTINCT, global COUNT(DISTINCT)) carry their
+// typed sets in the partials — sets, not resolved counts, so duplicates
+// across partitions collapse correctly at merge time.
+type ParallelAgg struct {
+	opStats
+	children  []Operator
+	degree    int
+	groupCols []int
+	aggs      []AggSpec
+	types     []vector.Type
+	in        []vector.Type
+
+	fastKind fastAggKind
+	fastCol  int
+
+	keys    [][]vector.Value
+	states  []*aggState
+	outPos  int
+	opened  bool
+	built   int64
+	workers []obs.WorkerStats
+}
+
+// aggPartial is the result of aggregating one child pipeline: either a
+// generic builder or one of the fast-path typed sets.
+type aggPartial struct {
+	bld     *aggBuilder
+	i64     map[int64]struct{}
+	str     map[string]struct{}
+	sawNull bool
+}
+
+// NewParallelAgg creates a parallel aggregation over schema-compatible
+// per-partition pipelines with at most degree workers (degree <= 0 means
+// runtime.GOMAXPROCS(0)).
+func NewParallelAgg(degree int, groupCols []int, aggs []AggSpec, children ...Operator) (*ParallelAgg, error) {
+	if len(children) == 0 {
+		return nil, fmt.Errorf("exec: parallel aggregation needs at least one child")
+	}
+	in := children[0].Types()
+	for i, c := range children[1:] {
+		if err := typesEqual(in, c.Types()); err != nil {
+			return nil, fmt.Errorf("exec: parallel aggregation child %d: %w", i+1, err)
+		}
+	}
+	types, err := aggOutputTypes(groupCols, aggs, in)
+	if err != nil {
+		return nil, err
+	}
+	kind, col := classifyFastAgg(groupCols, aggs, in)
+	return &ParallelAgg{
+		children: children, degree: degree,
+		groupCols: groupCols, aggs: aggs, types: types, in: in,
+		fastKind: kind, fastCol: col,
+	}, nil
+}
+
+// Name returns the operator name with pipeline count and worker bound.
+func (pa *ParallelAgg) Name() string {
+	return fmt.Sprintf("ParallelAgg(%d, dop=%d)", len(pa.children), effectiveDegree(pa.degree, len(pa.children)))
+}
+
+// Types returns group column types followed by aggregate result types.
+func (pa *ParallelAgg) Types() []vector.Type { return pa.types }
+
+// Children returns the partition pipelines. Their stats must only be read
+// after Open has returned (which joins the workers).
+func (pa *ParallelAgg) Children() []Operator { return pa.children }
+
+// WorkerStats returns the per-worker statistics (rows here count input rows
+// consumed, since the workers' product is aggregate state, not batches).
+// Only meaningful after Open has returned.
+func (pa *ParallelAgg) WorkerStats() []obs.WorkerStats { return pa.workers }
+
+// ExtraStats reports the number of groups built and the worker pool size.
+func (pa *ParallelAgg) ExtraStats() []obs.KV {
+	var morsels int64
+	for i := range pa.workers {
+		morsels += pa.workers[i].Morsels
+	}
+	return []obs.KV{
+		{Key: "groups", Value: pa.built},
+		{Key: "workers", Value: int64(len(pa.workers))},
+		{Key: "morsels", Value: morsels},
+	}
+}
+
+// Open runs the partial aggregations on the worker pool and merges them
+// (pipeline breaker). A cancelled context aborts every worker through its
+// pipeline's per-batch check; a failed pipeline stops the pool claiming
+// further morsels.
+func (pa *ParallelAgg) Open(ctx context.Context) error {
+	pa.bindCtx(ctx)
+	start := time.Now()
+	err := pa.open(pa.ctx) // bindCtx normalized nil to Background
+	pa.stats.AddTime(start)
+	pa.built = int64(len(pa.keys))
+	return err
+}
+
+func (pa *ParallelAgg) open(ctx context.Context) error {
+	pa.keys = nil
+	pa.states = nil
+	pa.outPos = 0
+	pa.opened = true
+
+	n := effectiveDegree(pa.degree, len(pa.children))
+	pa.workers = make([]obs.WorkerStats, n)
+	partials := make([]*aggPartial, len(pa.children))
+	errs := make([]error, len(pa.children))
+	var next atomic.Int64
+	var failed atomic.Bool
+	var wg sync.WaitGroup
+	for w := 0; w < n; w++ {
+		wg.Add(1)
+		go func(ws *obs.WorkerStats) {
+			defer wg.Done()
+			for {
+				if failed.Load() || (ctx != nil && ctx.Err() != nil) {
+					return
+				}
+				i := int(next.Add(1) - 1)
+				if i >= len(pa.children) {
+					return
+				}
+				start := time.Now()
+				ws.Morsels++
+				p, err := pa.buildPartial(ctx, pa.children[i], ws)
+				ws.AddTime(start)
+				if err != nil {
+					errs[i] = err
+					failed.Store(true)
+					return
+				}
+				partials[i] = p
+			}
+		}(&pa.workers[w])
+	}
+	wg.Wait()
+	for _, e := range errs {
+		if e != nil {
+			return errOp(pa, e)
+		}
+	}
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	pa.mergePartials(partials)
+	return nil
+}
+
+// buildPartial opens one pipeline and aggregates it to a partial. The
+// worker's Batches/Rows count the input it consumed.
+func (pa *ParallelAgg) buildPartial(ctx context.Context, child Operator, ws *obs.WorkerStats) (*aggPartial, error) {
+	if err := child.Open(ctx); err != nil {
+		return nil, err
+	}
+	counting := &countingOp{child: child, ws: ws}
+	switch pa.fastKind {
+	case fastDistinctInt64, fastCountDistinctInt64:
+		seen, sawNull, err := collectDistinctInt64(counting, pa.fastCol)
+		if err != nil {
+			return nil, err
+		}
+		return &aggPartial{i64: seen, sawNull: sawNull}, nil
+	case fastDistinctString, fastCountDistinctString:
+		seen, sawNull, err := collectDistinctString(counting, pa.fastCol)
+		if err != nil {
+			return nil, err
+		}
+		return &aggPartial{str: seen, sawNull: sawNull}, nil
+	}
+	bld := newAggBuilder(pa.groupCols, pa.aggs, pa.in)
+	for {
+		b, err := counting.Next()
+		if err != nil {
+			return nil, err
+		}
+		if b == nil {
+			return &aggPartial{bld: bld}, nil
+		}
+		bld.add(b)
+	}
+}
+
+// mergePartials combines the per-pipeline partials in child-index order into
+// the final keys/states the emitter reads.
+func (pa *ParallelAgg) mergePartials(partials []*aggPartial) {
+	switch pa.fastKind {
+	case fastDistinctInt64, fastCountDistinctInt64:
+		seen := make(map[int64]struct{})
+		sawNull := false
+		for _, p := range partials {
+			if p == nil {
+				continue
+			}
+			for v := range p.i64 {
+				seen[v] = struct{}{}
+			}
+			sawNull = sawNull || p.sawNull
+		}
+		if pa.fastKind == fastDistinctInt64 {
+			pa.keys, pa.states = appendDistinctInt64(pa.keys, pa.states, pa.in[pa.fastCol], seen, sawNull)
+		} else {
+			pa.keys, pa.states = appendGlobalCount(pa.keys, pa.states, len(seen))
+		}
+		return
+	case fastDistinctString, fastCountDistinctString:
+		seen := make(map[string]struct{})
+		sawNull := false
+		for _, p := range partials {
+			if p == nil {
+				continue
+			}
+			for v := range p.str {
+				seen[v] = struct{}{}
+			}
+			sawNull = sawNull || p.sawNull
+		}
+		if pa.fastKind == fastDistinctString {
+			pa.keys, pa.states = appendDistinctString(pa.keys, pa.states, seen, sawNull)
+		} else {
+			pa.keys, pa.states = appendGlobalCount(pa.keys, pa.states, len(seen))
+		}
+		return
+	}
+	var merged *aggBuilder
+	for _, p := range partials {
+		if p == nil || p.bld == nil {
+			continue
+		}
+		if merged == nil {
+			merged = p.bld
+			continue
+		}
+		merged.merge(p.bld)
+	}
+	if merged != nil {
+		pa.keys, pa.states = merged.keys, merged.states
+	}
+	// Global aggregation over zero rows still yields one row.
+	if len(pa.groupCols) == 0 && len(pa.keys) == 0 {
+		pa.keys = append(pa.keys, nil)
+		pa.states = append(pa.states, newAggState(pa.aggs, pa.in))
+	}
+}
+
+// Next emits result groups in merged insertion order (identical to what a
+// serial HashAgg over a Union of the same children would emit).
+func (pa *ParallelAgg) Next() (*vector.Batch, error) {
+	if err := pa.ctxErr(); err != nil {
+		return nil, err
+	}
+	start := time.Now()
+	b, err := pa.next()
+	pa.stats.AddTime(start)
+	if b != nil {
+		pa.stats.AddBatch(b.Len())
+	}
+	return b, err
+}
+
+func (pa *ParallelAgg) next() (*vector.Batch, error) {
+	if !pa.opened {
+		return nil, errOp(pa, fmt.Errorf("not opened"))
+	}
+	if pa.outPos >= len(pa.keys) {
+		return nil, nil
+	}
+	end := pa.outPos + vector.BatchSize
+	if end > len(pa.keys) {
+		end = len(pa.keys)
+	}
+	out := vector.NewBatch(pa.types)
+	if err := emitGroups(out, pa.keys, pa.states, pa.groupCols, pa.aggs, pa.in, pa.outPos, end); err != nil {
+		return nil, errOp(pa, err)
+	}
+	pa.outPos = end
+	return out, nil
+}
+
+// Close closes every child pipeline and drops the merged state. Workers were
+// already joined by Open, so no goroutines outlive the operator.
+func (pa *ParallelAgg) Close() error {
+	pa.keys = nil
+	pa.states = nil
+	var first error
+	for _, c := range pa.children {
+		if err := c.Close(); err != nil && first == nil {
+			first = err
+		}
+	}
+	return first
+}
+
+// countingOp wraps a pipeline so a worker's input consumption lands in its
+// WorkerStats without touching the wrapped operator's own accounting.
+type countingOp struct {
+	child Operator
+	ws    *obs.WorkerStats
+}
+
+func (c *countingOp) Types() []vector.Type           { return c.child.Types() }
+func (c *countingOp) Open(ctx context.Context) error { return c.child.Open(ctx) }
+func (c *countingOp) Name() string                   { return c.child.Name() }
+func (c *countingOp) Children() []Operator           { return c.child.Children() }
+func (c *countingOp) Stats() *obs.OpStats            { return c.child.Stats() }
+func (c *countingOp) Close() error                   { return c.child.Close() }
+
+func (c *countingOp) Next() (*vector.Batch, error) {
+	b, err := c.child.Next()
+	if b != nil {
+		c.ws.AddBatch(b.Len())
+	}
+	return b, err
+}

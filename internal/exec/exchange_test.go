@@ -1,0 +1,527 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sort"
+	"testing"
+	"time"
+
+	"patchindex/internal/vector"
+)
+
+// blockingOp emits batches forever until its context is cancelled; used to
+// prove cancellation and early close stop Exchange workers.
+type blockingOp struct {
+	opStats
+	types []vector.Type
+}
+
+func (b *blockingOp) Name() string         { return "blocking" }
+func (b *blockingOp) Types() []vector.Type { return b.types }
+func (b *blockingOp) Children() []Operator { return nil }
+func (b *blockingOp) Close() error         { return nil }
+
+func (b *blockingOp) Open(ctx context.Context) error {
+	b.bindCtx(ctx)
+	return nil
+}
+
+func (b *blockingOp) Next() (*vector.Batch, error) {
+	if err := b.ctxErr(); err != nil {
+		return nil, err
+	}
+	return intBatch(1), nil
+}
+
+func TestExchangeAllRowsArrive(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	for _, degree := range []int{0, 1, 2, 8} {
+		x, err := NewExchange(degree,
+			newMemOp([]vector.Type{vector.Int64}, intBatch(1, 2), intBatch(3)),
+			newMemOp([]vector.Type{vector.Int64}),
+			newMemOp([]vector.Type{vector.Int64}, intBatch(4, 5, 6)),
+			newMemOp([]vector.Type{vector.Int64}, intBatch(7)),
+		)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rows, err := Collect(x)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got := intsOf(t, rows, 0)
+		sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+		if !eqInts(got, []int64{1, 2, 3, 4, 5, 6, 7}) {
+			t.Errorf("degree %d: rows = %v", degree, got)
+		}
+	}
+}
+
+// TestExchangeWorkerStats checks the EXPLAIN ANALYZE contract: after a full
+// drain and Close, per-worker stats sum to the merged operator stats and
+// every morsel was claimed exactly once.
+func TestExchangeWorkerStats(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	x, err := NewExchange(4,
+		newMemOp([]vector.Type{vector.Int64}, intBatch(1, 2), intBatch(3)),
+		newMemOp([]vector.Type{vector.Int64}, intBatch(4, 5, 6)),
+		newMemOp([]vector.Type{vector.Int64}),
+		newMemOp([]vector.Type{vector.Int64}, intBatch(7)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(x) // Collect closes, joining the workers
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wRows, wBatches, wMorsels int64
+	for _, w := range x.WorkerStats() {
+		wRows += w.Rows
+		wBatches += w.Batches
+		wMorsels += w.Morsels
+	}
+	if wRows != int64(len(rows)) || wRows != x.Stats().Rows {
+		t.Errorf("worker rows %d, collected %d, merged %d", wRows, len(rows), x.Stats().Rows)
+	}
+	if wBatches != x.Stats().Batches {
+		t.Errorf("worker batches %d, merged %d", wBatches, x.Stats().Batches)
+	}
+	if wMorsels != 4 {
+		t.Errorf("morsels claimed = %d, want 4", wMorsels)
+	}
+}
+
+func TestExchangePropagatesErrors(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	boom := errors.New("boom")
+	bad := newMemOp([]vector.Type{vector.Int64}, intBatch(1), intBatch(2))
+	bad.errAfter = 1
+	bad.nextErr = boom
+	x, err := NewExchange(2,
+		newMemOp([]vector.Type{vector.Int64}, intBatch(10)),
+		bad,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(x); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+func TestExchangePropagatesOpenErrors(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	boom := errors.New("open failed")
+	bad := newMemOp([]vector.Type{vector.Int64})
+	bad.openErr = boom
+	x, err := NewExchange(2, newMemOp([]vector.Type{vector.Int64}, intBatch(1)), bad)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(x); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestExchangeEarlyClose closes the exchange while producers still hold many
+// undelivered batches; Close must join every worker without deadlocking, and
+// unclaimed children must still be closed.
+func TestExchangeEarlyClose(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	mk := func() *memOp {
+		batches := make([]*vector.Batch, 100)
+		for i := range batches {
+			batches[i] = intBatch(int64(i))
+		}
+		return newMemOp([]vector.Type{vector.Int64}, batches...)
+	}
+	kids := []*memOp{mk(), mk(), mk(), mk()}
+	x, err := NewExchange(2, kids[0], kids[1], kids[2], kids[3])
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+	for i, k := range kids {
+		if !k.closed {
+			t.Errorf("child %d not closed", i)
+		}
+	}
+}
+
+// TestExchangeCancellation cancels the query context while children can
+// produce forever; all workers must stop within one batch and Next must
+// surface the cancellation.
+func TestExchangeCancellation(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	x, err := NewExchange(2,
+		&blockingOp{types: []vector.Type{vector.Int64}},
+		&blockingOp{types: []vector.Type{vector.Int64}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	if err := x.Open(ctx); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := x.Next(); err != nil {
+		t.Fatal(err)
+	}
+	cancel()
+	// Drain until the cancellation surfaces; buffered batches may still
+	// arrive first, but the stream must end with context.Canceled promptly.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		b, err := x.Next()
+		if err != nil {
+			if !errors.Is(err, context.Canceled) {
+				t.Fatalf("err = %v, want context.Canceled", err)
+			}
+			break
+		}
+		if b == nil {
+			break // workers bailed before enqueueing an error: fine too
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("exchange kept producing after cancellation")
+		}
+	}
+	if err := x.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestExchangeValidation(t *testing.T) {
+	if _, err := NewExchange(2); err == nil {
+		t.Error("empty exchange must fail")
+	}
+	a := newMemOp([]vector.Type{vector.Int64})
+	b := newMemOp([]vector.Type{vector.String})
+	if _, err := NewExchange(2, a, b); err == nil {
+		t.Error("type mismatch must fail")
+	}
+}
+
+func TestExchangeClearsContiguity(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	x, err := NewExchange(1, newMemOp([]vector.Type{vector.Int64}, contiguous(intBatch(1), 7)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := x.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer x.Close()
+	b, err := x.Next()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if b.Contiguous {
+		t.Error("exchange output must not claim contiguity")
+	}
+}
+
+// TestSortOverExchangeEarlyClose covers the pipeline-breaker interaction: a
+// Sort (or Limit) that is closed before draining must propagate Close into
+// the Exchange, which joins its workers — no goroutine leaks, no deadlock.
+func TestSortOverExchangeEarlyClose(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	mk := func() *memOp {
+		batches := make([]*vector.Batch, 50)
+		for i := range batches {
+			batches[i] = intBatch(int64(i), int64(i+1))
+		}
+		return newMemOp([]vector.Type{vector.Int64}, batches...)
+	}
+	x, err := NewExchange(2, mk(), mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSort(x, []SortKey{{Col: 0}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Next(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestLimitOverExchangeEarlyClose(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	mk := func() *memOp {
+		batches := make([]*vector.Batch, 50)
+		for i := range batches {
+			batches[i] = intBatch(int64(i))
+		}
+		return newMemOp([]vector.Type{vector.Int64}, batches...)
+	}
+	x, err := NewExchange(2, mk(), mk(), mk())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := NewLimit(x, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3", len(rows))
+	}
+}
+
+// multiBatch builds a two-column (group, value) batch.
+func groupBatch(pairs ...[2]int64) *vector.Batch {
+	b := vector.NewBatch([]vector.Type{vector.Int64, vector.Int64})
+	for _, p := range pairs {
+		b.Vecs[0].AppendInt64(p[0])
+		b.Vecs[1].AppendInt64(p[1])
+	}
+	return b
+}
+
+// TestParallelAggMatchesHashAgg is the determinism contract: ParallelAgg over
+// N children must emit byte-identical output — including group order — to a
+// serial HashAgg over Union of the same children.
+func TestParallelAggMatchesHashAgg(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	mkChildren := func() []Operator {
+		return []Operator{
+			newMemOp([]vector.Type{vector.Int64, vector.Int64},
+				groupBatch([2]int64{1, 10}, [2]int64{2, 20}), groupBatch([2]int64{1, 5})),
+			newMemOp([]vector.Type{vector.Int64, vector.Int64},
+				groupBatch([2]int64{3, 7}, [2]int64{2, 1})),
+			newMemOp([]vector.Type{vector.Int64, vector.Int64}),
+			newMemOp([]vector.Type{vector.Int64, vector.Int64},
+				groupBatch([2]int64{4, 4}, [2]int64{1, 100}, [2]int64{5, 2})),
+		}
+	}
+	aggs := []AggSpec{
+		{Func: CountStar},
+		{Func: Sum, Col: 1},
+		{Func: Min, Col: 1},
+		{Func: Max, Col: 1},
+	}
+
+	u, err := NewUnion(mkChildren()...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	serial, err := NewHashAgg(u, []int{0}, aggs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := Collect(serial)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for _, degree := range []int{1, 2, 8} {
+		pa, err := NewParallelAgg(degree, []int{0}, aggs, mkChildren()...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, err := Collect(pa)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("degree %d: %d groups, want %d", degree, len(got), len(want))
+		}
+		for i := range want {
+			for c := range want[i] {
+				if got[i][c] != want[i][c] {
+					t.Fatalf("degree %d: row %d col %d = %v, want %v (order must match serial)",
+						degree, i, c, got[i][c], want[i][c])
+				}
+			}
+		}
+	}
+}
+
+// TestParallelAggCountDistinct checks that fast-path partials carry sets, not
+// counts: a value duplicated across partitions must count once.
+func TestParallelAggCountDistinct(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	pa, err := NewParallelAgg(2, nil, []AggSpec{{Func: CountDistinct, Col: 0}},
+		newMemOp([]vector.Type{vector.Int64}, intBatch(1, 2, 3)),
+		newMemOp([]vector.Type{vector.Int64}, intBatch(3, 4)),
+		newMemOp([]vector.Type{vector.Int64}, intBatch(4, 5, 1)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].I64 != 5 {
+		t.Fatalf("count(distinct) = %v, want [[5]]", rows)
+	}
+}
+
+// TestParallelAggDistinct checks the DISTINCT fast path merges cross-partition
+// duplicates (output order is unspecified, as for serial HashAgg).
+func TestParallelAggDistinct(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	pa, err := NewParallelAgg(2, []int{0}, nil,
+		newMemOp([]vector.Type{vector.Int64}, intBatch(1, 2)),
+		newMemOp([]vector.Type{vector.Int64}, intBatch(2, 3)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := intsOf(t, rows, 0)
+	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
+	if !eqInts(got, []int64{1, 2, 3}) {
+		t.Errorf("distinct = %v", got)
+	}
+}
+
+func TestParallelAggGlobalEmpty(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	pa, err := NewParallelAgg(2, nil, []AggSpec{{Func: CountStar}},
+		newMemOp([]vector.Type{vector.Int64}),
+		newMemOp([]vector.Type{vector.Int64}),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(pa)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 1 || rows[0][0].I64 != 0 {
+		t.Fatalf("global count over empty input = %v, want [[0]]", rows)
+	}
+}
+
+func TestParallelAggPropagatesErrors(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	boom := errors.New("agg boom")
+	bad := newMemOp([]vector.Type{vector.Int64}, intBatch(1))
+	bad.errAfter = 0
+	bad.nextErr = boom
+	pa, err := NewParallelAgg(2, nil, []AggSpec{{Func: Sum, Col: 0}},
+		newMemOp([]vector.Type{vector.Int64}, intBatch(2)),
+		bad,
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(pa); !errors.Is(err, boom) {
+		t.Errorf("err = %v, want %v", err, boom)
+	}
+}
+
+// TestParallelAggCancellation cancels before Open; the pipeline breaker must
+// return promptly with the context error instead of aggregating.
+func TestParallelAggCancellation(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	pa, err := NewParallelAgg(2, nil, []AggSpec{{Func: CountStar}},
+		&blockingOp{types: []vector.Type{vector.Int64}},
+		&blockingOp{types: []vector.Type{vector.Int64}},
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() {
+		err := pa.Open(ctx)
+		if err == nil {
+			pa.Close()
+		}
+		done <- err
+	}()
+	time.Sleep(10 * time.Millisecond)
+	cancel()
+	select {
+	case err := <-done:
+		if !errors.Is(err, context.Canceled) {
+			t.Fatalf("Open = %v, want context.Canceled", err)
+		}
+	case <-time.After(2 * time.Second):
+		t.Fatal("ParallelAgg.Open did not return after cancellation")
+	}
+	if err := pa.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestParallelAggWorkerStats(t *testing.T) {
+	defer assertNoGoroutineLeak(t)()
+	pa, err := NewParallelAgg(4, []int{0}, []AggSpec{{Func: CountStar}},
+		newMemOp([]vector.Type{vector.Int64}, intBatch(1, 2), intBatch(3)),
+		newMemOp([]vector.Type{vector.Int64}, intBatch(4)),
+		newMemOp([]vector.Type{vector.Int64}, intBatch(5, 6)),
+	)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Collect(pa); err != nil {
+		t.Fatal(err)
+	}
+	var inRows, morsels int64
+	for _, w := range pa.WorkerStats() {
+		inRows += w.Rows
+		morsels += w.Morsels
+	}
+	if inRows != 6 {
+		t.Errorf("worker input rows = %d, want 6", inRows)
+	}
+	if morsels != 3 {
+		t.Errorf("morsels = %d, want 3", morsels)
+	}
+}
+
+func TestEffectiveDegree(t *testing.T) {
+	cases := []struct{ degree, morsels, wantMax int }{
+		{4, 2, 2},  // capped by morsel count
+		{1, 10, 1}, // explicit serial
+		{-1, 0, 1}, // degenerate: at least one worker
+	}
+	for _, c := range cases {
+		got := effectiveDegree(c.degree, c.morsels)
+		if got > c.wantMax || got < 1 {
+			t.Errorf("effectiveDegree(%d, %d) = %d, want in [1,%d]", c.degree, c.morsels, got, c.wantMax)
+		}
+	}
+	if got := effectiveDegree(0, 1000); got < 1 {
+		t.Errorf("effectiveDegree(0, 1000) = %d", got)
+	}
+}
+
+// TestExchangeName pins the EXPLAIN rendering of the operator header.
+func TestExchangeName(t *testing.T) {
+	x, err := NewExchange(1, newMemOp([]vector.Type{vector.Int64}))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := fmt.Sprintf("Exchange(1, dop=%d)", effectiveDegree(1, 1)); x.Name() != want {
+		t.Errorf("Name = %q, want %q", x.Name(), want)
+	}
+}

@@ -56,6 +56,15 @@ type ExtraStatser interface {
 	ExtraStats() []obs.KV
 }
 
+// WorkerStatser is implemented by parallel operators (Exchange, ParallelAgg)
+// that run a worker pool: it exposes the per-worker share of the operator's
+// merged OpStats, rendered as per-worker lines in EXPLAIN ANALYZE and as
+// per-worker spans under the operator's span in traces. Only read after
+// execution finishes (the operator joins its workers before then).
+type WorkerStatser interface {
+	WorkerStats() []obs.WorkerStats
+}
+
 // opStats is embedded by every operator to satisfy Stats() and to hold the
 // execution context bound at Open.
 type opStats struct {

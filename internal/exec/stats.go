@@ -39,6 +39,13 @@ func FormatStats(root Operator) string {
 			}
 		}
 		sb.WriteString(")\n")
+		if ws, ok := op.(WorkerStatser); ok {
+			for i, w := range ws.WorkerStats() {
+				sb.WriteString(strings.Repeat("  ", depth+1))
+				fmt.Fprintf(&sb, "[worker %d] (morsels=%d rows=%d batches=%d time=%s)\n",
+					i, w.Morsels, w.Rows, w.Batches, w.Duration().Round(time.Microsecond))
+			}
+		}
 		for _, c := range op.Children() {
 			walk(c, depth+1)
 		}

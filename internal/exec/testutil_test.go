@@ -3,11 +3,39 @@ package exec
 import (
 	"context"
 	"fmt"
+	"runtime"
 	"testing"
+	"time"
 
 	"patchindex/internal/storage"
 	"patchindex/internal/vector"
 )
+
+// assertNoGoroutineLeak snapshots the goroutine count and returns a check to
+// defer: it fails the test if, after a short grace period, more goroutines
+// are alive than before. Used by every test that opens a parallel operator so
+// an Exchange or ParallelAgg that fails to join its workers on Close (early
+// close, error, cancellation) is caught here rather than as a -race flake.
+func assertNoGoroutineLeak(t *testing.T) func() {
+	t.Helper()
+	before := runtime.NumGoroutine()
+	return func() {
+		t.Helper()
+		deadline := time.Now().Add(2 * time.Second)
+		for {
+			if runtime.NumGoroutine() <= before {
+				return
+			}
+			if time.Now().After(deadline) {
+				buf := make([]byte, 1<<16)
+				n := runtime.Stack(buf, true)
+				t.Fatalf("goroutine leak: %d before, %d after\n%s",
+					before, runtime.NumGoroutine(), buf[:n])
+			}
+			time.Sleep(5 * time.Millisecond)
+		}
+	}
+}
 
 // memOp is a test operator serving pre-built batches. It can emit contiguous
 // row ids (for PatchSelect tests) and fail on demand.

@@ -1,6 +1,10 @@
 package exec
 
-import "patchindex/internal/obs"
+import (
+	"fmt"
+
+	"patchindex/internal/obs"
+)
 
 // AppendOpSpans records one trace span per operator of an executed tree
 // under parent (the "execute" phase span), walking the tree in the same
@@ -37,6 +41,17 @@ func AppendOpSpans(at *obs.ActiveTrace, parent int, root Operator) int64 {
 			}
 		}
 		id := at.AddSpan(parent, op.Name(), base, st.Nanos, attrs)
+		if ws, ok := op.(WorkerStatser); ok {
+			// One span per worker under the parallel operator's span, carrying
+			// the same numbers FormatStats prints as [worker N] lines.
+			for i, w := range ws.WorkerStats() {
+				at.AddSpan(id, fmt.Sprintf("worker[%d]", i), base, w.Nanos, []obs.KV{
+					{Key: "morsels", Value: w.Morsels},
+					{Key: "rows", Value: w.Rows},
+					{Key: "batches", Value: w.Batches},
+				})
+			}
+		}
 		for _, c := range op.Children() {
 			walk(c, id)
 		}

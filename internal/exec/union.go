@@ -3,7 +3,6 @@ package exec
 import (
 	"context"
 	"fmt"
-	"sync"
 	"time"
 
 	"patchindex/internal/vector"
@@ -317,158 +316,6 @@ func (m *MergeUnion) Close() error {
 	return first
 }
 
-// ParallelUnion executes its children concurrently (one goroutine each) and
-// interleaves their batches. It is the exchange operator used to run
-// per-partition subqueries in parallel, "as far as possible" per Section
-// VI-A2. Row order across children is non-deterministic.
-type ParallelUnion struct {
-	opStats
-	children []Operator
-	types    []vector.Type
-
-	ch      chan parallelItem
-	done    chan struct{}
-	wg      sync.WaitGroup
-	started bool
-	err     error
-	errOnce sync.Once
-}
-
-type parallelItem struct {
-	batch *vector.Batch
-	err   error
-}
-
-// cloneBatch deep-copies a batch (fresh vectors, no shared buffers).
-func cloneBatch(b *vector.Batch) *vector.Batch {
-	out := &vector.Batch{Vecs: make([]*vector.Vector, len(b.Vecs))}
-	n := b.Len()
-	for c, v := range b.Vecs {
-		nv := vector.New(v.Typ, n)
-		nv.AppendRange(v, 0, n)
-		out.Vecs[c] = nv
-	}
-	return out
-}
-
-// NewParallelUnion creates a parallel union of compatible children.
-func NewParallelUnion(children ...Operator) (*ParallelUnion, error) {
-	if len(children) == 0 {
-		return nil, fmt.Errorf("exec: parallel union needs at least one child")
-	}
-	types := children[0].Types()
-	for i, c := range children[1:] {
-		if err := typesEqual(types, c.Types()); err != nil {
-			return nil, fmt.Errorf("exec: parallel union child %d: %w", i+1, err)
-		}
-	}
-	return &ParallelUnion{children: children, types: types}, nil
-}
-
-// Name returns the operator name.
-func (u *ParallelUnion) Name() string { return fmt.Sprintf("ParallelUnion(%d)", len(u.children)) }
-
-// Types returns the common child types.
-func (u *ParallelUnion) Types() []vector.Type { return u.types }
-
-// Open starts one producer goroutine per child. Producers stop on context
-// cancellation: their children return the context error from Next, and the
-// send path also watches the context so no producer blocks forever.
-func (u *ParallelUnion) Open(ctx context.Context) error {
-	u.bindCtx(ctx)
-	u.ch = make(chan parallelItem, 2*len(u.children))
-	u.done = make(chan struct{})
-	u.started = true
-	for _, c := range u.children {
-		u.wg.Add(1)
-		go func(op Operator) {
-			defer u.wg.Done()
-			if err := op.Open(ctx); err != nil {
-				u.send(parallelItem{err: err})
-				return
-			}
-			for {
-				b, err := op.Next()
-				if err != nil {
-					u.send(parallelItem{err: err})
-					return
-				}
-				if b == nil {
-					return
-				}
-				// Batches are only valid until the producer's next Next()
-				// call, but the channel buffers them — deep-copy before
-				// enqueueing.
-				if !u.send(parallelItem{batch: cloneBatch(b)}) {
-					return
-				}
-			}
-		}(c)
-	}
-	go func() {
-		u.wg.Wait()
-		close(u.ch)
-	}()
-	return nil
-}
-
-func (u *ParallelUnion) send(it parallelItem) bool {
-	var cancel <-chan struct{}
-	if u.ctx != nil {
-		cancel = u.ctx.Done()
-	}
-	select {
-	case u.ch <- it:
-		return true
-	case <-u.done:
-		return false
-	case <-cancel:
-		return false
-	}
-}
-
-// Children returns the unioned inputs. Their stats must only be read after
-// Close, which joins the producer goroutines.
-func (u *ParallelUnion) Children() []Operator { return u.children }
-
-// Next returns the next batch from any child. The recorded time includes
-// waiting for producers, so it reflects the critical path, not CPU work.
-func (u *ParallelUnion) Next() (*vector.Batch, error) {
-	if err := u.ctxErr(); err != nil {
-		return nil, err
-	}
-	start := time.Now()
-	b, err := u.next()
-	u.stats.AddTime(start)
-	if b != nil {
-		u.stats.AddBatch(b.Len())
-	}
-	return b, err
-}
-
-func (u *ParallelUnion) next() (*vector.Batch, error) {
-	for it := range u.ch {
-		if it.err != nil {
-			u.errOnce.Do(func() { u.err = it.err })
-			return nil, errOp(u, it.err)
-		}
-		return it.batch, nil
-	}
-	return nil, nil
-}
-
-// Close stops the producers and closes all children.
-func (u *ParallelUnion) Close() error {
-	if u.started {
-		close(u.done)
-		u.wg.Wait()
-		u.started = false
-	}
-	var first error
-	for _, c := range u.children {
-		if err := c.Close(); err != nil && first == nil {
-			first = err
-		}
-	}
-	return first
-}
+// The parallel counterpart of Union is the morsel-driven Exchange operator
+// in exchange.go: it runs its children on a bounded worker pool and
+// interleaves their batches.

@@ -2,8 +2,6 @@ package exec
 
 import (
 	"context"
-	"errors"
-	"sort"
 	"testing"
 
 	"patchindex/internal/vector"
@@ -137,67 +135,6 @@ func TestMergeUnionLargeBatches(t *testing.T) {
 		if rows[i][0].I64 != int64(i) {
 			t.Fatalf("row %d = %v", i, rows[i][0])
 		}
-	}
-}
-
-func TestParallelUnionAllRowsArrive(t *testing.T) {
-	u, err := NewParallelUnion(
-		newMemOp([]vector.Type{vector.Int64}, intBatch(1, 2), intBatch(3)),
-		newMemOp([]vector.Type{vector.Int64}, intBatch(4, 5)),
-		newMemOp([]vector.Type{vector.Int64}),
-	)
-	if err != nil {
-		t.Fatal(err)
-	}
-	rows, err := Collect(u)
-	if err != nil {
-		t.Fatal(err)
-	}
-	got := intsOf(t, rows, 0)
-	sort.Slice(got, func(i, j int) bool { return got[i] < got[j] })
-	if !eqInts(got, []int64{1, 2, 3, 4, 5}) {
-		t.Errorf("parallel union = %v", got)
-	}
-}
-
-func TestParallelUnionPropagatesErrors(t *testing.T) {
-	bad := newMemOp([]vector.Type{vector.Int64}, intBatch(1))
-	bad.errAfter = 1
-	bad.nextErr = errors.New("boom")
-	u, err := NewParallelUnion(
-		newMemOp([]vector.Type{vector.Int64}, intBatch(2)),
-		bad,
-	)
-	if err != nil {
-		t.Fatal(err)
-	}
-	_, err = Collect(u)
-	if err == nil {
-		t.Error("child error must propagate")
-	}
-}
-
-func TestParallelUnionEarlyClose(t *testing.T) {
-	// Closing mid-stream must not deadlock the producers.
-	var batches []*vector.Batch
-	for i := 0; i < 100; i++ {
-		batches = append(batches, intBatch(int64(i)))
-	}
-	u, err := NewParallelUnion(
-		newMemOp([]vector.Type{vector.Int64}, batches...),
-		newMemOp([]vector.Type{vector.Int64}, batches...),
-	)
-	if err != nil {
-		t.Fatal(err)
-	}
-	if err := u.Open(context.Background()); err != nil {
-		t.Fatal(err)
-	}
-	if _, err := u.Next(); err != nil {
-		t.Fatal(err)
-	}
-	if err := u.Close(); err != nil {
-		t.Fatal(err)
 	}
 }
 

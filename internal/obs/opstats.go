@@ -44,3 +44,35 @@ type KV struct {
 	Key   string `json:"key"`
 	Value int64  `json:"value"`
 }
+
+// WorkerStats is the per-worker share of a parallel operator's work (one
+// entry per worker goroutine of an Exchange or parallel aggregation). Each
+// worker writes only its own entry while running; readers look only after
+// the operator's Close has joined the workers, so plain integers suffice —
+// the same discipline as OpStats.
+type WorkerStats struct {
+	// Morsels is the number of work units (partition pipelines) the worker
+	// drove to completion.
+	Morsels int64
+	// Batches and Rows count what the worker produced into the exchange.
+	Batches int64
+	Rows    int64
+	// Nanos is wall time the worker spent driving morsels, including time
+	// blocked handing batches to the consumer (backpressure is part of the
+	// critical path).
+	Nanos int64
+}
+
+// AddBatch records one produced batch of n rows.
+func (w *WorkerStats) AddBatch(n int) {
+	w.Batches++
+	w.Rows += int64(n)
+}
+
+// AddTime accumulates the wall time elapsed since start.
+func (w *WorkerStats) AddTime(start time.Time) {
+	w.Nanos += int64(time.Since(start))
+}
+
+// Duration returns the accumulated wall time.
+func (w *WorkerStats) Duration() time.Duration { return time.Duration(w.Nanos) }

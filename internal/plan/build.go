@@ -11,12 +11,18 @@ import (
 
 // Config controls physical plan building.
 type Config struct {
-	// Parallel executes partition scans with one goroutine per partition
-	// (only where order does not matter).
-	Parallel bool
+	// Parallelism is the maximum degree of intra-query parallelism: the
+	// worker-pool bound of Exchange and ParallelAgg operators. Values <= 1
+	// build strictly serial plans, identical to plans built before parallel
+	// execution existed. The engine resolves session/config defaults to a
+	// concrete degree before building, so 0 means serial here, not "auto".
+	Parallelism int
 	// DisableScanRanges turns off SMA-based block pruning.
 	DisableScanRanges bool
 }
+
+// parallel reports whether parallel operators may be introduced.
+func (c Config) parallel() bool { return c.Parallelism > 1 }
 
 // Build translates a logical plan into a physical operator tree.
 func Build(n Node, cfg Config) (exec.Operator, error) {
@@ -45,6 +51,16 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 	case *PatchScanNode:
 		return buildPatchScan(x, cfg, bounds)
 	case *FilterNode:
+		if cfg.parallel() {
+			// Push the filter into per-partition pipelines under an Exchange.
+			parts, err := splitPipelines(x, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			if len(parts) > 1 {
+				return exec.NewExchange(cfg.Parallelism, parts...)
+			}
+		}
 		var childBounds map[int]colBounds
 		if !cfg.DisableScanRanges {
 			childBounds = extractBounds(x.Pred, x.Input.Schema())
@@ -55,12 +71,32 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 		}
 		return exec.NewFilter(child, x.Pred)
 	case *ProjectNode:
+		if cfg.parallel() {
+			parts, err := splitPipelines(x, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			if len(parts) > 1 {
+				return exec.NewExchange(cfg.Parallelism, parts...)
+			}
+		}
 		child, err := buildNode(x.Input, cfg, nil)
 		if err != nil {
 			return nil, err
 		}
 		return exec.NewProject(child, x.Exprs)
 	case *AggregateNode:
+		if cfg.parallel() {
+			// Partial aggregation per pipeline, merged in child order so the
+			// group sequence matches the serial plan exactly.
+			parts, err := splitPipelines(x.Input, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			if len(parts) > 1 {
+				return exec.NewParallelAgg(cfg.Parallelism, x.GroupCols, x.Aggs, parts...)
+			}
+		}
 		child, err := buildNode(x.Input, cfg, nil)
 		if err != nil {
 			return nil, err
@@ -95,6 +131,17 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 		}
 		return exec.NewHashJoin(left, right, x.LeftKey, x.RightKey, x.BuildLeft)
 	case *UnionNode:
+		if !x.Merge && cfg.parallel() {
+			// Branches (e.g. a rewrite's exclude and patch sides) become
+			// concurrent pipelines, each further split per partition.
+			parts, err := splitPipelines(x, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			if len(parts) > 1 {
+				return exec.NewExchange(cfg.Parallelism, parts...)
+			}
+		}
 		children := make([]exec.Operator, len(x.Inputs))
 		for i, in := range x.Inputs {
 			c, err := buildNode(in, cfg, nil)
@@ -105,9 +152,6 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 		}
 		if x.Merge {
 			return exec.NewMergeUnion(x.Keys, children...)
-		}
-		if cfg.Parallel && len(children) > 1 {
-			return exec.NewParallelUnion(children...)
 		}
 		return exec.NewUnion(children...)
 	default:
@@ -142,8 +186,8 @@ func buildScan(s *ScanNode, cfg Config, bounds map[int]colBounds) (exec.Operator
 	if len(parts) == 1 {
 		return parts[0], nil
 	}
-	if cfg.Parallel {
-		return exec.NewParallelUnion(parts...)
+	if cfg.parallel() {
+		return exec.NewExchange(cfg.Parallelism, parts...)
 	}
 	return exec.NewUnion(parts...)
 }
@@ -191,10 +235,119 @@ func buildPatchScan(s *PatchScanNode, cfg Config, bounds map[int]colBounds) (exe
 	if len(parts) == 1 {
 		return parts[0], nil
 	}
-	if cfg.Parallel {
-		return exec.NewParallelUnion(parts...)
+	if cfg.parallel() {
+		return exec.NewExchange(cfg.Parallelism, parts...)
 	}
 	return exec.NewUnion(parts...)
+}
+
+// splitPipelines decomposes n into independent per-partition pipelines —
+// the morsels of an Exchange or the partial-aggregation inputs of a
+// ParallelAgg. It handles the shapes that dominate the benchmark workloads:
+// multi-partition scans and patched scans (with no ordering promise to
+// preserve), filters and projections over a splittable input (pushed into
+// every pipeline), and non-merge unions (each branch contributes its own
+// pipelines, in branch order). A nil result with nil error means "not
+// splittable — build serially"; splitting never changes the multiset of
+// rows produced, only their interleaving.
+func splitPipelines(n Node, cfg Config, bounds map[int]colBounds) ([]exec.Operator, error) {
+	switch x := n.(type) {
+	case *ScanNode:
+		if x.Part >= 0 || x.Table.NumPartitions() <= 1 {
+			return nil, nil
+		}
+		// A declared sort key in the output means the serial plan promises
+		// merged order via MergeUnion; splitting would break OrderingOf.
+		if key := x.Table.SortKey(); key != "" && outputPos(x.Cols, x.Table, key) >= 0 {
+			return nil, nil
+		}
+		parts := make([]exec.Operator, x.Table.NumPartitions())
+		for p := range parts {
+			sc, err := exec.NewScan(x.Table, p, x.Cols, rangesFor(x.Table, p, x.Cols, bounds))
+			if err != nil {
+				return nil, err
+			}
+			parts[p] = sc
+		}
+		return parts, nil
+	case *PatchScanNode:
+		if x.Part >= 0 || x.Ordered || x.Table.NumPartitions() <= 1 {
+			return nil, nil
+		}
+		if !x.Index.Ready() {
+			return nil, fmt.Errorf("plan: PatchIndex on %s.%s is not built", x.Index.Table(), x.Index.Column())
+		}
+		if x.Index.NumPartitions() != x.Table.NumPartitions() {
+			return nil, fmt.Errorf("plan: PatchIndex on %s.%s has %d partitions, table has %d",
+				x.Index.Table(), x.Index.Column(), x.Index.NumPartitions(), x.Table.NumPartitions())
+		}
+		parts := make([]exec.Operator, x.Table.NumPartitions())
+		for p := range parts {
+			sc, err := exec.NewScan(x.Table, p, x.Cols, rangesFor(x.Table, p, x.Cols, bounds))
+			if err != nil {
+				return nil, err
+			}
+			ps, err := exec.NewPatchSelect(sc, x.Index.Partition(p), x.Mode)
+			if err != nil {
+				return nil, err
+			}
+			parts[p] = ps
+		}
+		return parts, nil
+	case *FilterNode:
+		var childBounds map[int]colBounds
+		if !cfg.DisableScanRanges {
+			childBounds = extractBounds(x.Pred, x.Input.Schema())
+		}
+		parts, err := splitPipelines(x.Input, cfg, childBounds)
+		if err != nil || parts == nil {
+			return nil, err
+		}
+		for i, p := range parts {
+			f, err := exec.NewFilter(p, x.Pred)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = f
+		}
+		return parts, nil
+	case *ProjectNode:
+		parts, err := splitPipelines(x.Input, cfg, nil)
+		if err != nil || parts == nil {
+			return nil, err
+		}
+		for i, p := range parts {
+			pr, err := exec.NewProject(p, x.Exprs)
+			if err != nil {
+				return nil, err
+			}
+			parts[i] = pr
+		}
+		return parts, nil
+	case *UnionNode:
+		if x.Merge {
+			return nil, nil
+		}
+		var parts []exec.Operator
+		for _, in := range x.Inputs {
+			sub, err := splitPipelines(in, cfg, nil)
+			if err != nil {
+				return nil, err
+			}
+			if sub == nil {
+				// Unsplittable branch: the whole branch is one pipeline.
+				op, err := buildNode(in, cfg, nil)
+				if err != nil {
+					return nil, err
+				}
+				sub = []exec.Operator{op}
+			}
+			parts = append(parts, sub...)
+		}
+		return parts, nil
+	default:
+		return nil, nil
+	}
 }
 
 // outputPos maps a table column name to its position in the scan column

@@ -468,13 +468,39 @@ func TestBuildOrderedPatchScanRequiresColumn(t *testing.T) {
 
 func TestBuildParallel(t *testing.T) {
 	fx := newFixture(t)
-	op, err := Build(factScan(fx), Config{Parallel: true})
+	op, err := Build(factScan(fx), Config{Parallelism: 4})
 	if err != nil {
 		t.Fatal(err)
 	}
 	n, err := exec.Drain(op)
 	if err != nil || n != 10 {
 		t.Errorf("parallel scan = %d, %v", n, err)
+	}
+}
+
+// TestBuildSerialIsExchangeFree asserts the Parallelism=1 guarantee: serial
+// configs never introduce parallel operators, so their physical plans are
+// identical to plans built before parallel execution existed.
+func TestBuildSerialIsExchangeFree(t *testing.T) {
+	fx := newFixture(t)
+	for _, cfg := range []Config{{}, {Parallelism: 1}} {
+		op, err := Build(factScan(fx), cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var walk func(o exec.Operator)
+		walk = func(o exec.Operator) {
+			if _, ok := o.(*exec.Exchange); ok {
+				t.Fatalf("serial plan contains an Exchange: %s", o.Name())
+			}
+			if _, ok := o.(*exec.ParallelAgg); ok {
+				t.Fatalf("serial plan contains a ParallelAgg: %s", o.Name())
+			}
+			for _, c := range o.Children() {
+				walk(c)
+			}
+		}
+		walk(op)
 	}
 }
 

@@ -179,6 +179,54 @@ func TestServerStatementCache(t *testing.T) {
 	}
 }
 
+// TestServerParallelismSetting checks the `parallelism` session setting is
+// applied per statement: with it set above 1 the plan gains an Exchange, and
+// resetting it to 1 (or 0 on a serial engine default) restores serial plans.
+func TestServerParallelismSetting(t *testing.T) {
+	eng := newTestEngine(t)
+	loadBigTable(t, eng, 20000)
+	s := startServer(t, Config{Engine: eng})
+	c := dial(t, s)
+
+	serial, err := c.Query("EXPLAIN ANALYZE SELECT COUNT(*) FROM data WHERE u > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(serial.Message, "Exchange(") || strings.Contains(serial.Message, "ParallelAgg(") {
+		t.Fatalf("engine default should plan serially:\n%s", serial.Message)
+	}
+
+	if err := c.Set(map[string]string{"parallelism": "4"}); err != nil {
+		t.Fatal(err)
+	}
+	par, err := c.Query("EXPLAIN ANALYZE SELECT COUNT(*) FROM data WHERE u > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(par.Message, "ParallelAgg(") && !strings.Contains(par.Message, "Exchange(") {
+		t.Fatalf("parallelism=4 did not parallelize the plan:\n%s", par.Message)
+	}
+	// Parallel execution returns the same answer as serial.
+	want, err := c.Query("SELECT COUNT(*) FROM data WHERE u > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Set(map[string]string{"parallelism": "1"}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Query("SELECT COUNT(*) FROM data WHERE u > 100")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fmt.Sprint(want.Rows) != fmt.Sprint(got.Rows) {
+		t.Fatalf("parallel %v != serial %v", want.Rows, got.Rows)
+	}
+
+	if err := c.Set(map[string]string{"parallelism": "-2"}); err == nil {
+		t.Fatal("negative parallelism must be rejected")
+	}
+}
+
 // TestServerConcurrentOracle runs scripted workloads through N concurrent
 // clients (each on a private table) and compares every query result against
 // a serial replay on a fresh engine.

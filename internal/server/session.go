@@ -29,6 +29,7 @@ type session struct {
 	timeout         time.Duration // per-query deadline; 0 = none
 	maxRows         int           // result clip; 0 = unlimited
 	disableRewrites bool          // run baseline plans (no PatchIndex rewrites)
+	parallelism     int           // degree of parallelism; 0 = engine default, 1 = serial
 
 	// Prepared-statement cache: SQL text → parsed statement, FIFO-evicted.
 	cache      map[string]*patchindex.Prepared
@@ -239,6 +240,7 @@ func (sess *session) execute(ctx context.Context, req *protocol.Request) (*proto
 		Trace:                req.Trace,
 		SessionID:            sess.id,
 		ClientAddr:           sess.remote,
+		Parallelism:          sess.parallelism,
 	})
 	s.hQuery.Observe(time.Since(start))
 	if err != nil {
@@ -345,6 +347,12 @@ func (sess *session) applySettings(req *protocol.Request) *protocol.Response {
 				return &protocol.Response{ID: req.ID, Error: fmt.Sprintf("bad disable_rewrites %q", v), Code: protocol.CodeError}
 			}
 			sess.disableRewrites = b
+		case "parallelism":
+			n, err := strconv.Atoi(v)
+			if err != nil || n < 0 {
+				return &protocol.Response{ID: req.ID, Error: fmt.Sprintf("bad parallelism %q", v), Code: protocol.CodeError}
+			}
+			sess.parallelism = n
 		default:
 			return &protocol.Response{ID: req.ID, Error: fmt.Sprintf("unknown setting %q", k), Code: protocol.CodeError}
 		}
