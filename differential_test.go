@@ -10,9 +10,11 @@ import (
 
 // TestDifferentialRandomQueries is a differential fuzz: random tables with
 // NUC and NSC indexes, random predicates, and every interesting query shape
-// executed four ways — {patch rewrites on, off} × {scan-range pruning on,
-// off} — must agree exactly. This stresses the interaction of rewrites,
-// range pruning, partitioning and both patch-set representations at once.
+// executed every way — {patch rewrites on, off} × {scan-range/zone-map
+// pruning on, off} × {typed kernels on, off} × {serial, parallel} — must
+// agree exactly. This stresses the interaction of rewrites, range pruning,
+// zone-map partition pruning, vectorized kernels, partitioning and both
+// patch-set representations at once.
 func TestDifferentialRandomQueries(t *testing.T) {
 	seeds := []int64{1, 2, 3, 4, 5}
 	if testing.Short() {
@@ -43,11 +45,20 @@ func TestDifferentialRandomQueries(t *testing.T) {
 				mustExec(t, e, "CREATE PATCHINDEX ON data(u) UNIQUE THRESHOLD 1.0 FORCE KIND "+kind)
 				mustExec(t, e, "CREATE PATCHINDEX ON data(s) SORTED THRESHOLD 1.0 FORCE KIND "+kind)
 				for _, rewrites := range []bool{true, false} {
-					variants = append(variants, variant{
-						name: fmt.Sprintf("pruning=%v/rewrites=%v", pruning, rewrites),
-						e:    e,
-						opts: ExecOptions{DisablePatchRewrites: !rewrites},
-					})
+					for _, kernels := range []bool{true, false} {
+						for _, par := range []int{0, 3} {
+							variants = append(variants, variant{
+								name: fmt.Sprintf("pruning=%v/rewrites=%v/kernels=%v/par=%d",
+									pruning, rewrites, kernels, par),
+								e: e,
+								opts: ExecOptions{
+									DisablePatchRewrites: !rewrites,
+									DisableKernels:       !kernels,
+									Parallelism:          par,
+								},
+							})
+						}
+					}
 				}
 			}
 
@@ -61,6 +72,11 @@ func TestDifferentialRandomQueries(t *testing.T) {
 				fmt.Sprintf("SELECT s FROM data WHERE s >= %d AND s < %d ORDER BY s LIMIT 100", lo, hi),
 				"SELECT s FROM data ORDER BY s LIMIT 500",
 				fmt.Sprintf("SELECT COUNT(*) FROM data WHERE payload > %d AND s < %d", rng.Intn(1000), hi),
+				// Fractional bound on a BIGINT column: exercises exact
+				// mixed-type comparison in SMA and zone-map pruning.
+				fmt.Sprintf("SELECT COUNT(*), MAX(u) FROM data WHERE s > %d.5", lo),
+				// Single-partition key range: zone maps prune the rest.
+				fmt.Sprintf("SELECT COUNT(*) FROM data WHERE s >= %d AND s <= %d", lo, lo+100),
 			}
 			for _, q := range queries {
 				var ref string

@@ -63,8 +63,13 @@ type Config struct {
 	// a rewrite is applied only when the rewritten plan is estimated
 	// cheaper. Off by default (the paper applies rewrites unconditionally).
 	CostBasedRewrites bool
-	// DisableScanRanges turns off SMA-based block pruning.
+	// DisableScanRanges turns off SMA-based block pruning and zone-map
+	// partition pruning.
 	DisableScanRanges bool
+	// DisableKernels turns off compiled vectorized expression kernels,
+	// falling back to interpreted row-at-a-time expression evaluation
+	// (the pre-kernel execution path; useful for A/B comparison).
+	DisableKernels bool
 	// WALPath, when non-empty, enables write-ahead logging of PatchIndex
 	// definitions to the given file.
 	WALPath string
@@ -111,6 +116,9 @@ type ExecOptions struct {
 	// statement (1 = serial, >1 = bounded worker pool, 0 = use the engine
 	// configuration). Set from the session `parallelism` setting.
 	Parallelism int
+	// DisableKernels runs this statement with interpreted expression
+	// evaluation instead of compiled vectorized kernels.
+	DisableKernels bool
 }
 
 // Engine is a self-contained database instance.
@@ -682,6 +690,7 @@ func (e *Engine) buildPlan(ctx context.Context, node plan.Node, opts ExecOptions
 	op, err := plan.Build(node, plan.Config{
 		Parallelism:       e.effectiveParallelism(opts),
 		DisableScanRanges: e.cfg.DisableScanRanges,
+		DisableKernels:    e.cfg.DisableKernels || opts.DisableKernels,
 	})
 	at.EndSpan(sp)
 	return op, err

@@ -107,12 +107,13 @@ const (
 	ExpFig6     = "fig6"
 	ExpMemory   = "memory"
 	ExpParallel = "parallel"
+	ExpKernels  = "kernels"
 )
 
 // All lists every experiment id in paper order, followed by the engine
 // experiments that have no paper counterpart.
 func All() []string {
-	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel}
+	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels}
 }
 
 // Run executes one experiment by id, writing its report to w.
@@ -132,6 +133,8 @@ func Run(id string, cfg Config, w io.Writer) error {
 		return Memory(cfg, w)
 	case ExpParallel:
 		return Parallel(cfg, w)
+	case ExpKernels:
+		return Kernels(cfg, w)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, All())
 	}

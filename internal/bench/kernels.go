@@ -1,0 +1,272 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"strings"
+	"time"
+
+	"patchindex"
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+)
+
+// Kernels runs the vectorized-kernel experiment: the same selective filter
+// query executed with compiled typed kernels against the interpreted
+// expression evaluator (rows/sec and allocations per batch), plus zone-map
+// partition pruning on the partition-clustered key. It has no counterpart in
+// the paper; it documents the scan→filter→project hot path that the
+// PatchIndex rewrites (and PR 4's morsel parallelism) multiply with.
+//
+// The workload table is partition-clustered on k (so a key range zone-prunes
+// whole partitions) while v cycles 0..96 inside every block (so the filter
+// measurements stream every block — no SMA pruning distorts the per-batch
+// numbers).
+func Kernels(cfg Config, w io.Writer) error {
+	rows := (cfg.Rows / cfg.Partitions) * cfg.Partitions
+	fmt.Fprintf(w, "== Kernels: typed vectorized filter kernels (%d rows, %d partitions) ==\n",
+		rows, cfg.Partitions)
+
+	e, err := newEngine(cfg)
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	if err := e.Catalog().AddTable(clusteredTable(cfg.Partitions, rows/cfg.Partitions)); err != nil {
+		return err
+	}
+
+	// v cycles 0..96, so this keeps about 7% of the rows: selective enough
+	// that predicate evaluation, not result movement, dominates.
+	q := "SELECT v FROM clustered WHERE v > 89"
+
+	interp, err := median(cfg.Reps, func() error {
+		_, err := e.DrainWith(q, patchindex.ExecOptions{DisableKernels: true})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	kern, err := median(cfg.Reps, func() error {
+		_, err := e.DrainWith(q, patchindex.ExecOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	interpRate := rowsPerSec(rows, interp)
+	kernRate := rowsPerSec(rows, kern)
+	fmt.Fprintf(w, "%-28s %-14s %-16s %-8s\n", "workload", "interpreted", "kernel", "speedup")
+	fmt.Fprintf(w, "%-28s %-14s %-16s %.2fx\n", "selective filter (rows/s)",
+		fmtRate(interpRate), fmtRate(kernRate), kernRate/interpRate)
+	cfg.record(ExpKernels, "filter/interpreted", 0, interpRate, "rows/s")
+	cfg.record(ExpKernels, "filter/kernel", 0, kernRate, "rows/s")
+	cfg.record(ExpKernels, "filter/speedup", 0, kernRate/interpRate, "x")
+
+	// Allocations on the filter path, per 1024-row batch. The cumulative
+	// Mallocs counter needs no GC to be exact. Each run pays a fixed
+	// per-query cost (parse, plan, operator Open/Close) that has nothing to
+	// do with the per-batch path; running the same query over an empty
+	// same-schema table measures exactly that cost so it can be subtracted.
+	if err := e.Catalog().AddTable(emptyClusteredTable(cfg.Partitions)); err != nil {
+		return err
+	}
+	q0 := strings.Replace(q, "clustered", "clustered0", 1)
+	batches := float64((rows + vector.BatchSize - 1) / vector.BatchSize)
+	perBatch := func(opts patchindex.ExecOptions) (float64, error) {
+		fixed, err := measureAllocs(func() error {
+			_, err := e.DrainWith(q0, opts)
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		total, err := measureAllocs(func() error {
+			_, err := e.DrainWith(q, opts)
+			return err
+		})
+		if err != nil {
+			return 0, err
+		}
+		if total < fixed {
+			fixed = total
+		}
+		return float64(total-fixed) / batches, nil
+	}
+	aInterp, err := perBatch(patchindex.ExecOptions{DisableKernels: true})
+	if err != nil {
+		return err
+	}
+	aKern, err := perBatch(patchindex.ExecOptions{})
+	if err != nil {
+		return err
+	}
+	reduction := 100 * (1 - aKern/aInterp)
+	fmt.Fprintf(w, "%-28s %-14.2f %-16.2f -%.1f%%\n", "filter allocs/batch", aInterp, aKern, reduction)
+	cfg.record(ExpKernels, "filter_allocs/interpreted", 0, aInterp, "allocs/batch")
+	cfg.record(ExpKernels, "filter_allocs/kernel", 0, aKern, "allocs/batch")
+	cfg.record(ExpKernels, "filter_allocs/reduction", 0, reduction, "%")
+
+	return kernelsZonePrune(cfg, w)
+}
+
+// kernelsZonePrune measures zone-map partition pruning: a range predicate on
+// the partition-clustered key selects a single partition, so every other
+// partition is skipped before a morsel is scheduled. Pruning off requires a
+// separate engine (DisableScanRanges is an engine-level switch).
+func kernelsZonePrune(cfg Config, w io.Writer) error {
+	per := cfg.Rows / cfg.Partitions
+	if per == 0 {
+		per = 1
+	}
+	run := func(disablePruning bool) (*patchindex.Engine, error) {
+		e, err := patchindex.New(patchindex.Config{
+			DefaultPartitions: cfg.Partitions,
+			Parallelism:       cfg.Parallelism,
+			Metrics:           cfg.Metrics,
+			DisableScanRanges: disablePruning,
+		})
+		if err != nil {
+			return nil, err
+		}
+		if err := e.Catalog().AddTable(clusteredTable(cfg.Partitions, per)); err != nil {
+			e.Close()
+			return nil, err
+		}
+		return e, nil
+	}
+	// The predicate covers exactly partition 0's key range. Bounds are kept
+	// as inclusive intervals, so `k <= per-1` (rather than `k < per`) is
+	// what lets the planner prove partition 1 (min = per) disjoint.
+	q := fmt.Sprintf("SELECT COUNT(*) FROM clustered WHERE k >= 0 AND k <= %d", per-1)
+
+	eOff, err := run(true)
+	if err != nil {
+		return err
+	}
+	defer eOff.Close()
+	off, err := median(cfg.Reps, func() error {
+		_, err := eOff.DrainWith(q, patchindex.ExecOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+
+	eOn, err := run(false)
+	if err != nil {
+		return err
+	}
+	defer eOn.Close()
+	on, err := median(cfg.Reps, func() error {
+		_, err := eOn.DrainWith(q, patchindex.ExecOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	res, err := eOn.Exec("EXPLAIN ANALYZE " + q)
+	if err != nil {
+		return err
+	}
+	pruned := parsePruned(res.Message)
+
+	fmt.Fprintf(w, "%-28s %-14s %-16s %.2fx (partitions_pruned=%d/%d)\n", "zone-map prune",
+		off.Round(time.Microsecond).String(), on.Round(time.Microsecond).String(),
+		float64(off)/float64(on), pruned, cfg.Partitions)
+	cfg.record(ExpKernels, "zoneprune/off", 0, ms(off), "ms")
+	cfg.record(ExpKernels, "zoneprune/on", 0, ms(on), "ms")
+	cfg.record(ExpKernels, "zoneprune/partitions_pruned", 0, float64(pruned), "partitions")
+	if pruned == 0 {
+		return fmt.Errorf("bench: kernels: expected partitions_pruned > 0, plan:\n%s", res.Message)
+	}
+	return nil
+}
+
+// clusteredTable builds a table whose partition p holds keys
+// [p*per, (p+1)*per) — zone-prunable on k — while v cycles 0..96 within
+// every block, so no SMA or zone map can prune a predicate on v.
+func clusteredTable(partitions, per int) *storage.Table {
+	schema := storage.NewSchema(
+		storage.Column{Name: "k", Typ: vector.Int64},
+		storage.Column{Name: "v", Typ: vector.Int64},
+	)
+	t, err := storage.NewTable("clustered", schema, partitions)
+	if err != nil {
+		panic(err) // static schema, cannot fail
+	}
+	for p := 0; p < partitions; p++ {
+		k := vector.NewLen(vector.Int64, per)
+		v := vector.NewLen(vector.Int64, per)
+		for i := 0; i < per; i++ {
+			k.I64[i] = int64(p*per + i)
+			v.I64[i] = int64(i % 97)
+		}
+		if err := t.AppendColumns(p, []*vector.Vector{k, v}); err != nil {
+			panic(err)
+		}
+	}
+	return t
+}
+
+// emptyClusteredTable is clusteredTable's schema with zero rows, used to
+// measure the fixed per-query allocation cost of the benchmark queries.
+func emptyClusteredTable(partitions int) *storage.Table {
+	schema := storage.NewSchema(
+		storage.Column{Name: "k", Typ: vector.Int64},
+		storage.Column{Name: "v", Typ: vector.Int64},
+	)
+	t, err := storage.NewTable("clustered0", schema, partitions)
+	if err != nil {
+		panic(err) // static schema, cannot fail
+	}
+	return t
+}
+
+// measureAllocs returns the heap allocation count of one run of fn.
+func measureAllocs(fn func() error) (uint64, error) {
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	if err := fn(); err != nil {
+		return 0, err
+	}
+	runtime.ReadMemStats(&after)
+	return after.Mallocs - before.Mallocs, nil
+}
+
+// parsePruned extracts the partitions_pruned counter from an EXPLAIN ANALYZE
+// rendering (0 if absent).
+func parsePruned(explain string) int {
+	const key = "partitions_pruned="
+	i := strings.Index(explain, key)
+	if i < 0 {
+		return 0
+	}
+	n := 0
+	for _, c := range explain[i+len(key):] {
+		if c < '0' || c > '9' {
+			break
+		}
+		n = n*10 + int(c-'0')
+	}
+	return n
+}
+
+func rowsPerSec(rows int, d time.Duration) float64 {
+	if d <= 0 {
+		return 0
+	}
+	return float64(rows) / d.Seconds()
+}
+
+func fmtRate(r float64) string {
+	switch {
+	case r >= 1e9:
+		return fmt.Sprintf("%.2fG", r/1e9)
+	case r >= 1e6:
+		return fmt.Sprintf("%.1fM", r/1e6)
+	default:
+		return fmt.Sprintf("%.0fK", r/1e3)
+	}
+}

@@ -148,6 +148,37 @@ func (c *Catalog) DropIndex(table, column string) error {
 	return nil
 }
 
+// ZoneMapInfo pairs one table partition/column with its storage zone map
+// entry — the introspection view of the planner's partition-pruning input.
+type ZoneMapInfo struct {
+	Table     string
+	Partition int
+	Column    string
+	Entry     storage.ZoneMapEntry
+}
+
+// ZoneMaps returns the zone map entries of every partition and column of the
+// named table, partition-major in schema column order.
+func (c *Catalog) ZoneMaps(table string) ([]ZoneMapInfo, error) {
+	t, err := c.Table(table)
+	if err != nil {
+		return nil, err
+	}
+	schema := t.Schema()
+	out := make([]ZoneMapInfo, 0, t.NumPartitions()*len(schema.Columns))
+	for p := 0; p < t.NumPartitions(); p++ {
+		for col, colDef := range schema.Columns {
+			out = append(out, ZoneMapInfo{
+				Table:     table,
+				Partition: p,
+				Column:    colDef.Name,
+				Entry:     t.ZoneMap(p, col),
+			})
+		}
+	}
+	return out, nil
+}
+
 // Indexes returns all registered PatchIndexes, sorted by table and column.
 func (c *Catalog) Indexes() []*patch.Index {
 	c.mu.RLock()

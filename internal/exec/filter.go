@@ -10,12 +10,21 @@ import (
 )
 
 // Filter passes rows for which the predicate evaluates to true (NULL counts
-// as false, per SQL semantics).
+// as false, per SQL semantics). The predicate is compiled into vectorized
+// kernels at construction; the keep-list and predicate output vector are
+// pooled, so in steady state a filtered batch costs no allocation.
 type Filter struct {
 	opStats
 	child Operator
-	pred  expr.Expr
+	pred  *expr.Compiled
 	out   *vector.Batch
+
+	predOut    *vector.Vector // pooled boolean predicate output
+	keep       *vector.SelVec // pooled keep-list, reused every batch
+	emitSel    bool           // consumer (Project) accepts selection vectors
+	kernelsOff bool           // sticky: DisableKernels was called
+	selOut     vector.Batch   // reused header for Sel-carrying output
+	passOut    vector.Batch   // reused header for the all-pass fast path
 }
 
 // NewFilter creates a filter operator; pred must be boolean.
@@ -23,7 +32,15 @@ func NewFilter(child Operator, pred expr.Expr) (*Filter, error) {
 	if pred.Type() != vector.Bool {
 		return nil, fmt.Errorf("exec: filter predicate must be boolean, got %s", pred.Type())
 	}
-	return &Filter{child: child, pred: pred}, nil
+	return &Filter{child: child, pred: expr.Compile(pred)}, nil
+}
+
+// DisableKernels forces the interpreted predicate evaluator and turns off
+// selection-vector emission, restoring the pre-kernel execution path.
+func (f *Filter) DisableKernels() {
+	f.pred.ForceInterpreted()
+	f.emitSel = false
+	f.kernelsOff = true
 }
 
 // Name returns the operator name.
@@ -36,6 +53,8 @@ func (f *Filter) Types() []vector.Type { return f.child.Types() }
 func (f *Filter) Open(ctx context.Context) error {
 	f.bindCtx(ctx)
 	f.out = vector.NewBatch(f.child.Types())
+	f.predOut = vector.GetVec(vector.Bool, 0)
+	f.keep = vector.GetSel()
 	return f.child.Open(ctx)
 }
 
@@ -51,7 +70,7 @@ func (f *Filter) Next() (*vector.Batch, error) {
 	b, err := f.next()
 	f.stats.AddTime(start)
 	if b != nil {
-		f.stats.AddBatch(b.Len())
+		f.stats.AddBatch(b.RowCount())
 	}
 	return b, err
 }
@@ -65,23 +84,44 @@ func (f *Filter) next() (*vector.Batch, error) {
 		if b == nil {
 			return nil, nil
 		}
-		sel, err := f.pred.Eval(b)
-		if err != nil {
+		if err := f.pred.EvalInto(b, nil, f.predOut); err != nil {
 			return nil, errOp(f, err)
 		}
-		keep := make([]int, 0, b.Len())
-		for i := 0; i < b.Len(); i++ {
-			if !sel.IsNull(i) && sel.B[i] {
-				keep = append(keep, i)
+		if f.pred.Kernelized() {
+			f.stats.KernelBatches++
+		}
+		keep := f.keep.Idx[:0]
+		if f.predOut.Nulls == nil {
+			// No-null fast path: the mask check disappears from the loop.
+			for i, v := range f.predOut.B {
+				if v {
+					keep = append(keep, i)
+				}
+			}
+		} else {
+			for i, v := range f.predOut.B {
+				if v && !f.predOut.Nulls[i] {
+					keep = append(keep, i)
+				}
 			}
 		}
+		f.keep.Idx = keep
 		if len(keep) == 0 {
 			continue
 		}
 		if len(keep) == b.Len() {
-			out := *b
-			out.Contiguous = false
-			return &out, nil
+			f.passOut = *b
+			f.passOut.Contiguous = false
+			f.passOut.Sel = nil
+			return &f.passOut, nil
+		}
+		if f.emitSel {
+			// The consumer opted in: hand over the input batch with the
+			// keep-list attached instead of gathering a dense copy.
+			f.selOut = *b
+			f.selOut.Contiguous = false
+			f.selOut.Sel = keep
+			return &f.selOut, nil
 		}
 		f.out.Reset()
 		gatherInto(f.out, b, keep)
@@ -89,18 +129,28 @@ func (f *Filter) next() (*vector.Batch, error) {
 	}
 }
 
-// Close closes the child.
+// Close closes the child and releases the pooled scratch state.
 func (f *Filter) Close() error {
 	f.out = nil
+	vector.PutVec(f.predOut)
+	f.predOut = nil
+	vector.PutSel(f.keep)
+	f.keep = nil
 	return f.child.Close()
 }
 
-// Project evaluates a list of expressions over every input batch.
+// Project evaluates a list of expressions over every input batch. The
+// expressions are compiled into vectorized kernels writing into pooled
+// output vectors; when the child is a Filter, Project opts into its
+// selection-vector protocol and evaluates only the rows that survived.
+// Plain column references on dense batches pass through without copying.
 type Project struct {
 	opStats
 	child Operator
-	exprs []expr.Expr
+	exprs []*expr.Compiled
 	types []vector.Type
+	out   *vector.Batch
+	owned []*vector.Vector // pooled output vectors, one per expression
 }
 
 // NewProject creates a projection operator.
@@ -109,10 +159,27 @@ func NewProject(child Operator, exprs []expr.Expr) (*Project, error) {
 		return nil, fmt.Errorf("exec: projection needs at least one expression")
 	}
 	types := make([]vector.Type, len(exprs))
+	compiled := make([]*expr.Compiled, len(exprs))
 	for i, e := range exprs {
 		types[i] = e.Type()
+		compiled[i] = expr.Compile(e)
 	}
-	return &Project{child: child, exprs: exprs, types: types}, nil
+	if f, ok := child.(*Filter); ok && !f.kernelsOff {
+		f.emitSel = true
+	}
+	return &Project{child: child, exprs: compiled, types: types}, nil
+}
+
+// DisableKernels forces the interpreted evaluator for every projection
+// expression (and, transitively, on a Filter child its kernels and
+// selection-vector emission).
+func (p *Project) DisableKernels() {
+	for _, e := range p.exprs {
+		e.ForceInterpreted()
+	}
+	if f, ok := p.child.(*Filter); ok {
+		f.DisableKernels()
+	}
 }
 
 // Name returns the operator name.
@@ -124,6 +191,11 @@ func (p *Project) Types() []vector.Type { return p.types }
 // Open opens the child.
 func (p *Project) Open(ctx context.Context) error {
 	p.bindCtx(ctx)
+	p.out = &vector.Batch{Vecs: make([]*vector.Vector, len(p.exprs))}
+	p.owned = make([]*vector.Vector, len(p.exprs))
+	for i, t := range p.types {
+		p.owned[i] = vector.GetVec(t, 0)
+	}
 	return p.child.Open(ctx)
 }
 
@@ -152,19 +224,37 @@ func (p *Project) next() (*vector.Batch, error) {
 	if b == nil {
 		return nil, nil
 	}
-	out := &vector.Batch{Vecs: make([]*vector.Vector, len(p.exprs))}
+	kernels := false
 	for i, e := range p.exprs {
-		v, err := e.Eval(b)
-		if err != nil {
+		if cr, ok := e.Expr().(*expr.ColRef); ok && b.Sel == nil {
+			// Dense column passthrough: share the child's vector.
+			p.out.Vecs[i] = b.Vecs[cr.Col]
+			continue
+		}
+		if err := e.EvalInto(b, b.Sel, p.owned[i]); err != nil {
 			return nil, errOp(p, err)
 		}
-		out.Vecs[i] = v
+		p.out.Vecs[i] = p.owned[i]
+		if e.Kernelized() {
+			kernels = true
+		}
 	}
-	return out, nil
+	if kernels {
+		p.stats.KernelBatches++
+	}
+	p.out.BaseRow, p.out.Contiguous, p.out.Sel = 0, false, nil
+	return p.out, nil
 }
 
-// Close closes the child.
-func (p *Project) Close() error { return p.child.Close() }
+// Close closes the child and releases the pooled output vectors.
+func (p *Project) Close() error {
+	for i, v := range p.owned {
+		vector.PutVec(v)
+		p.owned[i] = nil
+	}
+	p.out = nil
+	return p.child.Close()
+}
 
 // Limit passes at most n rows.
 type Limit struct {

@@ -52,8 +52,9 @@ type PatchSelect struct {
 	lastBase uint64
 	started  bool
 	out      *vector.Batch
-	probes   int64 // input rows checked against the patch set
-	hits     int64 // rows that matched a patch
+	keep     *vector.SelVec // pooled keep-list for the use_patches mode
+	probes   int64          // input rows checked against the patch set
+	hits     int64          // rows that matched a patch
 }
 
 // NewPatchSelect wraps child (which must emit contiguous batches, i.e. be a
@@ -91,6 +92,7 @@ func (p *PatchSelect) Open(ctx context.Context) error {
 	p.started = false
 	p.lastBase = 0
 	p.out = vector.NewBatch(p.child.Types())
+	p.keep = vector.GetSel()
 	return nil
 }
 
@@ -190,7 +192,7 @@ func (p *PatchSelect) applyMerge(b *vector.Batch, base uint64, n int) *vector.Ba
 		appendRun(p.out, b, runStart, n)
 		return p.out
 	case UsePatches:
-		keep := make([]int, 0, 16)
+		keep := p.keep.Idx[:0]
 		for p.it.Valid() {
 			row := p.it.Row()
 			if row >= base+uint64(n) {
@@ -200,6 +202,7 @@ func (p *PatchSelect) applyMerge(b *vector.Batch, base uint64, n int) *vector.Ba
 			p.it.Next()
 		}
 		p.hits += int64(len(keep))
+		p.keep.Idx = keep
 		if len(keep) == 0 {
 			return nil
 		}
@@ -239,5 +242,7 @@ func appendRun(out *vector.Batch, b *vector.Batch, lo, hi int) {
 // Close closes the child.
 func (p *PatchSelect) Close() error {
 	p.out = nil
+	vector.PutSel(p.keep)
+	p.keep = nil
 	return p.child.Close()
 }

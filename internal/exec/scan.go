@@ -25,7 +25,9 @@ type Scan struct {
 	rangeIdx int
 	pos      uint64
 	src      []*vector.Vector
-	pruned   int64 // rows of the partition skipped by the scan ranges
+	out      *vector.Batch    // reused output batch header
+	views    []*vector.Vector // reused per-column slice headers
+	pruned   int64            // rows of the partition skipped by the scan ranges
 }
 
 // NewScan creates a scan over partition part of table, projecting the given
@@ -86,6 +88,12 @@ func (s *Scan) Open(ctx context.Context) error {
 	for i, c := range s.cols {
 		s.src[i] = p.Column(c)
 	}
+	s.views = make([]*vector.Vector, len(s.cols))
+	s.out = &vector.Batch{Vecs: make([]*vector.Vector, len(s.cols))}
+	for i := range s.views {
+		s.views[i] = &vector.Vector{}
+		s.out.Vecs[i] = s.views[i]
+	}
 	s.rangeIdx = 0
 	if len(s.ranges) > 0 {
 		s.pos = s.ranges[0].Start
@@ -135,21 +143,21 @@ func (s *Scan) next() (*vector.Batch, error) {
 		if end > r.End {
 			end = r.End
 		}
-		out := &vector.Batch{
-			Vecs:       make([]*vector.Vector, len(s.src)),
-			BaseRow:    s.pos,
-			Contiguous: true,
-		}
+		// Reuse the batch and per-column slice headers across Next calls; the
+		// batch contract (valid until the next Next) makes this safe.
+		s.out.BaseRow, s.out.Contiguous, s.out.Sel = s.pos, true, nil
 		for i, v := range s.src {
-			out.Vecs[i] = v.Slice(int(s.pos), int(end))
+			v.SliceInto(s.views[i], int(s.pos), int(end))
 		}
 		s.pos = end
-		return out, nil
+		return s.out, nil
 	}
 }
 
 // Close releases the captured vectors.
 func (s *Scan) Close() error {
 	s.src = nil
+	s.out = nil
+	s.views = nil
 	return nil
 }

@@ -33,6 +33,12 @@ func FormatStats(root Operator) string {
 		}
 		fmt.Fprintf(&sb, "rows=%d batches=%d time=%s",
 			st.Rows, st.Batches, st.Duration().Round(time.Microsecond))
+		if st.KernelBatches > 0 {
+			fmt.Fprintf(&sb, " kernel=%d", st.KernelBatches)
+		}
+		if st.PartitionsPruned > 0 {
+			fmt.Fprintf(&sb, " partitions_pruned=%d", st.PartitionsPruned)
+		}
 		if ex, ok := op.(ExtraStatser); ok {
 			for _, kv := range ex.ExtraStats() {
 				fmt.Fprintf(&sb, " %s=%d", kv.Key, kv.Value)

@@ -32,6 +32,12 @@ func AppendOpSpans(at *obs.ActiveTrace, parent int, root Operator) int64 {
 		if st.EstRows > 0 {
 			attrs = append(attrs, obs.KV{Key: "est_rows", Value: st.EstRows})
 		}
+		if st.KernelBatches > 0 {
+			attrs = append(attrs, obs.KV{Key: "kernel", Value: st.KernelBatches})
+		}
+		if st.PartitionsPruned > 0 {
+			attrs = append(attrs, obs.KV{Key: "partitions_pruned", Value: st.PartitionsPruned})
+		}
 		if ex, ok := op.(ExtraStatser); ok {
 			for _, kv := range ex.ExtraStats() {
 				attrs = append(attrs, kv)

@@ -65,13 +65,37 @@ func (l *Literal) Type() vector.Type { return l.Val.Typ }
 // Eval broadcasts the constant to the batch length.
 func (l *Literal) Eval(b *vector.Batch) (*vector.Vector, error) {
 	n := b.Len()
-	out := vector.New(l.Val.Typ, n)
-	for i := 0; i < n; i++ {
-		if err := out.AppendValue(l.Val); err != nil {
-			return nil, err
+	out := vector.NewLen(l.Val.Typ, n)
+	broadcastInto(out, l.Val, n)
+	return out, nil
+}
+
+// broadcastInto fills the first n slots of out with the constant v.
+func broadcastInto(out *vector.Vector, v vector.Value, n int) {
+	if v.Null {
+		for i := 0; i < n; i++ {
+			out.SetNullAt(i)
+		}
+		return
+	}
+	switch out.Typ {
+	case vector.Int64, vector.Date:
+		for i := range out.I64[:n] {
+			out.I64[i] = v.I64
+		}
+	case vector.Float64:
+		for i := range out.F64[:n] {
+			out.F64[i] = v.F64
+		}
+	case vector.String:
+		for i := range out.Str[:n] {
+			out.Str[i] = v.Str
+		}
+	case vector.Bool:
+		for i := range out.B[:n] {
+			out.B[i] = v.B
 		}
 	}
-	return out, nil
 }
 
 // String renders the literal.
@@ -127,7 +151,9 @@ func typesComparable(a, b vector.Type) bool {
 func (c *Cmp) Type() vector.Type { return vector.Bool }
 
 // Eval evaluates the comparison with SQL NULL semantics (NULL operand yields
-// NULL result).
+// NULL result). This is the interpreted reference path; plans built by the
+// engine run the compiled kernels (see Compile) and fall back here only for
+// shapes no kernel covers.
 func (c *Cmp) Eval(b *vector.Batch) (*vector.Vector, error) {
 	lv, err := c.Left.Eval(b)
 	if err != nil {
@@ -138,10 +164,10 @@ func (c *Cmp) Eval(b *vector.Batch) (*vector.Vector, error) {
 		return nil, err
 	}
 	n := b.Len()
-	out := vector.New(vector.Bool, n)
+	out := vector.NewLen(vector.Bool, n)
 	for i := 0; i < n; i++ {
 		if lv.IsNull(i) || rv.IsNull(i) {
-			out.AppendNull()
+			out.SetNullAt(i)
 			continue
 		}
 		cmp := compareMixed(lv, i, rv, i)
@@ -160,35 +186,22 @@ func (c *Cmp) Eval(b *vector.Batch) (*vector.Vector, error) {
 		case GE:
 			r = cmp >= 0
 		}
-		out.AppendBool(r)
+		out.B[i] = r
 	}
 	return out, nil
 }
 
 // compareMixed compares across the numeric types (Int64/Date vs Float64).
+// The mixed pairs compare exactly: converting the int side to float64 (as an
+// earlier version did) silently corrupts comparisons for |v| > 2^53.
 func compareMixed(l *vector.Vector, i int, r *vector.Vector, j int) int {
 	if l.Typ == r.Typ || (isIntLike(l.Typ) && isIntLike(r.Typ)) {
 		return l.Compare(i, r, j)
 	}
-	var lf, rf float64
 	if l.Typ == vector.Float64 {
-		lf = l.F64[i]
-	} else {
-		lf = float64(l.I64[i])
+		return -vector.CmpIntFloat(r.I64[j], l.F64[i])
 	}
-	if r.Typ == vector.Float64 {
-		rf = r.F64[j]
-	} else {
-		rf = float64(r.I64[j])
-	}
-	switch {
-	case lf < rf:
-		return -1
-	case lf > rf:
-		return 1
-	default:
-		return 0
-	}
+	return vector.CmpIntFloat(l.I64[i], r.F64[j])
 }
 
 func isIntLike(t vector.Type) bool { return t == vector.Int64 || t == vector.Date }
@@ -224,7 +237,7 @@ func NewBool(op BoolOp, l, r Expr) (*BoolExpr, error) {
 // Type returns Bool.
 func (e *BoolExpr) Type() vector.Type { return vector.Bool }
 
-// Eval applies Kleene three-valued AND/OR.
+// Eval applies Kleene three-valued AND/OR (interpreted fallback path).
 func (e *BoolExpr) Eval(b *vector.Batch) (*vector.Vector, error) {
 	lv, err := e.Left.Eval(b)
 	if err != nil {
@@ -235,7 +248,7 @@ func (e *BoolExpr) Eval(b *vector.Batch) (*vector.Vector, error) {
 		return nil, err
 	}
 	n := b.Len()
-	out := vector.New(vector.Bool, n)
+	out := vector.NewLen(vector.Bool, n)
 	for i := 0; i < n; i++ {
 		ln, rn := lv.IsNull(i), rv.IsNull(i)
 		var lb, rb bool
@@ -249,20 +262,20 @@ func (e *BoolExpr) Eval(b *vector.Batch) (*vector.Vector, error) {
 		case And:
 			switch {
 			case !ln && !lb, !rn && !rb:
-				out.AppendBool(false)
+				out.B[i] = false
 			case ln || rn:
-				out.AppendNull()
+				out.SetNullAt(i)
 			default:
-				out.AppendBool(true)
+				out.B[i] = true
 			}
 		case Or:
 			switch {
 			case !ln && lb, !rn && rb:
-				out.AppendBool(true)
+				out.B[i] = true
 			case ln || rn:
-				out.AppendNull()
+				out.SetNullAt(i)
 			default:
-				out.AppendBool(false)
+				out.B[i] = false
 			}
 		}
 	}
@@ -301,13 +314,13 @@ func (e *Not) Eval(b *vector.Batch) (*vector.Vector, error) {
 		return nil, err
 	}
 	n := b.Len()
-	out := vector.New(vector.Bool, n)
+	out := vector.NewLen(vector.Bool, n)
 	for i := 0; i < n; i++ {
 		if iv.IsNull(i) {
-			out.AppendNull()
+			out.SetNullAt(i)
 			continue
 		}
-		out.AppendBool(!iv.B[i])
+		out.B[i] = !iv.B[i]
 	}
 	return out, nil
 }
@@ -335,9 +348,9 @@ func (e *IsNull) Eval(b *vector.Batch) (*vector.Vector, error) {
 		return nil, err
 	}
 	n := b.Len()
-	out := vector.New(vector.Bool, n)
+	out := vector.NewLen(vector.Bool, n)
 	for i := 0; i < n; i++ {
-		out.AppendBool(iv.IsNull(i) != e.Negated)
+		out.B[i] = iv.IsNull(i) != e.Negated
 	}
 	return out, nil
 }
@@ -405,10 +418,10 @@ func (e *Arith) Eval(b *vector.Batch) (*vector.Vector, error) {
 		return nil, err
 	}
 	n := b.Len()
-	out := vector.New(e.typ, n)
+	out := vector.NewLen(e.typ, n)
 	for i := 0; i < n; i++ {
 		if lv.IsNull(i) || rv.IsNull(i) {
-			out.AppendNull()
+			out.SetNullAt(i)
 			continue
 		}
 		if e.typ == vector.Int64 {
@@ -432,7 +445,7 @@ func (e *Arith) Eval(b *vector.Batch) (*vector.Vector, error) {
 				}
 				r = a % c
 			}
-			out.AppendInt64(r)
+			out.I64[i] = r
 			continue
 		}
 		var a, c float64
@@ -460,7 +473,7 @@ func (e *Arith) Eval(b *vector.Batch) (*vector.Vector, error) {
 			}
 			r = a / c
 		}
-		out.AppendFloat64(r)
+		out.F64[i] = r
 	}
 	return out, nil
 }

@@ -1,0 +1,856 @@
+// Typed, vectorized expression kernels. Compile lowers a bound expression
+// tree into monomorphic kernels whose inner loops are free of per-row type
+// switches, operator dispatch, and append-growth: the operator is hoisted
+// out of the loop, operands are specialized as column-vs-constant or
+// column-vs-column, and batches without NULLs take a mask-free fast path.
+// Kernels write into caller-provided output vectors (pooled via
+// vector.GetVec), so the scan→filter→project pipeline evaluates predicates
+// and projections without allocating per batch.
+//
+// Shapes no kernel covers (string arithmetic, boolean comparisons, …) fall
+// back to the interpreted row-at-a-time Eval of the expression — the two
+// paths are checked against each other by the differential suite in
+// kernel_test.go.
+package expr
+
+import (
+	"fmt"
+
+	"patchindex/internal/vector"
+)
+
+// Compiled is a compiled expression: the original tree plus, when the shape
+// is supported, a kernel tree evaluating it batch-at-a-time. A Compiled is
+// owned by a single operator instance and must not be shared across
+// goroutines (it holds reusable scratch state).
+type Compiled struct {
+	root Expr
+	k    kern
+	cols []int // distinct input columns the expression reads
+
+	// scratch is the gathered-view batch reused by selected-row evaluation.
+	scratch vector.Batch
+}
+
+// Compile compiles e. It never fails: unsupported shapes yield a Compiled
+// that falls back to the interpreted evaluator.
+func Compile(e Expr) *Compiled {
+	return &Compiled{root: e, k: compileKern(e), cols: Columns(e)}
+}
+
+// Kernelized reports whether a kernel tree (rather than the interpreted
+// fallback) evaluates the expression.
+func (c *Compiled) Kernelized() bool { return c.k != nil }
+
+// ForceInterpreted drops the kernel tree so every evaluation takes the
+// interpreted fallback — the DisableKernels escape hatch and the control arm
+// of the kernel benchmarks.
+func (c *Compiled) ForceInterpreted() { c.k = nil }
+
+// Expr returns the compiled expression tree.
+func (c *Compiled) Expr() Expr { return c.root }
+
+// Type returns the result type.
+func (c *Compiled) Type() vector.Type { return c.root.Type() }
+
+// String renders the underlying expression.
+func (c *Compiled) String() string { return c.root.String() }
+
+// EvalInto evaluates the expression over b into out, which is resized to the
+// logical row count. When sel is non-nil only the listed physical rows are
+// evaluated, in order, and out is dense (len(sel) values) — this is how
+// Project evaluates only the rows that survived a filter. Selected-row
+// evaluation applies to the interpreted fallback too, so side conditions
+// (e.g. division by zero on a filtered-out row) behave identically on both
+// paths.
+func (c *Compiled) EvalInto(b *vector.Batch, sel []int, out *vector.Vector) error {
+	// Plain column reference: copy or gather directly, no kernel needed.
+	if cr, ok := c.root.(*ColRef); ok {
+		if sel == nil {
+			copyVecInto(out, b.Vecs[cr.Col])
+		} else {
+			gatherVecInto(out, b.Vecs[cr.Col], sel)
+		}
+		return nil
+	}
+	eb := b
+	if sel != nil {
+		eb = c.gatherView(b, sel)
+	}
+	if c.k != nil {
+		out.Resize(eb.Len())
+		return c.k.evalInto(eb, out)
+	}
+	v, err := c.root.Eval(eb)
+	if err != nil {
+		return err
+	}
+	copyVecInto(out, v)
+	return nil
+}
+
+// gatherView builds the dense view of b restricted to sel: the columns the
+// expression references are gathered into reusable scratch vectors. Column 0
+// gets a correctly-sized stand-in even when unreferenced because Batch.Len
+// reads it.
+func (c *Compiled) gatherView(b *vector.Batch, sel []int) *vector.Batch {
+	sb := &c.scratch
+	if len(sb.Vecs) != len(b.Vecs) {
+		sb.Vecs = make([]*vector.Vector, len(b.Vecs))
+	}
+	col0 := false
+	for _, col := range c.cols {
+		if sb.Vecs[col] == nil {
+			sb.Vecs[col] = vector.New(b.Vecs[col].Typ, len(sel))
+		}
+		gatherVecInto(sb.Vecs[col], b.Vecs[col], sel)
+		if col == 0 {
+			col0 = true
+		}
+	}
+	if !col0 && len(b.Vecs) > 0 {
+		if sb.Vecs[0] == nil {
+			sb.Vecs[0] = vector.New(b.Vecs[0].Typ, 0)
+		}
+		sb.Vecs[0].Resize(len(sel))
+	}
+	return sb
+}
+
+// copyVecInto copies all values of src into out.
+func copyVecInto(out, src *vector.Vector) {
+	n := src.Len()
+	out.Resize(n)
+	switch src.Typ {
+	case vector.Int64, vector.Date:
+		copy(out.I64, src.I64)
+	case vector.Float64:
+		copy(out.F64, src.F64)
+	case vector.String:
+		copy(out.Str, src.Str)
+	case vector.Bool:
+		copy(out.B, src.B)
+	}
+	out.Nulls = src.Nulls
+}
+
+// gatherVecInto copies the rows of src selected by sel, densely, into out.
+func gatherVecInto(out, src *vector.Vector, sel []int) {
+	out.Resize(len(sel))
+	switch src.Typ {
+	case vector.Int64, vector.Date:
+		for k, i := range sel {
+			out.I64[k] = src.I64[i]
+		}
+	case vector.Float64:
+		for k, i := range sel {
+			out.F64[k] = src.F64[i]
+		}
+	case vector.String:
+		for k, i := range sel {
+			out.Str[k] = src.Str[i]
+		}
+	case vector.Bool:
+		for k, i := range sel {
+			out.B[k] = src.B[i]
+		}
+	}
+	if src.Nulls != nil {
+		mask := make([]bool, len(sel))
+		any := false
+		for k, i := range sel {
+			if src.Nulls[i] {
+				mask[k] = true
+				any = true
+			}
+		}
+		if any {
+			out.Nulls = mask
+		}
+	}
+}
+
+// kern is one node of a compiled kernel tree. evalInto writes one value per
+// physical row of b into out, which the caller has resized to b.Len().
+type kern interface {
+	evalInto(b *vector.Batch, out *vector.Vector) error
+}
+
+// operand is one side of a binary kernel.
+type operand struct {
+	kind opndKind
+	col  int          // opndCol
+	val  vector.Value // opndConst
+	sub  kern         // opndSub
+	typ  vector.Type
+}
+
+type opndKind uint8
+
+const (
+	opndCol opndKind = iota
+	opndConst
+	opndSub
+)
+
+// materialize returns the operand's dense vector for b. The second return is
+// a pooled vector the caller must release with vector.PutVec (nil if none).
+func (o *operand) materialize(b *vector.Batch) (*vector.Vector, *vector.Vector, error) {
+	switch o.kind {
+	case opndCol:
+		return b.Vecs[o.col], nil, nil
+	case opndConst:
+		v := vector.GetVec(o.typ, b.Len())
+		broadcastInto(v, o.val, b.Len())
+		return v, v, nil
+	default:
+		v := vector.GetVec(o.typ, b.Len())
+		if err := o.sub.evalInto(b, v); err != nil {
+			vector.PutVec(v)
+			return nil, nil, err
+		}
+		return v, v, nil
+	}
+}
+
+// compileKern lowers e; nil means "no kernel for this shape" (the caller
+// falls back to interpretation for the whole subtree).
+func compileKern(e Expr) kern {
+	switch x := e.(type) {
+	case *ColRef:
+		return &colKern{col: x.Col}
+	case *Literal:
+		if x.Val.Null {
+			return &allNullKern{}
+		}
+		return &constKern{val: x.Val}
+	case *Cmp:
+		return compileCmp(x)
+	case *BoolExpr:
+		l, r := compileKern(x.Left), compileKern(x.Right)
+		if l == nil || r == nil {
+			return nil
+		}
+		return &boolKern{op: x.Op, left: l, right: r}
+	case *Not:
+		in := compileKern(x.Input)
+		if in == nil {
+			return nil
+		}
+		return &notKern{in: in}
+	case *IsNull:
+		in := compileOperand(x.Input)
+		if in == nil {
+			return nil
+		}
+		return &isNullKern{in: *in, negated: x.Negated}
+	case *Arith:
+		return compileArith(x)
+	default:
+		return nil
+	}
+}
+
+// compileOperand lowers a binary-kernel operand: a column, a constant, or a
+// compiled sub-kernel. nil means the operand's subtree is not kernelizable.
+func compileOperand(e Expr) *operand {
+	switch x := e.(type) {
+	case *ColRef:
+		return &operand{kind: opndCol, col: x.Col, typ: x.Typ}
+	case *Literal:
+		return &operand{kind: opndConst, val: x.Val, typ: x.Val.Typ}
+	default:
+		k := compileKern(e)
+		if k == nil {
+			return nil
+		}
+		return &operand{kind: opndSub, sub: k, typ: e.Type()}
+	}
+}
+
+func isIntVec(t vector.Type) bool { return t == vector.Int64 || t == vector.Date }
+
+// cmpTypesSupported reports whether a comparison kernel exists for the pair:
+// the int-like/float numeric matrix plus same-type strings. Boolean
+// comparisons stay on the fallback path.
+func cmpTypesSupported(a, b vector.Type) bool {
+	num := func(t vector.Type) bool { return isIntVec(t) || t == vector.Float64 }
+	if num(a) && num(b) {
+		return true
+	}
+	return a == vector.String && b == vector.String
+}
+
+func compileCmp(c *Cmp) kern {
+	l, r := compileOperand(c.Left), compileOperand(c.Right)
+	if l == nil || r == nil {
+		return nil
+	}
+	// A NULL literal makes every row NULL regardless of the other side.
+	if (l.kind == opndConst && l.val.Null) || (r.kind == opndConst && r.val.Null) {
+		return &allNullKern{}
+	}
+	if l.kind == opndConst && r.kind == opndConst {
+		return nil // constant folding is not worth a kernel; fall back
+	}
+	if !cmpTypesSupported(l.typ, r.typ) {
+		return nil
+	}
+	// Normalize const-vs-column to column-vs-const by mirroring the operator.
+	if l.kind == opndConst {
+		return &cmpKern{op: mirrorCmp(c.Op), left: *r, right: *l}
+	}
+	return &cmpKern{op: c.Op, left: *l, right: *r}
+}
+
+// mirrorCmp maps op so that (k op v) == (v mirror(op) k).
+func mirrorCmp(op CmpOp) CmpOp {
+	switch op {
+	case LT:
+		return GT
+	case LE:
+		return GE
+	case GT:
+		return LT
+	case GE:
+		return LE
+	default:
+		return op
+	}
+}
+
+func compileArith(a *Arith) kern {
+	l, r := compileOperand(a.Left), compileOperand(a.Right)
+	if l == nil || r == nil {
+		return nil
+	}
+	if (l.kind == opndConst && l.val.Null) || (r.kind == opndConst && r.val.Null) {
+		return &allNullKern{}
+	}
+	if l.kind == opndConst && r.kind == opndConst {
+		return nil
+	}
+	// Promote integer constants when the result is Float64, so the loops see
+	// one operand representation each.
+	if a.typ == vector.Float64 {
+		for _, o := range []*operand{l, r} {
+			if o.kind == opndConst && o.val.Typ == vector.Int64 {
+				o.val = vector.FloatValue(float64(o.val.I64))
+				o.typ = vector.Float64
+			}
+		}
+	}
+	return &arithKern{op: a.Op, typ: a.typ, left: *l, right: *r}
+}
+
+// ---------------------------------------------------------------------------
+// Leaf kernels
+
+// colKern copies a column into the output (used only as a sub-node of
+// boolean trees; Project passes plain column references through without
+// copying).
+type colKern struct{ col int }
+
+func (k *colKern) evalInto(b *vector.Batch, out *vector.Vector) error {
+	src := b.Vecs[k.col]
+	if src.Typ != out.Typ {
+		return fmt.Errorf("expr: kernel column %d type %s, want %s", k.col, src.Typ, out.Typ)
+	}
+	copyVecInto(out, src)
+	return nil
+}
+
+// constKern broadcasts a non-NULL constant.
+type constKern struct{ val vector.Value }
+
+func (k *constKern) evalInto(b *vector.Batch, out *vector.Vector) error {
+	broadcastInto(out, k.val, out.Len())
+	return nil
+}
+
+// allNullKern yields NULL for every row (comparisons against NULL literals).
+type allNullKern struct{}
+
+func (k *allNullKern) evalInto(b *vector.Batch, out *vector.Vector) error {
+	mask := make([]bool, out.Len())
+	for i := range mask {
+		mask[i] = true
+	}
+	out.Nulls = mask
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Comparison kernels
+
+type cmpKern struct {
+	op          CmpOp
+	left, right operand // right may be a constant; left never is
+}
+
+func (k *cmpKern) evalInto(b *vector.Batch, out *vector.Vector) error {
+	lv, lrel, err := k.left.materialize(b)
+	if err != nil {
+		return err
+	}
+	defer vector.PutVec(lrel)
+	if k.right.kind == opndConst {
+		cmpVecConst(lv, k.right.val, k.op, out)
+		out.Nulls = lv.Nulls
+		return nil
+	}
+	rv, rrel, err := k.right.materialize(b)
+	if err != nil {
+		return err
+	}
+	defer vector.PutVec(rrel)
+	cmpVecVec(lv, rv, k.op, out)
+	out.Nulls = unionMask(lv.Nulls, rv.Nulls, out.Len())
+	return nil
+}
+
+// unionMask merges two optional null masks; result may share one of them.
+func unionMask(a, b []bool, n int) []bool {
+	switch {
+	case a == nil:
+		return b
+	case b == nil:
+		return a
+	}
+	m := make([]bool, n)
+	for i := range m {
+		m[i] = a[i] || b[i]
+	}
+	return m
+}
+
+// cmpVecConst dispatches the column-vs-constant comparison loops. Values at
+// NULL positions are garbage; the caller attaches the null mask.
+func cmpVecConst(v *vector.Vector, c vector.Value, op CmpOp, out *vector.Vector) {
+	switch {
+	case isIntVec(v.Typ) && (isIntVec(c.Typ)):
+		cmpKLoop(v.I64, c.I64, op, out.B)
+	case v.Typ == vector.Float64 && c.Typ == vector.Float64:
+		cmpKLoop(v.F64, c.F64, op, out.B)
+	case isIntVec(v.Typ) && c.Typ == vector.Float64:
+		cmpIFKLoop(v.I64, c.F64, op, out.B)
+	case v.Typ == vector.Float64 && isIntVec(c.Typ):
+		cmpFIKLoop(v.F64, c.I64, op, out.B)
+	default:
+		cmpKLoop(v.Str, c.Str, op, out.B)
+	}
+}
+
+// cmpVecVec dispatches the column-vs-column comparison loops.
+func cmpVecVec(l, r *vector.Vector, op CmpOp, out *vector.Vector) {
+	switch {
+	case isIntVec(l.Typ) && isIntVec(r.Typ):
+		cmpVVLoop(l.I64, r.I64, op, out.B)
+	case l.Typ == vector.Float64 && r.Typ == vector.Float64:
+		cmpVVLoop(l.F64, r.F64, op, out.B)
+	case isIntVec(l.Typ) && r.Typ == vector.Float64:
+		cmpIFVVLoop(l.I64, r.F64, op, out.B)
+	case l.Typ == vector.Float64 && isIntVec(r.Typ):
+		cmpFIVVLoop(l.F64, r.I64, op, out.B)
+	default:
+		cmpVVLoop(l.Str, r.Str, op, out.B)
+	}
+}
+
+type orderedVal interface{ ~int64 | ~float64 | ~string }
+
+// cmpKLoop is the column-vs-constant kernel: the operator is selected once,
+// each case body is a tight monomorphic loop.
+func cmpKLoop[T orderedVal](xs []T, c T, op CmpOp, out []bool) {
+	switch op {
+	case EQ:
+		for i, v := range xs {
+			out[i] = v == c
+		}
+	case NE:
+		for i, v := range xs {
+			out[i] = v != c
+		}
+	case LT:
+		for i, v := range xs {
+			out[i] = v < c
+		}
+	case LE:
+		for i, v := range xs {
+			out[i] = v <= c
+		}
+	case GT:
+		for i, v := range xs {
+			out[i] = v > c
+		}
+	case GE:
+		for i, v := range xs {
+			out[i] = v >= c
+		}
+	}
+}
+
+// cmpVVLoop is the column-vs-column kernel.
+func cmpVVLoop[T orderedVal](a, b []T, op CmpOp, out []bool) {
+	switch op {
+	case EQ:
+		for i, v := range a {
+			out[i] = v == b[i]
+		}
+	case NE:
+		for i, v := range a {
+			out[i] = v != b[i]
+		}
+	case LT:
+		for i, v := range a {
+			out[i] = v < b[i]
+		}
+	case LE:
+		for i, v := range a {
+			out[i] = v <= b[i]
+		}
+	case GT:
+		for i, v := range a {
+			out[i] = v > b[i]
+		}
+	case GE:
+		for i, v := range a {
+			out[i] = v >= b[i]
+		}
+	}
+}
+
+// cmpIFKLoop compares an int64 column against a float64 constant exactly.
+func cmpIFKLoop(xs []int64, c float64, op CmpOp, out []bool) {
+	switch op {
+	case EQ:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(v, c) == 0
+		}
+	case NE:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(v, c) != 0
+		}
+	case LT:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(v, c) < 0
+		}
+	case LE:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(v, c) <= 0
+		}
+	case GT:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(v, c) > 0
+		}
+	case GE:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(v, c) >= 0
+		}
+	}
+}
+
+// cmpFIKLoop compares a float64 column against an int64 constant exactly.
+func cmpFIKLoop(xs []float64, c int64, op CmpOp, out []bool) {
+	switch op {
+	case EQ:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(c, v) == 0
+		}
+	case NE:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(c, v) != 0
+		}
+	case LT:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(c, v) > 0
+		}
+	case LE:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(c, v) >= 0
+		}
+	case GT:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(c, v) < 0
+		}
+	case GE:
+		for i, v := range xs {
+			out[i] = vector.CmpIntFloat(c, v) <= 0
+		}
+	}
+}
+
+// cmpIFVVLoop compares an int64 column against a float64 column exactly.
+func cmpIFVVLoop(a []int64, b []float64, op CmpOp, out []bool) {
+	switch op {
+	case EQ:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(v, b[i]) == 0
+		}
+	case NE:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(v, b[i]) != 0
+		}
+	case LT:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(v, b[i]) < 0
+		}
+	case LE:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(v, b[i]) <= 0
+		}
+	case GT:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(v, b[i]) > 0
+		}
+	case GE:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(v, b[i]) >= 0
+		}
+	}
+}
+
+// cmpFIVVLoop compares a float64 column against an int64 column exactly.
+func cmpFIVVLoop(a []float64, b []int64, op CmpOp, out []bool) {
+	switch op {
+	case EQ:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(b[i], v) == 0
+		}
+	case NE:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(b[i], v) != 0
+		}
+	case LT:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(b[i], v) > 0
+		}
+	case LE:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(b[i], v) >= 0
+		}
+	case GT:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(b[i], v) < 0
+		}
+	case GE:
+		for i, v := range a {
+			out[i] = vector.CmpIntFloat(b[i], v) <= 0
+		}
+	}
+}
+
+// ---------------------------------------------------------------------------
+// Boolean kernels
+
+type boolKern struct {
+	op          BoolOp
+	left, right kern
+}
+
+func (k *boolKern) evalInto(b *vector.Batch, out *vector.Vector) error {
+	n := out.Len()
+	lv := vector.GetVec(vector.Bool, n)
+	defer vector.PutVec(lv)
+	if err := k.left.evalInto(b, lv); err != nil {
+		return err
+	}
+	rv := vector.GetVec(vector.Bool, n)
+	defer vector.PutVec(rv)
+	if err := k.right.evalInto(b, rv); err != nil {
+		return err
+	}
+	if lv.Nulls == nil && rv.Nulls == nil {
+		// No-null fast path: two-valued logic, mask-free loop.
+		if k.op == And {
+			for i, v := range lv.B {
+				out.B[i] = v && rv.B[i]
+			}
+		} else {
+			for i, v := range lv.B {
+				out.B[i] = v || rv.B[i]
+			}
+		}
+		return nil
+	}
+	mask := make([]bool, n)
+	any := false
+	if k.op == And {
+		for i := 0; i < n; i++ {
+			ln := lv.Nulls != nil && lv.Nulls[i]
+			rn := rv.Nulls != nil && rv.Nulls[i]
+			switch {
+			case (!ln && !lv.B[i]) || (!rn && !rv.B[i]):
+				out.B[i] = false
+			case ln || rn:
+				mask[i], any = true, true
+			default:
+				out.B[i] = true
+			}
+		}
+	} else {
+		for i := 0; i < n; i++ {
+			ln := lv.Nulls != nil && lv.Nulls[i]
+			rn := rv.Nulls != nil && rv.Nulls[i]
+			switch {
+			case (!ln && lv.B[i]) || (!rn && rv.B[i]):
+				out.B[i] = true
+			case ln || rn:
+				mask[i], any = true, true
+			default:
+				out.B[i] = false
+			}
+		}
+	}
+	if any {
+		out.Nulls = mask
+	}
+	return nil
+}
+
+type notKern struct{ in kern }
+
+func (k *notKern) evalInto(b *vector.Batch, out *vector.Vector) error {
+	if err := k.in.evalInto(b, out); err != nil {
+		return err
+	}
+	for i, v := range out.B {
+		out.B[i] = !v
+	}
+	return nil
+}
+
+type isNullKern struct {
+	in      operand
+	negated bool
+}
+
+func (k *isNullKern) evalInto(b *vector.Batch, out *vector.Vector) error {
+	v, rel, err := k.in.materialize(b)
+	if err != nil {
+		return err
+	}
+	defer vector.PutVec(rel)
+	if v.Nulls == nil {
+		for i := range out.B {
+			out.B[i] = k.negated
+		}
+		return nil
+	}
+	for i, null := range v.Nulls {
+		out.B[i] = null != k.negated
+	}
+	return nil
+}
+
+// ---------------------------------------------------------------------------
+// Arithmetic kernels
+
+type arithKern struct {
+	op          ArithOp
+	typ         vector.Type
+	left, right operand
+}
+
+func (k *arithKern) evalInto(b *vector.Batch, out *vector.Vector) error {
+	lv, lrel, err := k.left.materialize(b)
+	if err != nil {
+		return err
+	}
+	defer vector.PutVec(lrel)
+	rv, rrel, err := k.right.materialize(b)
+	if err != nil {
+		return err
+	}
+	defer vector.PutVec(rrel)
+	if k.typ == vector.Float64 {
+		// Promote an int operand to a float scratch vector once per batch,
+		// matching the per-row float64() conversion of the interpreter.
+		var frel [2]*vector.Vector
+		defer func() { vector.PutVec(frel[0]); vector.PutVec(frel[1]) }()
+		if lv.Typ != vector.Float64 {
+			fv := vector.GetVec(vector.Float64, lv.Len())
+			convI2F(lv.I64, fv.F64)
+			fv.Nulls = lv.Nulls
+			lv, frel[0] = fv, fv
+		}
+		if rv.Typ != vector.Float64 {
+			fv := vector.GetVec(vector.Float64, rv.Len())
+			convI2F(rv.I64, fv.F64)
+			fv.Nulls = rv.Nulls
+			rv, frel[1] = fv, fv
+		}
+	}
+	mask := unionMask(lv.Nulls, rv.Nulls, out.Len())
+	out.Nulls = mask
+	if k.typ == vector.Int64 {
+		switch k.op {
+		case Add, Sub, Mul:
+			ariVVLoop(lv.I64, rv.I64, k.op, out.I64)
+		case Div:
+			for i, c := range rv.I64 {
+				if mask != nil && mask[i] {
+					continue
+				}
+				if c == 0 {
+					return fmt.Errorf("expr: integer division by zero")
+				}
+				out.I64[i] = lv.I64[i] / c
+			}
+		case Mod:
+			for i, c := range rv.I64 {
+				if mask != nil && mask[i] {
+					continue
+				}
+				if c == 0 {
+					return fmt.Errorf("expr: modulo by zero")
+				}
+				out.I64[i] = lv.I64[i] % c
+			}
+		}
+		return nil
+	}
+	switch k.op {
+	case Add, Sub, Mul:
+		ariVVLoop(lv.F64, rv.F64, k.op, out.F64)
+	case Div:
+		for i, c := range rv.F64 {
+			if mask != nil && mask[i] {
+				continue
+			}
+			if c == 0 {
+				return fmt.Errorf("expr: division by zero")
+			}
+			out.F64[i] = lv.F64[i] / c
+		}
+	}
+	return nil
+}
+
+// ariVVLoop runs the branch-free arithmetic loops (Add/Sub/Mul); garbage at
+// NULL positions is fine, the mask marks them.
+func ariVVLoop[T int64 | float64](a, b []T, op ArithOp, out []T) {
+	switch op {
+	case Add:
+		for i, v := range a {
+			out[i] = v + b[i]
+		}
+	case Sub:
+		for i, v := range a {
+			out[i] = v - b[i]
+		}
+	case Mul:
+		for i, v := range a {
+			out[i] = v * b[i]
+		}
+	}
+}
+
+// convI2F converts an int64 slice to float64 (rounding beyond 2^53, exactly
+// like the interpreter's per-row conversion — arithmetic promotion is
+// defined as float64 arithmetic, unlike comparisons which stay exact).
+func convI2F(src []int64, dst []float64) {
+	for i, v := range src {
+		dst[i] = float64(v)
+	}
+}

@@ -1,0 +1,367 @@
+package expr
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"testing"
+
+	"patchindex/internal/vector"
+)
+
+// kernelSchema is the column layout every differential batch uses: enough
+// type variety to reach all kernel monomorphizations, including mixed
+// int/float comparisons and string equality.
+var kernelSchema = []vector.Type{
+	vector.Int64, vector.Float64, vector.Int64, vector.Float64,
+	vector.Date, vector.Bool, vector.String,
+}
+
+func genValue(rng *rand.Rand, t vector.Type) vector.Value {
+	switch t {
+	case vector.Int64:
+		switch rng.Intn(8) {
+		case 0:
+			// Near and beyond 2^53, where float64 loses integer precision.
+			return vector.IntValue((int64(1) << 53) + rng.Int63n(5) - 2)
+		case 1:
+			return vector.IntValue(-rng.Int63n(1000))
+		default:
+			return vector.IntValue(rng.Int63n(1000))
+		}
+	case vector.Float64:
+		if rng.Intn(8) == 0 {
+			return vector.FloatValue(math.Pow(2, 53) + float64(rng.Intn(5)-2))
+		}
+		return vector.FloatValue(float64(rng.Intn(2000))/2 - 500)
+	case vector.Date:
+		return vector.DateValue(rng.Int63n(40000))
+	case vector.Bool:
+		return vector.BoolValue(rng.Intn(2) == 0)
+	case vector.String:
+		return vector.StringValue(string(rune('a' + rng.Intn(5))))
+	}
+	panic("unreachable")
+}
+
+// genBatch builds a batch over kernelSchema where each column independently
+// draws one of the requested NULL densities.
+func genBatch(rng *rand.Rand, n int, densities []float64) *vector.Batch {
+	b := vector.NewBatch(kernelSchema)
+	for c, t := range kernelSchema {
+		d := densities[rng.Intn(len(densities))]
+		for i := 0; i < n; i++ {
+			if rng.Float64() < d {
+				b.Vecs[c].AppendNull()
+			} else {
+				if err := b.Vecs[c].AppendValue(genValue(rng, t)); err != nil {
+					panic(err)
+				}
+			}
+		}
+	}
+	return b
+}
+
+// genAny produces a random expression of any result type; genBool one that is
+// boolean-typed. Constructor type errors fall back to simpler shapes, so the
+// generators always terminate with a valid expression.
+func genAny(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 || rng.Intn(4) == 0 {
+		return genLeaf(rng)
+	}
+	if rng.Intn(3) == 0 {
+		ops := []ArithOp{Add, Sub, Mul, Div, Mod}
+		e, err := NewArith(ops[rng.Intn(len(ops))], genAny(rng, depth-1), genAny(rng, depth-1))
+		if err == nil {
+			return e
+		}
+		return genLeaf(rng)
+	}
+	return genBool(rng, depth)
+}
+
+func genBool(rng *rand.Rand, depth int) Expr {
+	if depth <= 0 {
+		if c := rng.Intn(len(kernelSchema)); kernelSchema[c] == vector.Bool && rng.Intn(2) == 0 {
+			return NewColRef(c, vector.Bool, fmt.Sprintf("c%d", c))
+		}
+		return NewIsNull(genLeaf(rng), rng.Intn(2) == 0)
+	}
+	switch rng.Intn(5) {
+	case 0:
+		ops := []CmpOp{EQ, NE, LT, LE, GT, GE}
+		e, err := NewCmp(ops[rng.Intn(len(ops))], genAny(rng, depth-1), genAny(rng, depth-1))
+		if err == nil {
+			return e
+		}
+		return genBool(rng, depth-1)
+	case 1:
+		op := And
+		if rng.Intn(2) == 0 {
+			op = Or
+		}
+		e, err := NewBool(op, genBool(rng, depth-1), genBool(rng, depth-1))
+		if err == nil {
+			return e
+		}
+		return genBool(rng, depth-1)
+	case 2:
+		e, err := NewNot(genBool(rng, depth-1))
+		if err == nil {
+			return e
+		}
+		return genBool(rng, depth-1)
+	case 3:
+		return NewIsNull(genAny(rng, depth-1), rng.Intn(2) == 0)
+	default:
+		return genBool(rng, depth-1)
+	}
+}
+
+func genLeaf(rng *rand.Rand) Expr {
+	if rng.Intn(3) == 0 {
+		t := kernelSchema[rng.Intn(len(kernelSchema))]
+		if rng.Intn(8) == 0 {
+			return NewLiteral(vector.NullValue(t))
+		}
+		return NewLiteral(genValue(rng, t))
+	}
+	c := rng.Intn(len(kernelSchema))
+	return NewColRef(c, kernelSchema[c], fmt.Sprintf("c%d", c))
+}
+
+// rowEval is the PQS-style reference: evaluate e over a single-row batch
+// holding row i of b. Any disagreement between this and the batched paths is
+// a bug in the vectorized code.
+func rowEval(e Expr, b *vector.Batch, i int) (vector.Value, error) {
+	rb := vector.NewBatch(b.Types())
+	for c, v := range b.Vecs {
+		if err := rb.Vecs[c].AppendValue(v.Value(i)); err != nil {
+			return vector.Value{}, err
+		}
+	}
+	out, err := e.Eval(rb)
+	if err != nil {
+		return vector.Value{}, err
+	}
+	return out.Value(0), nil
+}
+
+func sameValue(a, b vector.Value) bool {
+	if a.Typ != b.Typ || a.Null != b.Null {
+		return false
+	}
+	if a.Null {
+		return true
+	}
+	switch a.Typ {
+	case vector.Int64, vector.Date:
+		return a.I64 == b.I64
+	case vector.Float64:
+		return a.F64 == b.F64 || (math.IsNaN(a.F64) && math.IsNaN(b.F64))
+	case vector.Bool:
+		return a.B == b.B
+	case vector.String:
+		return a.Str == b.Str
+	}
+	return false
+}
+
+// TestKernelDifferential cross-checks three evaluation paths on random
+// expressions and batches: the row-at-a-time reference, the interpreted
+// vectorized evaluator, and (when the shape compiles) the typed kernels —
+// over every NULL density and both the dense and selection-vector shapes.
+// Run it under -race: the batched paths share sync.Pool state.
+func TestKernelDifferential(t *testing.T) {
+	iters := 400
+	if testing.Short() {
+		iters = 80
+	}
+	densities := []float64{0, 0.01, 0.5, 1.0}
+	for _, shape := range []string{"dense", "sel"} {
+		shape := shape
+		t.Run(shape, func(t *testing.T) {
+			t.Parallel() // exercise the vector/sel pools concurrently
+			rng := rand.New(rand.NewSource(int64(len(shape)) * 101))
+			kernelized := 0
+			for it := 0; it < iters; it++ {
+				n := 1 + rng.Intn(96)
+				b := genBatch(rng, n, densities)
+				var sel []int
+				rows := n
+				if shape == "sel" {
+					sel = make([]int, 0, n) // non-nil: an empty selection selects nothing
+					for i := 0; i < n; i++ {
+						if rng.Intn(2) == 0 {
+							sel = append(sel, i)
+						}
+					}
+					rows = len(sel)
+				}
+				e := genAny(rng, 3)
+
+				// Reference: row-at-a-time over the rows in the eval domain.
+				refs := make([]vector.Value, rows)
+				var refErr error
+				for j := 0; j < rows; j++ {
+					i := j
+					if sel != nil {
+						i = sel[j]
+					}
+					v, err := rowEval(e, b, i)
+					if err != nil {
+						refErr = err
+						break
+					}
+					refs[j] = v
+				}
+
+				check := func(path string, c *Compiled) {
+					out := vector.New(e.Type(), 0)
+					err := c.EvalInto(b, sel, out)
+					if refErr != nil {
+						if err == nil {
+							t.Fatalf("iter %d %s: reference failed (%v) but %s succeeded\nexpr: %s",
+								it, shape, refErr, path, e.String())
+						}
+						return
+					}
+					if err != nil {
+						t.Fatalf("iter %d %s %s: %v\nexpr: %s", it, shape, path, err, e.String())
+					}
+					if out.Len() != rows {
+						t.Fatalf("iter %d %s %s: got %d rows, want %d\nexpr: %s",
+							it, shape, path, out.Len(), rows, e.String())
+					}
+					for j := 0; j < rows; j++ {
+						if got := out.Value(j); !sameValue(got, refs[j]) {
+							t.Fatalf("iter %d %s %s row %d: got %+v want %+v\nexpr: %s",
+								it, shape, path, j, got, refs[j], e.String())
+						}
+					}
+				}
+
+				kc := Compile(e)
+				if kc.Kernelized() {
+					kernelized++
+					check("kernel", kc)
+				}
+				ic := Compile(e)
+				ic.ForceInterpreted()
+				check("interpreted", ic)
+			}
+			// The suite must not silently degrade into testing only the
+			// interpreted fallback.
+			if kernelized < iters/4 {
+				t.Fatalf("only %d/%d expressions kernelized — generator or compiler regressed", kernelized, iters)
+			}
+		})
+	}
+}
+
+// TestKernelShapes pins which expression shapes compile to kernels: the hot
+// filter/projection shapes must, and known-unsupported ones must fall back.
+func TestKernelShapes(t *testing.T) {
+	intCol := NewColRef(0, vector.Int64, "i")
+	fltCol := NewColRef(1, vector.Float64, "f")
+	strCol := NewColRef(6, vector.String, "s")
+	boolCol := NewColRef(5, vector.Bool, "b")
+	mk := func(e Expr, err error) Expr {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return e
+	}
+	cmpIL := mk(NewCmp(GT, intCol, NewLiteral(vector.IntValue(3))))
+	cmpIF := mk(NewCmp(LT, intCol, NewLiteral(vector.FloatValue(3.5))))
+	cmpSS := mk(NewCmp(EQ, strCol, NewLiteral(vector.StringValue("x"))))
+	conj := mk(NewBool(And, cmpIL, cmpIF))
+	arith := mk(NewArith(Add, intCol, fltCol))
+	boolEq := mk(NewCmp(EQ, boolCol, NewLiteral(vector.BoolValue(true))))
+	constConst := mk(NewCmp(LT, NewLiteral(vector.IntValue(1)), NewLiteral(vector.IntValue(2))))
+	for _, tc := range []struct {
+		e    Expr
+		want bool
+	}{
+		{cmpIL, true}, {cmpIF, true}, {cmpSS, true}, {conj, true}, {arith, true},
+		{mk(NewNot(cmpIL)), true}, {NewIsNull(intCol, false), true},
+		{boolEq, false}, {constConst, false},
+	} {
+		if got := Compile(tc.e).Kernelized(); got != tc.want {
+			t.Errorf("Kernelized(%s) = %v, want %v", tc.e.String(), got, tc.want)
+		}
+	}
+}
+
+// TestCompareMixedBeyond2p53 is the regression test for the int64-vs-float64
+// comparison precision bug: converting the int side to float64 rounds
+// 2^53+1 to 2^53, so a naive comparison reports equality. Both evaluation
+// paths must compare exactly.
+func TestCompareMixedBeyond2p53(t *testing.T) {
+	const p53 = int64(1) << 53
+	b := vector.NewBatch([]vector.Type{vector.Int64})
+	for _, x := range []int64{p53 - 1, p53, p53 + 1, -(p53 + 1), math.MaxInt64} {
+		b.Vecs[0].AppendInt64(x)
+	}
+	col := NewColRef(0, vector.Int64, "x")
+	f53 := float64(p53) // exactly 2^53
+	for _, tc := range []struct {
+		op   CmpOp
+		lit  float64
+		want []bool // rows: 2^53-1, 2^53, 2^53+1, -(2^53+1), MaxInt64
+	}{
+		{EQ, f53, []bool{false, true, false, false, false}},
+		{GT, f53, []bool{false, false, true, false, true}},
+		{LT, f53, []bool{true, false, false, true, false}},
+		// 2^63 is above MaxInt64 even though float64(MaxInt64) == 2^63.
+		{LT, math.Pow(2, 63), []bool{true, true, true, true, true}},
+		{GT, -math.Pow(2, 63), []bool{true, true, true, true, true}},
+	} {
+		e, err := NewCmp(tc.op, col, NewLiteral(vector.FloatValue(tc.lit)))
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, path := range []string{"kernel", "interpreted"} {
+			c := Compile(e)
+			if path == "kernel" && !c.Kernelized() {
+				t.Fatalf("%s: mixed comparison should kernelize", e.String())
+			}
+			if path == "interpreted" {
+				c.ForceInterpreted()
+			}
+			out := vector.New(vector.Bool, 0)
+			if err := c.EvalInto(b, nil, out); err != nil {
+				t.Fatal(err)
+			}
+			for i, want := range tc.want {
+				if out.IsNull(i) || out.B[i] != want {
+					t.Errorf("%s [%s] row %d: got %v, want %v", e.String(), path, i, out.B[i], want)
+				}
+			}
+		}
+	}
+}
+
+// TestCmpIntFloatExact unit-tests the exact comparison primitive directly.
+func TestCmpIntFloatExact(t *testing.T) {
+	const p53 = int64(1) << 53
+	for _, tc := range []struct {
+		i    int64
+		f    float64
+		want int
+	}{
+		{3, 3.5, -1}, {4, 3.5, 1}, {3, 3.0, 0},
+		{-3, -3.5, 1}, {-4, -3.5, -1},
+		{p53 + 1, float64(p53), 1}, {p53 - 1, float64(p53), -1}, {p53, float64(p53), 0},
+		{math.MaxInt64, math.Pow(2, 63), -1},
+		{math.MinInt64, -math.Pow(2, 63), 0},
+		{0, math.Inf(1), -1}, {0, math.Inf(-1), 1},
+		{math.MaxInt64, math.Inf(1), -1},
+	} {
+		if got := vector.CmpIntFloat(tc.i, tc.f); got != tc.want {
+			t.Errorf("CmpIntFloat(%d, %v) = %d, want %d", tc.i, tc.f, got, tc.want)
+		}
+	}
+}

@@ -21,6 +21,14 @@ type OpStats struct {
 	// EstCost is the cost model's total cost for the subtree, in abstract
 	// cost units; 0 means unknown.
 	EstCost float64
+	// KernelBatches counts input batches the operator evaluated through
+	// compiled vectorized kernels rather than the interpreted expression
+	// fallback. 0 on operators that never compile expressions.
+	KernelBatches int64
+	// PartitionsPruned is the number of table partitions skipped entirely by
+	// zone-map pruning before any morsel was scheduled. The planner stamps it
+	// onto the plan root at build time.
+	PartitionsPruned int64
 }
 
 // AddBatch records one emitted batch of n rows.

@@ -17,16 +17,58 @@ type Config struct {
 	// execution existed. The engine resolves session/config defaults to a
 	// concrete degree before building, so 0 means serial here, not "auto".
 	Parallelism int
-	// DisableScanRanges turns off SMA-based block pruning.
+	// DisableScanRanges turns off SMA-based block pruning and zone-map
+	// partition pruning (they share the predicate-bound extraction).
 	DisableScanRanges bool
+	// DisableKernels forces interpreted expression evaluation in Filter and
+	// Project operators instead of compiled vectorized kernels.
+	DisableKernels bool
+
+	// pruned collects the (table, partition) pairs skipped by zone-map
+	// pruning during this build. Keyed rather than counted because the
+	// builder may visit the same subtree more than once (a splitPipelines
+	// probe that is then discarded must not double-count).
+	pruned map[prunedKey]struct{}
+}
+
+type prunedKey struct {
+	t    *storage.Table
+	part int
 }
 
 // parallel reports whether parallel operators may be introduced.
 func (c Config) parallel() bool { return c.Parallelism > 1 }
 
-// Build translates a logical plan into a physical operator tree.
+// zonePruned reports whether partition part can be skipped entirely: some
+// bounded column's zone map proves no row satisfies the enclosing filter.
+// Skipped partitions are recorded for the plan root's partitions_pruned
+// counter.
+func (c Config) zonePruned(t *storage.Table, part int, cols []int, bounds map[int]colBounds) bool {
+	for outCol, b := range bounds {
+		if outCol >= len(cols) || (b.lo.Null && b.hi.Null) {
+			continue
+		}
+		if t.ZonePrunes(part, cols[outCol], b.lo, b.hi) {
+			if c.pruned != nil {
+				c.pruned[prunedKey{t, part}] = struct{}{}
+			}
+			return true
+		}
+	}
+	return false
+}
+
+// Build translates a logical plan into a physical operator tree. The number
+// of partitions skipped by zone-map pruning is stamped onto the root
+// operator's stats so EXPLAIN ANALYZE and traces surface it.
 func Build(n Node, cfg Config) (exec.Operator, error) {
-	return buildNode(n, cfg, nil)
+	cfg.pruned = map[prunedKey]struct{}{}
+	op, err := buildNode(n, cfg, nil)
+	if err != nil {
+		return nil, err
+	}
+	op.Stats().PartitionsPruned = int64(len(cfg.pruned))
+	return op, nil
 }
 
 // buildNode builds n; bounds, when non-nil, carries per-table-column value
@@ -69,7 +111,14 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewFilter(child, x.Pred)
+		f, err := exec.NewFilter(child, x.Pred)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.DisableKernels {
+			f.DisableKernels()
+		}
+		return f, nil
 	case *ProjectNode:
 		if cfg.parallel() {
 			parts, err := splitPipelines(x, cfg, nil)
@@ -84,7 +133,14 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewProject(child, x.Exprs)
+		pr, err := exec.NewProject(child, x.Exprs)
+		if err != nil {
+			return nil, err
+		}
+		if cfg.DisableKernels {
+			pr.DisableKernels()
+		}
+		return pr, nil
 	case *AggregateNode:
 		if cfg.parallel() {
 			// Partial aggregation per pipeline, merged in child order so the
@@ -164,15 +220,27 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 // promise holds across partitions), otherwise a plain or parallel union.
 func buildScan(s *ScanNode, cfg Config, bounds map[int]colBounds) (exec.Operator, error) {
 	if s.Part >= 0 {
-		return exec.NewScan(s.Table, s.Part, s.Cols, rangesFor(s.Table, s.Part, s.Cols, bounds))
+		return exec.NewScan(s.Table, s.Part, s.Cols, scanRangesFor(s.Table, s.Part, s.Cols, bounds, cfg))
 	}
-	parts := make([]exec.Operator, s.Table.NumPartitions())
-	for p := range parts {
+	parts := make([]exec.Operator, 0, s.Table.NumPartitions())
+	for p := 0; p < s.Table.NumPartitions(); p++ {
+		if cfg.zonePruned(s.Table, p, s.Cols, bounds) {
+			continue
+		}
 		sc, err := exec.NewScan(s.Table, p, s.Cols, rangesFor(s.Table, p, s.Cols, bounds))
 		if err != nil {
 			return nil, err
 		}
-		parts[p] = sc
+		parts = append(parts, sc)
+	}
+	if len(parts) == 0 {
+		// Every partition zone-pruned: keep one empty-range scan so the plan
+		// shape (and the operator contract above it) is preserved.
+		sc, err := exec.NewScan(s.Table, 0, s.Cols, []storage.ScanRange{})
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, sc)
 	}
 	if key := s.Table.SortKey(); key != "" {
 		pos := outputPos(s.Cols, s.Table, key)
@@ -204,14 +272,20 @@ func buildPatchScan(s *PatchScanNode, cfg Config, bounds map[int]colBounds) (exe
 			s.Index.Table(), s.Index.Column(), s.Index.NumPartitions(), s.Table.NumPartitions())
 	}
 	if s.Part >= 0 {
-		sc, err := exec.NewScan(s.Table, s.Part, s.Cols, rangesFor(s.Table, s.Part, s.Cols, bounds))
+		sc, err := exec.NewScan(s.Table, s.Part, s.Cols, scanRangesFor(s.Table, s.Part, s.Cols, bounds, cfg))
 		if err != nil {
 			return nil, err
 		}
 		return exec.NewPatchSelect(sc, s.Index.Partition(s.Part), s.Mode)
 	}
-	parts := make([]exec.Operator, s.Table.NumPartitions())
-	for p := range parts {
+	// Zone-pruning a partition is safe in both patch modes: the bounds come
+	// from the filter enclosing this scan, so every row of a pruned partition
+	// — patch or not — would fail that filter anyway.
+	parts := make([]exec.Operator, 0, s.Table.NumPartitions())
+	for p := 0; p < s.Table.NumPartitions(); p++ {
+		if cfg.zonePruned(s.Table, p, s.Cols, bounds) {
+			continue
+		}
 		sc, err := exec.NewScan(s.Table, p, s.Cols, rangesFor(s.Table, p, s.Cols, bounds))
 		if err != nil {
 			return nil, err
@@ -220,7 +294,18 @@ func buildPatchScan(s *PatchScanNode, cfg Config, bounds map[int]colBounds) (exe
 		if err != nil {
 			return nil, err
 		}
-		parts[p] = ps
+		parts = append(parts, ps)
+	}
+	if len(parts) == 0 {
+		sc, err := exec.NewScan(s.Table, 0, s.Cols, []storage.ScanRange{})
+		if err != nil {
+			return nil, err
+		}
+		ps, err := exec.NewPatchSelect(sc, s.Index.Partition(0), s.Mode)
+		if err != nil {
+			return nil, err
+		}
+		parts = append(parts, ps)
 	}
 	if s.Ordered {
 		pos := outputPos(s.Cols, s.Table, s.Index.Column())
@@ -261,13 +346,23 @@ func splitPipelines(n Node, cfg Config, bounds map[int]colBounds) ([]exec.Operat
 		if key := x.Table.SortKey(); key != "" && outputPos(x.Cols, x.Table, key) >= 0 {
 			return nil, nil
 		}
-		parts := make([]exec.Operator, x.Table.NumPartitions())
-		for p := range parts {
+		parts := make([]exec.Operator, 0, x.Table.NumPartitions())
+		for p := 0; p < x.Table.NumPartitions(); p++ {
+			if cfg.zonePruned(x.Table, p, x.Cols, bounds) {
+				continue // partition skipped before a morsel is scheduled
+			}
 			sc, err := exec.NewScan(x.Table, p, x.Cols, rangesFor(x.Table, p, x.Cols, bounds))
 			if err != nil {
 				return nil, err
 			}
-			parts[p] = sc
+			parts = append(parts, sc)
+		}
+		if len(parts) == 0 {
+			sc, err := exec.NewScan(x.Table, 0, x.Cols, []storage.ScanRange{})
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, sc)
 		}
 		return parts, nil
 	case *PatchScanNode:
@@ -281,8 +376,11 @@ func splitPipelines(n Node, cfg Config, bounds map[int]colBounds) ([]exec.Operat
 			return nil, fmt.Errorf("plan: PatchIndex on %s.%s has %d partitions, table has %d",
 				x.Index.Table(), x.Index.Column(), x.Index.NumPartitions(), x.Table.NumPartitions())
 		}
-		parts := make([]exec.Operator, x.Table.NumPartitions())
-		for p := range parts {
+		parts := make([]exec.Operator, 0, x.Table.NumPartitions())
+		for p := 0; p < x.Table.NumPartitions(); p++ {
+			if cfg.zonePruned(x.Table, p, x.Cols, bounds) {
+				continue
+			}
 			sc, err := exec.NewScan(x.Table, p, x.Cols, rangesFor(x.Table, p, x.Cols, bounds))
 			if err != nil {
 				return nil, err
@@ -291,7 +389,18 @@ func splitPipelines(n Node, cfg Config, bounds map[int]colBounds) ([]exec.Operat
 			if err != nil {
 				return nil, err
 			}
-			parts[p] = ps
+			parts = append(parts, ps)
+		}
+		if len(parts) == 0 {
+			sc, err := exec.NewScan(x.Table, 0, x.Cols, []storage.ScanRange{})
+			if err != nil {
+				return nil, err
+			}
+			ps, err := exec.NewPatchSelect(sc, x.Index.Partition(0), x.Mode)
+			if err != nil {
+				return nil, err
+			}
+			parts = append(parts, ps)
 		}
 		return parts, nil
 	case *FilterNode:
@@ -308,6 +417,9 @@ func splitPipelines(n Node, cfg Config, bounds map[int]colBounds) ([]exec.Operat
 			if err != nil {
 				return nil, err
 			}
+			if cfg.DisableKernels {
+				f.DisableKernels()
+			}
 			parts[i] = f
 		}
 		return parts, nil
@@ -320,6 +432,9 @@ func splitPipelines(n Node, cfg Config, bounds map[int]colBounds) ([]exec.Operat
 			pr, err := exec.NewProject(p, x.Exprs)
 			if err != nil {
 				return nil, err
+			}
+			if cfg.DisableKernels {
+				pr.DisableKernels()
 			}
 			parts[i] = pr
 		}
@@ -439,18 +554,31 @@ func extractBounds(pred expr.Expr, schema []Column) map[int]colBounds {
 	return out
 }
 
+// tighterLo/tighterHi pick the stricter of two bounds. CompareNumeric keeps
+// mixed int/float bounds exact (e.g. WHERE v > 3 AND v > 3.5 on a BIGINT
+// column compares the 3.5 correctly, including beyond 2^53).
 func tighterLo(cur, v vector.Value) vector.Value {
-	if cur.Null || v.Compare(cur) > 0 {
+	if cur.Null || vector.CompareNumeric(v, cur) > 0 {
 		return v
 	}
 	return cur
 }
 
 func tighterHi(cur, v vector.Value) vector.Value {
-	if cur.Null || v.Compare(cur) < 0 {
+	if cur.Null || vector.CompareNumeric(v, cur) < 0 {
 		return v
 	}
 	return cur
+}
+
+// scanRangesFor is rangesFor plus partition-level zone pruning for the
+// single-partition scan shape: a pruned partition degenerates to an empty
+// range list (the scan stays in the plan, emitting nothing).
+func scanRangesFor(t *storage.Table, part int, cols []int, bounds map[int]colBounds, cfg Config) []storage.ScanRange {
+	if cfg.zonePruned(t, part, cols, bounds) {
+		return []storage.ScanRange{}
+	}
+	return rangesFor(t, part, cols, bounds)
 }
 
 // rangesFor computes pruned scan ranges for one partition, intersecting the

@@ -59,10 +59,12 @@ type sma struct {
 	valid    bool // false until at least one non-null value was seen
 }
 
-// columnData holds the values of one column inside one partition.
+// columnData holds the values of one column inside one partition, together
+// with its block SMAs and the partition-level zone map.
 type columnData struct {
 	vec  *vector.Vector
 	smas []sma
+	zone sma // partition-level min/max: the zone map entry
 }
 
 func (c *columnData) updateSMA(row int) {
@@ -73,18 +75,30 @@ func (c *columnData) updateSMA(row int) {
 	s := &c.smas[blk]
 	if c.vec.IsNull(row) {
 		s.hasNull = true
+		c.zone.hasNull = true
 		return
 	}
 	v := c.vec.Value(row)
 	if !s.valid {
 		s.min, s.max, s.valid = v, v, true
+	} else {
+		if v.Compare(s.min) < 0 {
+			s.min = v
+		}
+		if v.Compare(s.max) > 0 {
+			s.max = v
+		}
+	}
+	z := &c.zone
+	if !z.valid {
+		z.min, z.max, z.valid = v, v, true
 		return
 	}
-	if v.Compare(s.min) < 0 {
-		s.min = v
+	if v.Compare(z.min) < 0 {
+		z.min = v
 	}
-	if v.Compare(s.max) > 0 {
-		s.max = v
+	if v.Compare(z.max) > 0 {
+		z.max = v
 	}
 }
 
@@ -281,10 +295,13 @@ func (t *Table) PruneRanges(part, col int, lo, hi vector.Value, keepNulls bool) 
 		if blk < len(cd.smas) {
 			s := cd.smas[blk]
 			if s.valid {
-				if !lo.Null && s.max.Compare(lo) < 0 {
+				// CompareNumeric, not Value.Compare: a float literal bound
+				// against an integer column must compare exactly (a plain
+				// Compare would read the literal's zero-valued integer slot).
+				if !lo.Null && vector.CompareNumeric(s.max, lo) < 0 {
 					keep = false
 				}
-				if !hi.Null && s.min.Compare(hi) > 0 {
+				if !hi.Null && vector.CompareNumeric(s.min, hi) > 0 {
 					keep = false
 				}
 			} else {
@@ -305,6 +322,52 @@ func (t *Table) PruneRanges(part, col int, lo, hi vector.Value, keepNulls bool) 
 		}
 	}
 	return out
+}
+
+// ZoneMapEntry is the partition-level min/max summary of one column — the
+// zone map the planner consults to skip whole partitions before any morsel
+// is scheduled. Entries are maintained on every append and, because recovery
+// replays the WAL through the ordinary append path, rebuilt on replay.
+type ZoneMapEntry struct {
+	Min, Max vector.Value // valid only if Valid
+	HasNull  bool         // the column holds at least one NULL in this partition
+	Valid    bool         // at least one non-NULL value was seen
+	Rows     int          // rows stored in the partition
+}
+
+// ZoneMap returns the zone map entry for column col of partition part.
+func (t *Table) ZoneMap(part, col int) ZoneMapEntry {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p := t.partitions[part]
+	z := p.cols[col].zone
+	return ZoneMapEntry{Min: z.min, Max: z.max, HasNull: z.hasNull, Valid: z.valid, Rows: p.nrows}
+}
+
+// ZonePrunes reports whether the zone map proves that no row of partition
+// part has a value of column col inside [lo,hi] (inclusive; Null bounds are
+// unbounded). Mixed int/float bounds compare exactly via CompareNumeric.
+// Empty partitions report false — scanning them is already free, and keeping
+// them preserves plan shape.
+func (t *Table) ZonePrunes(part, col int, lo, hi vector.Value) bool {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	p := t.partitions[part]
+	if p.nrows == 0 {
+		return false
+	}
+	z := p.cols[col].zone
+	if !z.valid {
+		// Every row is NULL in this column: no bound can match.
+		return true
+	}
+	if !lo.Null && vector.CompareNumeric(z.max, lo) < 0 {
+		return true
+	}
+	if !hi.Null && vector.CompareNumeric(z.min, hi) > 0 {
+		return true
+	}
+	return false
 }
 
 // FullRange returns the single scan range covering all rows of a partition.

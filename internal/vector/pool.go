@@ -1,0 +1,62 @@
+package vector
+
+import "sync"
+
+// Pooling for the per-batch scratch objects of the vectorized hot path.
+// Expression kernels and the Filter/Project operators acquire output vectors
+// and selection vectors here instead of allocating per batch; in steady
+// state every Get is satisfied from the pool and the scan→filter→project
+// pipeline runs allocation-free.
+
+// vecPools holds one pool per column type so a pooled vector's typed slice
+// is always reusable as-is.
+var vecPools = [5]sync.Pool{
+	{New: func() any { return &Vector{Typ: Int64} }},
+	{New: func() any { return &Vector{Typ: Float64} }},
+	{New: func() any { return &Vector{Typ: String} }},
+	{New: func() any { return &Vector{Typ: Bool} }},
+	{New: func() any { return &Vector{Typ: Date} }},
+}
+
+// GetVec returns a pooled vector of type t resized to length n (contents
+// undefined, no NULLs). Release it with PutVec when the batch that exposed
+// it is no longer referenced.
+func GetVec(t Type, n int) *Vector {
+	v := vecPools[t].Get().(*Vector)
+	v.Typ = t
+	v.Resize(n)
+	return v
+}
+
+// PutVec returns a vector obtained from GetVec to its pool. Callers must
+// not retain references to it afterwards.
+func PutVec(v *Vector) {
+	if v == nil {
+		return
+	}
+	vecPools[v.Typ].Put(v)
+}
+
+// SelVec is a reusable selection vector: the ascending physical row
+// positions that survive a predicate. It exists to make the keep-list of
+// Filter (and the patch keep-list of PatchSelect) a pooled, reused buffer
+// rather than a per-batch allocation.
+type SelVec struct {
+	Idx []int
+}
+
+var selPool = sync.Pool{New: func() any { return &SelVec{Idx: make([]int, 0, BatchSize)} }}
+
+// GetSel returns a pooled, empty selection vector.
+func GetSel() *SelVec {
+	s := selPool.Get().(*SelVec)
+	s.Idx = s.Idx[:0]
+	return s
+}
+
+// PutSel returns a selection vector to the pool.
+func PutSel(s *SelVec) {
+	if s != nil {
+		selPool.Put(s)
+	}
+}

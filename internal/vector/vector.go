@@ -6,6 +6,7 @@ package vector
 
 import (
 	"fmt"
+	"math"
 	"strconv"
 	"time"
 )
@@ -96,6 +97,72 @@ func New(t Type, capHint int) *Vector {
 		v.B = make([]bool, 0, capHint)
 	}
 	return v
+}
+
+// NewLen returns a vector of type t with length n (zero values, no NULLs).
+// Kernels and the residual interpreted evaluators fill it by index
+// assignment instead of growing it through Append*, which keeps the hot
+// loops free of bounds-growth branches and allocations.
+func NewLen(t Type, n int) *Vector {
+	v := &Vector{Typ: t, n: n}
+	switch t {
+	case Int64, Date:
+		v.I64 = make([]int64, n)
+	case Float64:
+		v.F64 = make([]float64, n)
+	case String:
+		v.Str = make([]string, n)
+	case Bool:
+		v.B = make([]bool, n)
+	}
+	return v
+}
+
+// Resize adjusts the vector to length n (values undefined where grown) and
+// clears the null mask. It reuses the existing capacity when possible, so a
+// pooled output vector costs no allocation in steady state.
+func (v *Vector) Resize(n int) {
+	grow := func(c int) bool { return c < n }
+	switch v.Typ {
+	case Int64, Date:
+		if grow(cap(v.I64)) {
+			v.I64 = make([]int64, n)
+		} else {
+			v.I64 = v.I64[:n]
+		}
+	case Float64:
+		if grow(cap(v.F64)) {
+			v.F64 = make([]float64, n)
+		} else {
+			v.F64 = v.F64[:n]
+		}
+	case String:
+		if grow(cap(v.Str)) {
+			v.Str = make([]string, n)
+		} else {
+			v.Str = v.Str[:n]
+		}
+	case Bool:
+		if grow(cap(v.B)) {
+			v.B = make([]bool, n)
+		} else {
+			v.B = v.B[:n]
+		}
+	}
+	v.Nulls = nil
+	v.n = n
+}
+
+// SetNullAt marks value i as NULL, materializing the null mask on first use.
+// The typed slot keeps whatever value it holds; readers must consult the
+// mask first, as everywhere else in the engine.
+func (v *Vector) SetNullAt(i int) {
+	if v.Nulls == nil || len(v.Nulls) < v.n {
+		nulls := make([]bool, v.n)
+		copy(nulls, v.Nulls)
+		v.Nulls = nulls
+	}
+	v.Nulls[i] = true
 }
 
 // NewFromInt64 wraps the given slice (not copied) into an Int64 vector.
@@ -309,6 +376,28 @@ func (v *Vector) Slice(lo, hi int) *Vector {
 	return out
 }
 
+// SliceInto writes a view of rows [lo,hi) into out, sharing the underlying
+// arrays. It is Slice without the allocation: scans reuse one Vector header
+// per column across batches.
+func (v *Vector) SliceInto(out *Vector, lo, hi int) {
+	out.Typ = v.Typ
+	out.n = hi - lo
+	out.I64, out.F64, out.Str, out.B, out.Nulls = nil, nil, nil, nil, nil
+	switch v.Typ {
+	case Int64, Date:
+		out.I64 = v.I64[lo:hi]
+	case Float64:
+		out.F64 = v.F64[lo:hi]
+	case String:
+		out.Str = v.Str[lo:hi]
+	case Bool:
+		out.B = v.B[lo:hi]
+	}
+	if v.Nulls != nil {
+		out.Nulls = v.Nulls[lo:hi]
+	}
+}
+
 // Gather appends the rows of src selected by idx onto v.
 func (v *Vector) Gather(src *Vector, idx []int) {
 	for _, i := range idx {
@@ -467,6 +556,67 @@ func (a Value) Compare(b Value) int {
 	}
 }
 
+// CmpIntFloat compares an int64 against a float64 exactly, without rounding
+// the integer through float64 (which silently corrupts comparisons for
+// |i| > 2^53). NaN compares equal to everything, preserving the behaviour of
+// the old float-promoting comparison (neither < nor > held, so it reported
+// 0); ±Inf are handled by the range guards.
+func CmpIntFloat(i int64, f float64) int {
+	if math.IsNaN(f) {
+		return 0
+	}
+	// 2^63 and above (or below -2^63): f is outside int64 range entirely.
+	if f >= 9223372036854775808.0 {
+		return -1
+	}
+	if f < -9223372036854775808.0 {
+		return 1
+	}
+	// f ∈ [-2^63, 2^63): truncation is exact and in range. For |f| ≥ 2^53
+	// the float is integral, so tr == f and frac is 0; below that both the
+	// truncation and the subtraction are exact.
+	tr := int64(f)
+	switch {
+	case i < tr:
+		return -1
+	case i > tr:
+		return 1
+	}
+	frac := f - float64(tr)
+	switch {
+	case frac > 0:
+		return -1
+	case frac < 0:
+		return 1
+	default:
+		return 0
+	}
+}
+
+// CompareNumeric compares two values like Compare but handles mixed
+// Int64/Date vs Float64 pairs exactly. Planning uses it wherever a literal's
+// type may differ from the column's (SMA bounds, zone maps).
+func CompareNumeric(a, b Value) int {
+	switch {
+	case a.Null && b.Null:
+		return 0
+	case a.Null:
+		return -1
+	case b.Null:
+		return 1
+	}
+	aInt := a.Typ == Int64 || a.Typ == Date
+	bInt := b.Typ == Int64 || b.Typ == Date
+	switch {
+	case aInt && b.Typ == Float64:
+		return CmpIntFloat(a.I64, b.F64)
+	case a.Typ == Float64 && bInt:
+		return -CmpIntFloat(b.I64, a.F64)
+	default:
+		return a.Compare(b)
+	}
+}
+
 // Equal reports value equality with NULL == NULL being false (SQL semantics).
 func (a Value) Equal(b Value) bool {
 	if a.Null || b.Null {
@@ -511,6 +661,13 @@ type Batch struct {
 	BaseRow uint64
 	// Contiguous marks that row i has row id BaseRow+i.
 	Contiguous bool
+	// Sel, when non-nil, is a selection vector: only the physical row
+	// positions it lists (ascending) are logically part of the batch. It is
+	// an opt-in protocol between adjacent operators — a producer may attach
+	// it only when its consumer declared support (Filter → Project), and
+	// consumers that understand it must emit dense batches themselves.
+	// Everything else in the engine ignores Sel and sees physical rows.
+	Sel []int
 }
 
 // NewBatch creates a batch with vectors of the given types.
@@ -530,6 +687,15 @@ func (b *Batch) Len() int {
 	return b.Vecs[0].Len()
 }
 
+// RowCount returns the logical number of rows: the selection length when a
+// selection vector is attached, the physical length otherwise.
+func (b *Batch) RowCount() int {
+	if b.Sel != nil {
+		return len(b.Sel)
+	}
+	return b.Len()
+}
+
 // Reset truncates all vectors and clears row-identity metadata.
 func (b *Batch) Reset() {
 	for _, v := range b.Vecs {
@@ -537,6 +703,7 @@ func (b *Batch) Reset() {
 	}
 	b.BaseRow = 0
 	b.Contiguous = false
+	b.Sel = nil
 }
 
 // Types returns the column types of the batch.
