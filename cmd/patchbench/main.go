@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel]
+//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel|kernels|workload]
 //	           [-rows N] [-customer-rows N] [-sales-rows N]
 //	           [-partitions N] [-reps N] [-parallel N] [-quick]
 //	           [-json FILE] [-trace FILE] [-trace-sql SQL]
@@ -14,6 +14,13 @@
 // against parallel execution directly and reports speedups:
 //
 //	patchbench -quick -exp parallel -parallel 8 -json BENCH_parallel.json
+//
+// The "workload" experiment measures the workload observatory: the
+// disabled-path per-statement overhead, the cost of fingerprinting and
+// aggregate recording, and an attribution demo (fingerprints, per-index
+// benefit, shadow accounting):
+//
+//	patchbench -quick -exp workload -json BENCH_workload.json
 //
 // With -json the run additionally emits a machine-readable document holding
 // the configuration, every individual measurement, and a snapshot of the

@@ -12,8 +12,10 @@
 //
 // Inside the shell, statements end with ';', \stats prints the engine
 // metrics registry, \trace on|off toggles per-statement tracing (the trace
-// id is printed after each result), and \queries lists the recent query
-// history from the tracer's ring. Try:
+// id is printed after each result), \queries lists the recent query history
+// from the tracer's ring, \workload prints the workload observatory report
+// (enable with -workload or \workload on), and \indexes prints per-index
+// health with benefit attribution. Try:
 //
 //	SHOW TABLES;
 //	CREATE PATCHINDEX ON customer(c_email_address) UNIQUE THRESHOLD 0.1;
@@ -48,6 +50,8 @@ func main() {
 	parallel := flag.Bool("parallel", false, "parallel partition scans (legacy; implies -parallelism 2*GOMAXPROCS)")
 	parallelism := flag.Int("parallelism", 0, "degree of intra-query parallelism (0 = serial, >1 = bounded worker pool)")
 	slowMS := flag.Int("slow-ms", 0, "log statements slower than this many milliseconds")
+	workload := flag.Bool("workload", false, "enable the workload observatory (statement fingerprinting, benefit attribution)")
+	workloadFPs := flag.Int("workload-fingerprints", 0, "max statement fingerprints tracked (0 = default 256)")
 	connect := flag.String("connect", "", "connect to a patchserver at host:port instead of running an embedded engine")
 	flag.Parse()
 
@@ -59,12 +63,14 @@ func main() {
 	}
 
 	eng, err := patchindex.New(patchindex.Config{
-		DefaultPartitions:  *partitions,
-		Parallel:           *parallel,
-		Parallelism:        *parallelism,
-		WALPath:            *walPath,
-		IndexDir:           *indexDir,
-		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
+		DefaultPartitions:    *partitions,
+		Parallel:             *parallel,
+		Parallelism:          *parallelism,
+		WALPath:              *walPath,
+		IndexDir:             *indexDir,
+		SlowQueryThreshold:   time.Duration(*slowMS) * time.Millisecond,
+		WorkloadProfile:      *workload,
+		WorkloadFingerprints: *workloadFPs,
 	})
 	if err != nil {
 		fatal(err)
@@ -139,7 +145,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics, \\trace on|off, \\queries")
+	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics, \\trace on|off, \\queries, \\workload [on|off], \\indexes")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -170,6 +176,25 @@ func main() {
 		}
 		if buf.Len() == 0 && trimmed == "\\queries" {
 			printQueries(eng.Tracer().Recent(20))
+			continue
+		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\workload") {
+			switch strings.TrimSpace(strings.TrimPrefix(trimmed, "\\workload")) {
+			case "on":
+				eng.Profiler().SetEnabled(true)
+				fmt.Println("workload profiling on")
+			case "off":
+				eng.Profiler().SetEnabled(false)
+				fmt.Println("workload profiling off")
+			case "":
+				obs.WriteWorkloadText(os.Stdout, eng.Profiler().Snapshot(), 20)
+			default:
+				fmt.Fprintln(os.Stderr, "usage: \\workload [on|off]")
+			}
+			continue
+		}
+		if buf.Len() == 0 && trimmed == "\\indexes" {
+			printIndexes(eng)
 			continue
 		}
 		buf.WriteString(line)
@@ -223,6 +248,38 @@ func printQueries(traces []*obs.Trace) {
 	}
 }
 
+// printIndexes renders the local engine's per-index health with workload
+// benefit attribution (the embedded counterpart of the server's \indexes).
+func printIndexes(eng *patchindex.Engine) {
+	p := eng.Profiler()
+	tick := p.Tick()
+	health := eng.IndexHealth()
+	fmt.Printf("indexes: %d tick=%d\n", len(health), tick)
+	for _, h := range health {
+		fmt.Printf("  %s.%s %s kind=%s patches=%d rows=%d ratio=%.4f util=%.2f bytes=%d\n",
+			h.Table, h.Column, h.Constraint, h.Kinds, h.Patches, h.Rows,
+			h.PatchRatio, h.ThresholdUtilization, h.MemoryBytes)
+		if h.Rewrites > 0 || h.RowsSkipped > 0 || h.LastUsedTick > 0 {
+			fmt.Printf("    benefit: rewrites=%d rows_skipped=%.0f cost_saved=%.1f time_saved=%s last_used_tick=%d\n",
+				h.Rewrites, h.RowsSkipped, h.CostSaved,
+				time.Duration(h.TimeSavedNanos).Round(time.Microsecond), h.LastUsedTick)
+		}
+	}
+	benefits := p.Benefit().Snapshot(tick)
+	if len(benefits) > 0 {
+		fmt.Println("attribution:")
+		for _, b := range benefits {
+			name := b.Table + "[" + b.Constraint + "]"
+			if b.Column != "" {
+				name = b.Table + "." + b.Column + "[" + b.Constraint + "]"
+			}
+			fmt.Printf("  %s rewrites=%d rows_skipped=%.0f cost_saved=%.1f time_saved=%s last_used_tick=%d\n",
+				name, b.Rewrites, b.RowsSkipped, b.CostSaved,
+				time.Duration(b.TimeSavedNanos).Round(time.Microsecond), b.LastUsedTick)
+		}
+	}
+}
+
 // remoteShell runs the REPL (or a single -e statement) against a remote
 // patchserver. \stats fetches the server-side metrics registry; \set
 // KEY VALUE adjusts session settings (timeout_ms, max_rows,
@@ -240,7 +297,7 @@ func remoteShell(addr, execStmt string) error {
 	}
 
 	fmt.Printf("patchindex shell — connected to %s (session %d)\n", addr, cli.SessionID())
-	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings, \\trace on|off, \\queries")
+	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings, \\trace on|off, \\queries, \\workload, \\indexes")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -291,6 +348,24 @@ func remoteShell(addr, execStmt string) error {
 				continue
 			}
 			fmt.Print(res.String())
+			continue
+		}
+		if buf.Len() == 0 && trimmed == "\\workload" {
+			text, err := cli.Workload()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Print(text)
+			continue
+		}
+		if buf.Len() == 0 && trimmed == "\\indexes" {
+			text, err := cli.Indexes()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Print(text)
 			continue
 		}
 		buf.WriteString(line)

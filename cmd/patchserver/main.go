@@ -3,7 +3,9 @@
 // (see internal/server/protocol; connect with `patchcli -connect`) and
 // plain HTTP for /metrics, /stats (with PatchIndex health), /healthz, the
 // query history at /queries, Chrome-exportable statement traces at
-// /trace/<id>, and (with -pprof) /debug/pprof/.
+// /trace/<id>, the workload observatory at /workload (-workload to enable),
+// per-index benefit attribution at /indexes, and (with -pprof)
+// /debug/pprof/.
 //
 //	patchserver -listen :5433 -demo tpcds -rows 1000000 -trace-sample 1
 //	patchcli -connect localhost:5433
@@ -50,18 +52,22 @@ func main() {
 	grace := flag.Int("grace", 10, "graceful-shutdown drain window in seconds")
 	traceSample := flag.Int("trace-sample", 0, "trace every Nth statement (0 = off; clients can still request traces per statement)")
 	traceHistory := flag.Int("trace-history", 0, "completed-query profiles kept for /queries and /trace/<id> (0 = default 128)")
+	workload := flag.Bool("workload", false, "enable the workload observatory (/workload, /indexes benefit attribution)")
+	workloadFPs := flag.Int("workload-fingerprints", 0, "max statement fingerprints tracked by the workload observatory (0 = default 256)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
 	eng, err := patchindex.New(patchindex.Config{
-		DefaultPartitions:  *partitions,
-		Parallel:           *parallel,
-		Parallelism:        *parallelism,
-		WALPath:            *walPath,
-		IndexDir:           *indexDir,
-		SlowQueryThreshold: time.Duration(*slowMS) * time.Millisecond,
-		TraceSample:        *traceSample,
-		TraceHistory:       *traceHistory,
+		DefaultPartitions:    *partitions,
+		Parallel:             *parallel,
+		Parallelism:          *parallelism,
+		WALPath:              *walPath,
+		IndexDir:             *indexDir,
+		SlowQueryThreshold:   time.Duration(*slowMS) * time.Millisecond,
+		TraceSample:          *traceSample,
+		TraceHistory:         *traceHistory,
+		WorkloadProfile:      *workload,
+		WorkloadFingerprints: *workloadFPs,
 	})
 	if err != nil {
 		fatal(err)
@@ -92,7 +98,7 @@ func main() {
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz /queries /trace/<id>)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz /queries /trace/<id> /workload /indexes)\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

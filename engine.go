@@ -17,6 +17,7 @@ import (
 	"encoding/csv"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"path/filepath"
 	"runtime"
@@ -96,6 +97,16 @@ type Config struct {
 	// collects a full span tree (1 = all). Zero leaves tracing disabled;
 	// individual statements can still force a trace via ExecOptions.Trace.
 	TraceSample int
+	// WorkloadProfile enables the workload observatory at startup: statement
+	// fingerprinting with per-fingerprint aggregates, per-column access
+	// accounting, per-index benefit attribution, and shadow accounting. Off
+	// by default; flip at runtime via Profiler().SetEnabled. Disabled, the
+	// per-statement cost is one atomic load.
+	WorkloadProfile bool
+	// WorkloadFingerprints bounds the profiler's per-fingerprint aggregate
+	// table (0 = obs.DefaultWorkloadFingerprints). Statements beyond the
+	// bound aggregate into a catch-all "(other)" bucket.
+	WorkloadFingerprints int
 }
 
 // ExecOptions tune a single statement execution.
@@ -147,9 +158,10 @@ type Engine struct {
 	// slowMu serializes slow-query log writes (the io.Writer is shared).
 	slowMu sync.Mutex
 
-	metrics *obs.Registry
-	tracer  *obs.Tracer
-	slowLog io.Writer
+	metrics  *obs.Registry
+	tracer   *obs.Tracer
+	profiler *obs.Profiler
+	slowLog  io.Writer
 	// Hot-path metrics are resolved once here; incrementing them is
 	// lock-free.
 	mStatements  *obs.Counter
@@ -191,6 +203,10 @@ func New(cfg Config) (*Engine, error) {
 		e.tracer.SetSampleEvery(cfg.TraceSample)
 		e.tracer.SetEnabled(true)
 	}
+	e.profiler = obs.NewProfiler(cfg.WorkloadFingerprints)
+	if cfg.WorkloadProfile {
+		e.profiler.SetEnabled(true)
+	}
 	e.mStatements = e.metrics.Counter("statements_total")
 	e.mQueries = e.metrics.Counter("queries_total")
 	e.mSlowQueries = e.metrics.Counter("slow_queries_total")
@@ -217,6 +233,11 @@ func (e *Engine) Metrics() *obs.Registry { return e.metrics }
 // Tracer().SetEnabled(true) or Config.TraceSample; its ring holds the
 // query history served at /queries and /trace/<id>.
 func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
+
+// Profiler returns the engine's workload observatory (never nil). Flip it on
+// with Profiler().SetEnabled(true) or Config.WorkloadProfile; its snapshot
+// backs /workload, and its benefit tracker enriches IndexHealth.
+func (e *Engine) Profiler() *obs.Profiler { return e.profiler }
 
 // Close releases the WAL (if any).
 func (e *Engine) Close() error {
@@ -372,9 +393,13 @@ func (e *Engine) execPrepared(ctx context.Context, query string, stmt sql.Statem
 	if at == nil {
 		at, ctx = e.beginTrace(ctx, query, opts)
 	}
+	so := e.profiler.Begin()
+	if so != nil {
+		ctx = obs.ContextWithStmtObs(ctx, so)
+	}
 	start := time.Now()
 	release := e.latchStmt(stmt)
-	res, err := e.execStmt(ctx, stmt, opts)
+	res, err := e.execStmt(ctx, query, stmt, opts)
 	release()
 	elapsed := time.Since(start)
 	e.mStatements.Inc()
@@ -383,6 +408,13 @@ func (e *Engine) execPrepared(ctx context.Context, query string, stmt sql.Statem
 	if res != nil {
 		rows = int64(len(res.Rows))
 	}
+	var fp uint64
+	if e.profiler.Enabled() {
+		var norm string
+		fp, norm = sql.Fingerprint(query)
+		at.SetFingerprint(fp)
+		e.profiler.Record(so, fp, norm, elapsed, rows, err, e.effectiveParallelism(opts))
+	}
 	tr := at.Finish(rows, err)
 	if res != nil {
 		res.Duration = elapsed
@@ -390,14 +422,15 @@ func (e *Engine) execPrepared(ctx context.Context, query string, stmt sql.Statem
 			res.TraceID = tr.ID
 		}
 	}
-	e.noteSlow(query, elapsed, opts, at.ID())
+	e.noteSlow(query, elapsed, opts, at.ID(), fp)
 	return res, err
 }
 
 // noteSlow logs a statement that crossed the slow-query threshold, tagging
-// it with the issuing session, the client address, and the trace id when the
-// statement arrived via the server / was traced.
-func (e *Engine) noteSlow(query string, elapsed time.Duration, opts ExecOptions, traceID uint64) {
+// it with the issuing session, the client address, the trace id when the
+// statement arrived via the server / was traced, and the workload
+// fingerprint when profiling is on (joinable against /workload aggregates).
+func (e *Engine) noteSlow(query string, elapsed time.Duration, opts ExecOptions, traceID uint64, fp uint64) {
 	if e.cfg.SlowQueryThreshold <= 0 || elapsed < e.cfg.SlowQueryThreshold {
 		return
 	}
@@ -411,6 +444,9 @@ func (e *Engine) noteSlow(query string, elapsed time.Duration, opts ExecOptions,
 	}
 	if traceID != 0 {
 		fmt.Fprintf(&tags, " trace=%d", traceID)
+	}
+	if fp != 0 {
+		fmt.Fprintf(&tags, " fingerprint=%016x", fp)
 	}
 	e.slowMu.Lock()
 	defer e.slowMu.Unlock()
@@ -522,7 +558,7 @@ func tableRefTables(r *sql.TableRef, acc []string) []string {
 	return append(acc, r.Name)
 }
 
-func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, opts ExecOptions) (*Result, error) {
+func (e *Engine) execStmt(ctx context.Context, query string, stmt sql.Statement, opts ExecOptions) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.SelectStmt:
 		return e.runSelect(ctx, s, opts)
@@ -530,7 +566,7 @@ func (e *Engine) execStmt(ctx context.Context, stmt sql.Statement, opts ExecOpti
 		var text string
 		var err error
 		if s.Analyze {
-			text, err = e.explainAnalyze(ctx, s.Query, opts)
+			text, err = e.explainAnalyze(ctx, query, s.Query, opts)
 		} else {
 			text, err = e.explain(ctx, s.Query, opts)
 		}
@@ -598,6 +634,10 @@ func (e *Engine) DrainWithContext(ctx context.Context, query string, opts ExecOp
 		at.Finish(0, err)
 		return 0, err
 	}
+	so := e.profiler.Begin()
+	if so != nil {
+		ctx = obs.ContextWithStmtObs(ctx, so)
+	}
 	start := time.Now()
 	release := e.acquireLatches(selectTables(s, nil), nil)
 	defer release()
@@ -617,11 +657,19 @@ func (e *Engine) DrainWithContext(ctx context.Context, query string, opts ExecOp
 	elapsed := time.Since(start)
 	if err == nil {
 		at.AddPatchHits(exec.AppendOpSpans(at, execSp, op))
+		exec.AppendIndexUses(so, op)
+	}
+	var fp uint64
+	if e.profiler.Enabled() {
+		var norm string
+		fp, norm = sql.Fingerprint(query)
+		at.SetFingerprint(fp)
+		e.profiler.Record(so, fp, norm, elapsed, int64(n), err, e.effectiveParallelism(opts))
 	}
 	at.Finish(int64(n), err)
 	e.mQueries.Inc()
 	e.hQuery.Observe(elapsed)
-	e.noteSlow(query, elapsed, opts, at.ID())
+	e.noteSlow(query, elapsed, opts, at.ID(), fp)
 	return n, err
 }
 
@@ -648,17 +696,31 @@ func (e *Engine) planSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOpt
 	if err != nil {
 		return nil, err
 	}
-	opt := &plan.Optimizer{
+	// Access accounting mines the bound plan (before rewrites reshape it) so
+	// predicate/sort/group/join column usage reflects what the query asked
+	// for, not what the optimizer produced.
+	if so := obs.StmtObsFromContext(ctx); so != nil {
+		plan.MineAccess(node, so)
+	}
+	opt := e.newOptimizer(ctx, opts)
+	sp = at.StartSpan("rewrite", -1)
+	node, err = opt.Optimize(node)
+	at.EndSpan(sp)
+	return node, err
+}
+
+// newOptimizer constructs the statement's optimizer, wiring the workload
+// observation (benefit attribution + shadow accounting) when one rides the
+// context.
+func (e *Engine) newOptimizer(ctx context.Context, opts ExecOptions) *plan.Optimizer {
+	return &plan.Optimizer{
 		Cat:                  e.cat,
 		DisablePatchRewrites: e.cfg.DisablePatchRewrites || opts.DisablePatchRewrites,
 		CostBased:            e.cfg.CostBasedRewrites,
 		RewritesFired:        e.mRewFired,
 		RewritesRejected:     e.mRewRejected,
+		Workload:             obs.StmtObsFromContext(ctx),
 	}
-	sp = at.StartSpan("rewrite", -1)
-	node, err = opt.Optimize(node)
-	at.EndSpan(sp)
-	return node, err
 }
 
 // effectiveParallelism resolves the degree of parallelism for one statement:
@@ -691,6 +753,7 @@ func (e *Engine) buildPlan(ctx context.Context, node plan.Node, opts ExecOptions
 		Parallelism:       e.effectiveParallelism(opts),
 		DisableScanRanges: e.cfg.DisableScanRanges,
 		DisableKernels:    e.cfg.DisableKernels || opts.DisableKernels,
+		Workload:          obs.StmtObsFromContext(ctx),
 	})
 	at.EndSpan(sp)
 	return op, err
@@ -713,6 +776,7 @@ func (e *Engine) runSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOpti
 		return nil, err
 	}
 	at.AddPatchHits(exec.AppendOpSpans(at, execSp, op))
+	exec.AppendIndexUses(obs.StmtObsFromContext(ctx), op)
 	e.mQueries.Inc()
 	cols := make([]string, len(node.Schema()))
 	for i, c := range node.Schema() {
@@ -733,8 +797,16 @@ func (e *Engine) explain(ctx context.Context, s *sql.SelectStmt, opts ExecOption
 // physical operator tree annotated with per-operator runtime statistics next
 // to the cost model's estimates. When the statement is traced, the operator
 // spans are copied from the same OpStats the rendered text shows, so both
-// views report identical timings.
-func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (string, error) {
+// views report identical timings. EXPLAIN ANALYZE always collects workload
+// observations (its own StmtObs when profiling is off), so the trailer shows
+// the statement fingerprint, per-index benefit attribution, and shadow
+// would-have-helped estimates regardless of the profiler switch.
+func (e *Engine) explainAnalyze(ctx context.Context, query string, s *sql.SelectStmt, opts ExecOptions) (string, error) {
+	so := obs.StmtObsFromContext(ctx)
+	if so == nil {
+		so = &obs.StmtObs{}
+		ctx = obs.ContextWithStmtObs(ctx, so)
+	}
 	node, err := e.planSelect(ctx, s, opts)
 	if err != nil {
 		return "", err
@@ -753,11 +825,46 @@ func (e *Engine) explainAnalyze(ctx context.Context, s *sql.SelectStmt, opts Exe
 		return "", err
 	}
 	at.AddPatchHits(exec.AppendOpSpans(at, execSp, op))
+	exec.AppendIndexUses(so, op)
 	e.mQueries.Inc()
 	var sb strings.Builder
 	sb.WriteString(exec.FormatStats(op))
 	fmt.Fprintf(&sb, "Execution: %d rows in %s", n, elapsed.Round(time.Microsecond))
+	// Workload trailer. These lines are pure key=value so trace rendering,
+	// which recognizes operator lines by their "(cost=...)" parenthesis,
+	// leaves them alone.
+	fp, _ := sql.Fingerprint(query)
+	fmt.Fprintf(&sb, "\nfingerprint=%016x", fp)
+	for _, rw := range so.Rewrites() {
+		fmt.Fprintf(&sb, "\nindex_benefit=%s cost_base=%.1f cost_rewritten=%.1f cost_saved=%.1f",
+			benefitTag(rw.Table, rw.Column, rw.Constraint),
+			rw.CostBase, rw.CostRewritten, math.Max(0, rw.CostBase-rw.CostRewritten))
+	}
+	for _, u := range so.IndexUses() {
+		fmt.Fprintf(&sb, "\nindex_benefit=%s rows_skipped=%d",
+			benefitTag(u.Table, u.Column, u.Constraint), u.RowsSkipped)
+		if u.Probes > 0 {
+			fmt.Fprintf(&sb, " patch_rows=%d probes=%d", u.PatchRows, u.Probes)
+		}
+		if u.CostSaved > 0 {
+			fmt.Fprintf(&sb, " cost_saved=%.1f", u.CostSaved)
+		}
+	}
+	for _, sh := range so.Shadows() {
+		fmt.Fprintf(&sb, "\nshadow_savings=%.1f table=%s column=%s constraint=%s shape=%s",
+			sh.Savings, sh.Table, sh.Column, sh.Constraint, sh.Shape)
+	}
 	return sb.String(), nil
+}
+
+// benefitTag renders an index attribution key for EXPLAIN ANALYZE and the
+// /indexes text view: "table.column[constraint]", or "table[constraint]" for
+// table-level pseudo-indexes like zone maps.
+func benefitTag(table, column, constraint string) string {
+	if column == "" {
+		return table + "[" + constraint + "]"
+	}
+	return table + "." + column + "[" + constraint + "]"
 }
 
 func (e *Engine) runCreateTable(s *sql.CreateTableStmt) (*Result, error) {
@@ -1200,6 +1307,16 @@ type IndexHealth struct {
 	BitmapThreshold      float64 `json:"bitmap_threshold"`
 	ThresholdUtilization float64 `json:"threshold_utilization"`
 	MemoryBytes          int     `json:"memory_bytes"`
+	// Benefit attribution from the workload observatory (zero when profiling
+	// is off or the index was never exercised). Rewrites is undecayed;
+	// RowsSkipped, CostSaved and TimeSavedNanos decay with the benefit
+	// half-life; LastUsedTick is the engine-relative statement tick of the
+	// last use — monotonic across snapshots, unlike a wall clock.
+	Rewrites       int64   `json:"rewrites"`
+	RowsSkipped    float64 `json:"rows_skipped"`
+	CostSaved      float64 `json:"cost_saved"`
+	TimeSavedNanos float64 `json:"time_saved_nanos"`
+	LastUsedTick   int64   `json:"last_used_tick"`
 }
 
 // IndexHealth reports the health of every PatchIndex, sorted by (table,
@@ -1207,6 +1324,7 @@ type IndexHealth struct {
 // and index structures, so it is cheap enough to serve on every /stats hit.
 func (e *Engine) IndexHealth() []IndexHealth {
 	indexes := e.cat.Indexes()
+	tick := e.profiler.Tick()
 	out := make([]IndexHealth, 0, len(indexes))
 	for _, ix := range indexes {
 		h := IndexHealth{
@@ -1218,6 +1336,17 @@ func (e *Engine) IndexHealth() []IndexHealth {
 			Rows:            ix.NumRows(),
 			BitmapThreshold: patch.CrossoverRate,
 			MemoryBytes:     ix.MemoryBytes(),
+		}
+		tag := "nuc"
+		if ix.Constraint() == patch.NearlySorted {
+			tag = "nsc"
+		}
+		if b, ok := e.profiler.Benefit().Lookup(ix.Table(), ix.Column(), tag, tick); ok {
+			h.Rewrites = b.Rewrites
+			h.RowsSkipped = b.RowsSkipped
+			h.CostSaved = b.CostSaved
+			h.TimeSavedNanos = b.TimeSavedNanos
+			h.LastUsedTick = b.LastUsedTick
 		}
 		if h.Rows > 0 {
 			h.PatchRatio = float64(h.Patches) / float64(h.Rows)

@@ -108,12 +108,13 @@ const (
 	ExpMemory   = "memory"
 	ExpParallel = "parallel"
 	ExpKernels  = "kernels"
+	ExpWorkload = "workload"
 )
 
 // All lists every experiment id in paper order, followed by the engine
 // experiments that have no paper counterpart.
 func All() []string {
-	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels}
+	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels, ExpWorkload}
 }
 
 // Run executes one experiment by id, writing its report to w.
@@ -135,6 +136,8 @@ func Run(id string, cfg Config, w io.Writer) error {
 		return Parallel(cfg, w)
 	case ExpKernels:
 		return Kernels(cfg, w)
+	case ExpWorkload:
+		return Workload(cfg, w)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, All())
 	}

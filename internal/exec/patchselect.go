@@ -55,6 +55,32 @@ type PatchSelect struct {
 	keep     *vector.SelVec // pooled keep-list for the use_patches mode
 	probes   int64          // input rows checked against the patch set
 	hits     int64          // rows that matched a patch
+
+	// idxTable/idxColumn/idxConstraint identify the PatchIndex this operator
+	// was built from, for workload benefit attribution (set by the planner
+	// via TagIndex; empty when untagged).
+	idxTable, idxColumn, idxConstraint string
+}
+
+// TagIndex stamps the identity of the enabling PatchIndex onto the operator
+// so post-execution attribution can credit it.
+func (p *PatchSelect) TagIndex(table, column, constraint string) {
+	p.idxTable, p.idxColumn, p.idxConstraint = table, column, constraint
+}
+
+// IndexTag returns the enabling index identity ("" table when untagged).
+func (p *PatchSelect) IndexTag() (table, column, constraint string) {
+	return p.idxTable, p.idxColumn, p.idxConstraint
+}
+
+// SkippedRows returns how many rows this operator let bypass downstream
+// work: in exclude mode the patched rows removed from the major dataflow;
+// in use mode the non-patch rows that never reached the patch branch.
+func (p *PatchSelect) SkippedRows() int64 {
+	if p.mode == ExcludePatches {
+		return p.hits
+	}
+	return p.probes - p.hits
 }
 
 // NewPatchSelect wraps child (which must emit contiguous batches, i.e. be a

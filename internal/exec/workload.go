@@ -1,0 +1,38 @@
+package exec
+
+import "patchindex/internal/obs"
+
+// AppendIndexUses walks an executed operator tree and folds its workload
+// attribution into the statement observation: one IndexUse per tagged
+// PatchSelect (rows the index let bypass downstream work) plus the tree's
+// execution totals (patch hits, zone-pruned partitions, kernel batches).
+// All methods no-op on a nil observation, so callers need no checks. Call
+// only after execution has completed.
+func AppendIndexUses(so *obs.StmtObs, root Operator) {
+	if so == nil || root == nil {
+		return
+	}
+	var patchHits, pruned, kernel int64
+	var walk func(op Operator)
+	walk = func(op Operator) {
+		st := op.Stats()
+		pruned += st.PartitionsPruned
+		kernel += st.KernelBatches
+		if ps, ok := op.(*PatchSelect); ok {
+			patchHits += ps.hits
+			if table, column, constraint := ps.IndexTag(); table != "" {
+				so.AddIndexUse(obs.IndexUse{
+					Table: table, Column: column, Constraint: constraint,
+					RowsSkipped: ps.SkippedRows(),
+					PatchRows:   ps.hits,
+					Probes:      ps.probes,
+				})
+			}
+		}
+		for _, c := range op.Children() {
+			walk(c)
+		}
+	}
+	walk(root)
+	so.AddExecTotals(patchHits, pruned, kernel)
+}

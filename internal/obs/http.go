@@ -2,6 +2,8 @@ package obs
 
 import (
 	"encoding/json"
+	"fmt"
+	"io"
 	"net/http"
 	"strconv"
 	"strings"
@@ -30,46 +32,69 @@ func StatsHandler(r *Registry) http.Handler {
 // QuerySummary is one /queries entry: a completed statement's profile
 // without its span tree (fetch /trace/<id> for the spans).
 type QuerySummary struct {
-	ID        uint64        `json:"id"`
-	SQL       string        `json:"sql"`
-	SessionID uint64        `json:"session_id,omitempty"`
-	Client    string        `json:"client,omitempty"`
-	Start     time.Time     `json:"start"`
-	Duration  time.Duration `json:"duration_ns"`
-	Rows      int64         `json:"rows"`
-	PatchHits int64         `json:"patch_hits"`
-	Error     string        `json:"error,omitempty"`
-	Sampled   bool          `json:"sampled"`
-	Spans     int           `json:"spans"`
+	ID  uint64 `json:"id"`
+	SQL string `json:"sql"`
+	// Fingerprint joins this entry to its /workload aggregate ("" when
+	// fingerprinting was off when the statement ran).
+	Fingerprint string        `json:"fingerprint,omitempty"`
+	SessionID   uint64        `json:"session_id,omitempty"`
+	Client      string        `json:"client,omitempty"`
+	Start       time.Time     `json:"start"`
+	Duration    time.Duration `json:"duration_ns"`
+	Rows        int64         `json:"rows"`
+	PatchHits   int64         `json:"patch_hits"`
+	Error       string        `json:"error,omitempty"`
+	Sampled     bool          `json:"sampled"`
+	Spans       int           `json:"spans"`
 }
 
 // Summarize strips a trace down to its /queries row.
 func Summarize(t *Trace) QuerySummary {
+	fp := ""
+	if t.Fingerprint != 0 {
+		fp = fmt.Sprintf("%016x", t.Fingerprint)
+	}
 	return QuerySummary{
-		ID:        t.ID,
-		SQL:       t.SQL,
-		SessionID: t.SessionID,
-		Client:    t.Client,
-		Start:     t.Start,
-		Duration:  t.Duration,
-		Rows:      t.Rows,
-		PatchHits: t.PatchHits,
-		Error:     t.Error,
-		Sampled:   t.Sampled,
-		Spans:     len(t.Spans),
+		ID:          t.ID,
+		SQL:         t.SQL,
+		Fingerprint: fp,
+		SessionID:   t.SessionID,
+		Client:      t.Client,
+		Start:       t.Start,
+		Duration:    t.Duration,
+		Rows:        t.Rows,
+		PatchHits:   t.PatchHits,
+		Error:       t.Error,
+		Sampled:     t.Sampled,
+		Spans:       len(t.Spans),
 	}
 }
 
+// maxQueryListing clamps the ?n= parameter on listing endpoints so a
+// malformed or hostile value cannot request an unbounded response.
+const maxQueryListing = 1000
+
+// clampN parses a ?n= style parameter: non-numeric or non-positive values
+// fall back to def, and the result never exceeds maxQueryListing.
+func clampN(q string, def int) int {
+	n := def
+	if q != "" {
+		if v, err := strconv.Atoi(q); err == nil && v > 0 {
+			n = v
+		}
+	}
+	if n > maxQueryListing {
+		n = maxQueryListing
+	}
+	return n
+}
+
 // QueriesHandler serves the recent query history as a JSON array, newest
-// first — mount at /queries. ?n=N limits the count (default 50).
+// first — mount at /queries. ?n=N limits the count (default 50, clamped to
+// maxQueryListing).
 func QueriesHandler(t *Tracer) http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
-		n := 50
-		if q := r.URL.Query().Get("n"); q != "" {
-			if v, err := strconv.Atoi(q); err == nil && v > 0 {
-				n = v
-			}
-		}
+		n := clampN(r.URL.Query().Get("n"), 50)
 		traces := t.Recent(n)
 		out := make([]QuerySummary, len(traces))
 		for i, tr := range traces {
@@ -108,6 +133,74 @@ func TraceHandler(t *Tracer) http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(tr)
 	})
+}
+
+// WorkloadHandler serves the workload profiler snapshot — mount at
+// /workload. The default response is JSON; ?format=text renders a top-N
+// summary (?n=N statements, default 20) for terminals.
+func WorkloadHandler(p *Profiler) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		snap := p.Snapshot()
+		if r.URL.Query().Get("format") == "text" {
+			n := clampN(r.URL.Query().Get("n"), 20)
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteWorkloadText(w, snap, n)
+			return
+		}
+		n := clampN(r.URL.Query().Get("n"), maxQueryListing)
+		if len(snap.Statements) > n {
+			snap.Statements = snap.Statements[:n]
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(snap)
+	})
+}
+
+// WriteWorkloadText renders a workload snapshot as a top-N text report: the
+// heaviest statements by total time, then column access accounting, then
+// shadow "would-have-helped" tables.
+func WriteWorkloadText(w io.Writer, snap WorkloadSnapshot, n int) {
+	fmt.Fprintf(w, "workload: enabled=%v tick=%d fingerprints=%d/%d dropped=%d\n",
+		snap.Enabled, snap.Tick, len(snap.Statements), snap.MaxFingerprints, snap.Dropped)
+	fmt.Fprintf(w, "\ntop statements by total time:\n")
+	for i, st := range snap.Statements {
+		if i >= n {
+			fmt.Fprintf(w, "  ... %d more\n", len(snap.Statements)-n)
+			break
+		}
+		fmt.Fprintf(w, "  %s calls=%d errs=%d rows=%d total=%s ewma=%s",
+			st.Fingerprint, st.Count, st.Errors, st.RowsOut,
+			time.Duration(st.TotalNanos), time.Duration(st.EWMANanos))
+		if st.PatchHits > 0 {
+			fmt.Fprintf(w, " patch_hits=%d", st.PatchHits)
+		}
+		if st.PartitionsPruned > 0 {
+			fmt.Fprintf(w, " pruned=%d", st.PartitionsPruned)
+		}
+		if st.ShadowSavings > 0 {
+			fmt.Fprintf(w, " shadow_savings=%.1f", st.ShadowSavings)
+		}
+		fmt.Fprintf(w, "\n    %s\n", st.SQL)
+	}
+	if len(snap.Columns) > 0 {
+		fmt.Fprintf(w, "\ncolumn accesses:\n")
+		for _, c := range snap.Columns {
+			fmt.Fprintf(w, "  %s.%s pred=%d sort=%d group=%d join=%d",
+				c.Table, c.Column, c.PredicateCount, c.SortKeyCount, c.GroupByCount, c.JoinKeyCount)
+			if c.HasRange {
+				fmt.Fprintf(w, " range=[%g,%g]", c.MinSeen, c.MaxSeen)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+	if len(snap.ShadowTables) > 0 {
+		fmt.Fprintf(w, "\nshadow (would-have-helped) tables:\n")
+		for _, sh := range snap.ShadowTables {
+			fmt.Fprintf(w, "  %s savings=%.1f count=%d\n", sh.Table, sh.Savings, sh.Count)
+		}
+	}
 }
 
 // Handler mounts MetricsHandler at /metrics and StatsHandler at /stats on a

@@ -302,7 +302,10 @@ func (r *Registry) Snapshot() Snapshot {
 }
 
 // WriteText renders the registry in a Prometheus-compatible plain-text
-// exposition format (the /metrics endpoint and `patchcli stats`).
+// exposition format (the /metrics endpoint and `patchcli stats`): every
+// metric gets a `# TYPE` comment, and histograms expose their cumulative
+// `_bucket{le=...}` series plus `_sum`/`_count` so latency distributions are
+// scrapeable, not just summarizable.
 func (r *Registry) WriteText(w io.Writer) error {
 	s := r.Snapshot()
 	var names []string
@@ -311,7 +314,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", k, s.Counters[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", k, k, s.Counters[k]); err != nil {
 			return err
 		}
 	}
@@ -321,7 +324,7 @@ func (r *Registry) WriteText(w io.Writer) error {
 	}
 	sort.Strings(names)
 	for _, k := range names {
-		if _, err := fmt.Fprintf(w, "%s %d\n", k, s.Gauges[k]); err != nil {
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %d\n", k, k, s.Gauges[k]); err != nil {
 			return err
 		}
 	}
@@ -332,6 +335,9 @@ func (r *Registry) WriteText(w io.Writer) error {
 	sort.Strings(names)
 	for _, k := range names {
 		h := s.Histograms[k]
+		if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", k); err != nil {
+			return err
+		}
 		for _, b := range h.Buckets {
 			le := "+Inf"
 			if b.LENanos > 0 {

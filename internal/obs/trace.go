@@ -27,11 +27,14 @@ type Span struct {
 // Trace is the completed profile of one statement: what the query-history
 // ring stores and the /queries and /trace/<id> endpoints serve.
 type Trace struct {
-	ID        uint64    `json:"id"`
-	SQL       string    `json:"sql"`
-	SessionID uint64    `json:"session_id,omitempty"`
-	Client    string    `json:"client,omitempty"`
-	Start     time.Time `json:"start"`
+	ID  uint64 `json:"id"`
+	SQL string `json:"sql"`
+	// Fingerprint is the statement's workload fingerprint id (%016x of the
+	// literal-stripped shape hash); 0 when fingerprinting was off.
+	Fingerprint uint64    `json:"fingerprint,omitempty"`
+	SessionID   uint64    `json:"session_id,omitempty"`
+	Client      string    `json:"client,omitempty"`
+	Start       time.Time `json:"start"`
 	// Duration marshals as nanoseconds.
 	Duration  time.Duration `json:"duration_ns"`
 	Rows      int64         `json:"rows"`
@@ -172,6 +175,15 @@ func (a *ActiveTrace) SetSession(id uint64, client string) {
 	}
 	a.trace.SessionID = id
 	a.trace.Client = client
+}
+
+// SetFingerprint annotates the trace with the statement's workload
+// fingerprint id.
+func (a *ActiveTrace) SetFingerprint(fp uint64) {
+	if a == nil {
+		return
+	}
+	a.trace.Fingerprint = fp
 }
 
 // AddPatchHits accumulates PatchIndex hit counts observed during execution.

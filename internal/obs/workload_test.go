@@ -1,0 +1,362 @@
+package obs
+
+import (
+	"errors"
+	"fmt"
+	"math"
+	"sync"
+	"testing"
+	"time"
+)
+
+// TestProfilerDisabledPath: disabled profiler hands out nil observations, all
+// StmtObs methods tolerate nil, and Record is a no-op.
+func TestProfilerDisabledPath(t *testing.T) {
+	p := NewProfiler(0)
+	if p.Enabled() {
+		t.Fatal("new profiler must start disabled")
+	}
+	so := p.Begin()
+	if so != nil {
+		t.Fatalf("Begin on disabled profiler = %v, want nil", so)
+	}
+	// All collectors must be nil-safe.
+	so.AddAccess(ColumnAccess{Table: "t", Column: "x"})
+	so.AddRewrite(RewriteNote{Table: "t"})
+	so.AddShadow(ShadowNote{Table: "t"})
+	so.AddIndexUse(IndexUse{Table: "t"})
+	so.AddExecTotals(1, 2, 3)
+	so.SetRootCost(10)
+	if so.Rewrites() != nil || so.Shadows() != nil || so.IndexUses() != nil || so.ShadowTotal() != 0 {
+		t.Fatal("nil StmtObs accessors must return zero values")
+	}
+	p.Record(so, 1, "select ?", time.Millisecond, 1, nil, 1)
+	if p.Tick() != 0 {
+		t.Fatalf("Record on disabled profiler advanced tick to %d", p.Tick())
+	}
+	if snap := p.Snapshot(); len(snap.Statements) != 0 || snap.Enabled {
+		t.Fatalf("disabled snapshot not empty: %+v", snap)
+	}
+
+	// Nil profiler must also be safe (engine before New completes, tests).
+	var np *Profiler
+	if np.Enabled() || np.Begin() != nil || np.Tick() != 0 || np.Benefit() != nil {
+		t.Fatal("nil profiler methods must be zero-valued")
+	}
+	np.SetEnabled(true)
+	np.Record(nil, 0, "", 0, 0, nil, 0)
+}
+
+// TestProfilerAggregates folds several statements into one fingerprint and
+// checks every aggregate column.
+func TestProfilerAggregates(t *testing.T) {
+	p := NewProfiler(8)
+	p.SetEnabled(true)
+
+	p.Record(p.Begin(), 42, "select ?", 100*time.Millisecond, 10, nil, 1)
+	p.Record(p.Begin(), 42, "select ?", 200*time.Millisecond, 20, errors.New("boom"), 4)
+	p.Record(p.Begin(), 7, "insert ?", 50*time.Millisecond, 1, nil, 1)
+
+	if got := p.Tick(); got != 3 {
+		t.Fatalf("tick = %d, want 3", got)
+	}
+	snap := p.Snapshot()
+	if len(snap.Statements) != 2 {
+		t.Fatalf("statements = %d, want 2", len(snap.Statements))
+	}
+	// Heaviest (by total time) first.
+	s := snap.Statements[0]
+	if s.Fingerprint != fmt.Sprintf("%016x", 42) || s.SQL != "select ?" {
+		t.Fatalf("top statement = %q %q", s.Fingerprint, s.SQL)
+	}
+	if s.Count != 2 || s.Errors != 1 || s.RowsOut != 30 {
+		t.Fatalf("count/errors/rows = %d/%d/%d, want 2/1/30", s.Count, s.Errors, s.RowsOut)
+	}
+	if want := int64(300 * time.Millisecond); s.TotalNanos != want {
+		t.Fatalf("total nanos = %d, want %d", s.TotalNanos, want)
+	}
+	if s.MaxParallelism != 4 {
+		t.Fatalf("max parallelism = %d, want 4", s.MaxParallelism)
+	}
+	if s.LastTick != 2 {
+		t.Fatalf("last tick = %d, want 2", s.LastTick)
+	}
+	// EWMA: first obs seeds; second folds with alpha 0.1.
+	wantEWMA := float64(100*time.Millisecond) + ewmaAlpha*float64(100*time.Millisecond)
+	if diff := math.Abs(float64(s.EWMANanos) - wantEWMA); diff > 1 {
+		t.Fatalf("ewma = %d, want ~%.0f", s.EWMANanos, wantEWMA)
+	}
+	if s.Latency.Count != 2 {
+		t.Fatalf("latency histogram count = %d, want 2", s.Latency.Count)
+	}
+}
+
+// TestProfilerOverflow: once the bounded table is full, new fingerprints fold
+// into the "(other)" bucket and the drop is counted.
+func TestProfilerOverflow(t *testing.T) {
+	p := NewProfiler(2)
+	p.SetEnabled(true)
+	p.Record(nil, 1, "a", time.Millisecond, 0, nil, 1)
+	p.Record(nil, 2, "b", time.Millisecond, 0, nil, 1)
+	p.Record(nil, 3, "c", time.Millisecond, 0, nil, 1)
+	p.Record(nil, 4, "d", time.Millisecond, 0, nil, 1)
+
+	snap := p.Snapshot()
+	if snap.Dropped != 2 {
+		t.Fatalf("dropped = %d, want 2", snap.Dropped)
+	}
+	var other *FingerprintStats
+	for i := range snap.Statements {
+		if snap.Statements[i].SQL == "(other)" {
+			other = &snap.Statements[i]
+		}
+	}
+	if other == nil {
+		t.Fatalf("no (other) bucket in %+v", snap.Statements)
+	}
+	if other.Count != 2 {
+		t.Fatalf("(other) count = %d, want 2", other.Count)
+	}
+	if len(snap.Statements) != 3 { // two tracked + overflow
+		t.Fatalf("statements = %d, want 3", len(snap.Statements))
+	}
+}
+
+// TestDecayCtr pins the half-life math: value halves per halfLife ticks,
+// count never decays.
+func TestDecayCtr(t *testing.T) {
+	var d decayCtr
+	const halfLife = 10
+	d.add(0, 100, halfLife)
+	v, c := d.read(halfLife, halfLife)
+	if math.Abs(v-50) > 1e-9 || c != 1 {
+		t.Fatalf("after one half-life: value=%v count=%d, want 50, 1", v, c)
+	}
+	v, _ = d.read(3*halfLife, halfLife)
+	if math.Abs(v-12.5) > 1e-9 {
+		t.Fatalf("after three half-lives: value=%v, want 12.5", v)
+	}
+	// Adding re-anchors: new mass decays from its own tick.
+	d.add(3*halfLife, 100, halfLife)
+	v, c = d.read(4*halfLife, halfLife)
+	if want := (12.5 + 100) / 2; math.Abs(v-want) > 1e-9 || c != 2 {
+		t.Fatalf("after add+half-life: value=%v count=%d, want %v, 2", v, c, want)
+	}
+}
+
+// TestBenefitTracker exercises addRewrite/addUse/Lookup/Snapshot, decay, and
+// the monotonic last-used tick.
+func TestBenefitTracker(t *testing.T) {
+	bt := &BenefitTracker{halfLife: DefaultBenefitHalfLife, m: map[string]*benefitCtr{}}
+
+	bt.addRewrite(5, "sales", "id", "nuc", 100, 1e6)
+	bt.addUse(7, IndexUse{Table: "sales", Column: "id", Constraint: "nuc", RowsSkipped: 1000}, 0)
+	bt.addUse(9, IndexUse{Table: "sales", Column: "", Constraint: "zonemap", RowsSkipped: 500, CostSaved: 40}, 2)
+
+	b, ok := bt.Lookup("sales", "id", "nuc", 9)
+	if !ok {
+		t.Fatal("nuc benefit missing")
+	}
+	if b.Rewrites != 1 || b.LastUsedTick != 7 {
+		t.Fatalf("rewrites=%d lastUsed=%d, want 1, 7", b.Rewrites, b.LastUsedTick)
+	}
+	f1 := math.Exp2(-4.0 / DefaultBenefitHalfLife) // decay ticks 5→9
+	f2 := math.Exp2(-2.0 / DefaultBenefitHalfLife) // decay ticks 7→9
+	if math.Abs(b.CostSaved-100*f1) > 1e-6 {
+		t.Fatalf("cost saved = %v, want %v", b.CostSaved, 100*f1)
+	}
+	if math.Abs(b.RowsSkipped-1000*f2) > 1e-6 {
+		t.Fatalf("rows skipped = %v, want %v", b.RowsSkipped, 1000*f2)
+	}
+
+	zb, ok := bt.Lookup("sales", "", "zonemap", 9)
+	if !ok || zb.RowsSkipped != 500 || zb.CostSaved != 40 || zb.TimeSavedNanos != 80 {
+		t.Fatalf("zonemap benefit = %+v, want rows 500, cost 40, time 80", zb)
+	}
+
+	if _, ok := bt.Lookup("sales", "id", "nsc", 9); ok {
+		t.Fatal("unknown constraint must not resolve")
+	}
+
+	snap := bt.Snapshot(9)
+	if len(snap) != 2 {
+		t.Fatalf("snapshot entries = %d, want 2", len(snap))
+	}
+	// Sorted by key: "sales..[zonemap]" < "sales.id[nuc]".
+	if snap[0].Constraint != "zonemap" || snap[0].Column != "" || snap[1].Constraint != "nuc" || snap[1].Column != "id" {
+		t.Fatalf("snapshot order/fields wrong: %+v", snap)
+	}
+
+	// Deep decay: after many half-lives the value fades toward zero but the
+	// rewrite count (undecayed) survives.
+	far := int64(9 + 20*DefaultBenefitHalfLife)
+	b, _ = bt.Lookup("sales", "id", "nuc", far)
+	if b.CostSaved > 1e-3 || b.Rewrites != 1 || b.LastUsedTick != 7 {
+		t.Fatalf("deep decay: %+v", b)
+	}
+}
+
+// TestSplitBenefitKey round-trips the benefit key encoding.
+func TestSplitBenefitKey(t *testing.T) {
+	cases := []struct{ table, column, constraint string }{
+		{"sales", "id", "nuc"},
+		{"t", "c", "nsc"},
+		{"t", "", "zonemap"},
+		{"a.b", "c", "nuc"}, // dotted table: split at first dot is documented
+	}
+	for _, c := range cases {
+		key := benefitKey(c.table, c.column, c.constraint)
+		gt, gc, gk := splitBenefitKey(key)
+		want := c
+		if c.table == "a.b" {
+			want = struct{ table, column, constraint string }{"a", "b.c", "nuc"}
+		}
+		if gt != want.table || gc != want.column || gk != want.constraint {
+			t.Errorf("split(%q) = %q,%q,%q, want %q,%q,%q", key, gt, gc, gk, want.table, want.column, want.constraint)
+		}
+	}
+}
+
+// TestRecordAttribution runs one fully-populated StmtObs through Record and
+// checks column accounting, shadow decay counters, and the nsPerCost scaling
+// of rewrite time saved.
+func TestRecordAttribution(t *testing.T) {
+	p := NewProfiler(8)
+	p.SetEnabled(true)
+
+	so := p.Begin()
+	so.AddAccess(ColumnAccess{Table: "t", Column: "y", Kind: AccessPredicate, Lo: 3, Hi: 3, HasRange: true})
+	so.AddAccess(ColumnAccess{Table: "t", Column: "y", Kind: AccessPredicate, Lo: 9, Hi: 9, HasRange: true})
+	so.AddAccess(ColumnAccess{Table: "t", Column: "x", Kind: AccessGroupBy})
+	so.AddRewrite(RewriteNote{Table: "t", Column: "x", Constraint: "nuc", CostBase: 300, CostRewritten: 100})
+	so.AddShadow(ShadowNote{Table: "u", Column: "z", Constraint: "nsc", Shape: "sort", Savings: 77})
+	so.AddIndexUse(IndexUse{Table: "t", Column: "x", Constraint: "nuc", RowsSkipped: 950, PatchRows: 50, Probes: 1000})
+	so.AddExecTotals(50, 2, 8)
+	so.SetRootCost(400)
+
+	elapsed := 800 * time.Nanosecond
+	p.Record(so, 11, "select x from t where y = ?", elapsed, 5, nil, 2)
+
+	snap := p.Snapshot()
+	s := snap.Statements[0]
+	if s.PatchHits != 50 || s.PartitionsPruned != 2 || s.KernelBatches != 8 {
+		t.Fatalf("exec totals = %d/%d/%d", s.PatchHits, s.PartitionsPruned, s.KernelBatches)
+	}
+	if s.ShadowSavings != 77 || s.CostSaved != 200 {
+		t.Fatalf("shadow/cost = %v/%v, want 77/200", s.ShadowSavings, s.CostSaved)
+	}
+
+	// Column accounting: y has two predicate hits with a widened range,
+	// x one group-by hit.
+	var yCol, xCol *ColumnStats
+	for i := range snap.Columns {
+		switch snap.Columns[i].Column {
+		case "y":
+			yCol = &snap.Columns[i]
+		case "x":
+			xCol = &snap.Columns[i]
+		}
+	}
+	if yCol == nil || yCol.PredicateCount != 2 || !yCol.HasRange || yCol.MinSeen != 3 || yCol.MaxSeen != 9 {
+		t.Fatalf("y column stats: %+v", yCol)
+	}
+	if xCol == nil || xCol.GroupByCount != 1 {
+		t.Fatalf("x column stats: %+v", xCol)
+	}
+
+	// Shadow table accounting for u.
+	if len(snap.ShadowTables) != 1 || snap.ShadowTables[0].Table != "u" || snap.ShadowTables[0].Count != 1 {
+		t.Fatalf("shadow tables: %+v", snap.ShadowTables)
+	}
+
+	// Rewrite benefit: saved 200 cost units; nsPerCost = 800ns/400 = 2ns, so
+	// time saved = 400ns. Use benefit adds rows skipped on the same key.
+	b, ok := p.Benefit().Lookup("t", "x", "nuc", p.Tick())
+	if !ok {
+		t.Fatal("benefit missing")
+	}
+	if math.Abs(b.CostSaved-200) > 1e-6 || math.Abs(b.TimeSavedNanos-400) > 1e-6 {
+		t.Fatalf("cost/time saved = %v/%v, want 200/400", b.CostSaved, b.TimeSavedNanos)
+	}
+	if math.Abs(b.RowsSkipped-950) > 1e-6 || b.Rewrites != 1 || b.LastUsedTick != 1 {
+		t.Fatalf("rows/rewrites/lastUsed = %v/%d/%d", b.RowsSkipped, b.Rewrites, b.LastUsedTick)
+	}
+}
+
+// TestProfilerConcurrent hammers Record and Snapshot from many goroutines;
+// run under -race this validates the sharded/atomic design.
+func TestProfilerConcurrent(t *testing.T) {
+	p := NewProfiler(32)
+	p.SetEnabled(true)
+	const goroutines = 8
+	const perG = 200
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < perG; i++ {
+				so := p.Begin()
+				so.AddAccess(ColumnAccess{Table: "t", Column: "c", Kind: AccessPredicate})
+				so.AddIndexUse(IndexUse{Table: "t", Column: "c", Constraint: "nuc", RowsSkipped: 1})
+				so.AddShadow(ShadowNote{Table: "t", Savings: 1})
+				so.SetRootCost(10)
+				fp := uint64(g*perG+i)%64 + 1
+				p.Record(so, fp, "q", time.Microsecond, 1, nil, 2)
+			}
+		}(g)
+	}
+	done := make(chan struct{})
+	go func() {
+		for {
+			select {
+			case <-done:
+				return
+			default:
+				p.Snapshot()
+				p.Benefit().Snapshot(p.Tick())
+			}
+		}
+	}()
+	wg.Wait()
+	close(done)
+
+	if got := p.Tick(); got != goroutines*perG {
+		t.Fatalf("tick = %d, want %d", got, goroutines*perG)
+	}
+	total := int64(0)
+	for _, s := range p.Snapshot().Statements {
+		total += s.Count
+	}
+	if total != goroutines*perG {
+		t.Fatalf("summed counts = %d, want %d", total, goroutines*perG)
+	}
+}
+
+// BenchmarkProfilerDisabledPath measures the per-statement cost of the
+// observatory when it is off: one Begin (atomic load, nil result), the
+// nil-safe collector calls the hot path makes, and the Enabled check at
+// completion. CI gates on this staying single-digit nanoseconds.
+func BenchmarkProfilerDisabledPath(b *testing.B) {
+	p := NewProfiler(0)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		so := p.Begin()
+		so.AddExecTotals(1, 0, 0)
+		so.SetRootCost(1)
+		if p.Enabled() {
+			b.Fatal("profiler must stay disabled")
+		}
+	}
+}
+
+// BenchmarkProfilerRecord measures the enabled-path Record cost for one warm
+// fingerprint.
+func BenchmarkProfilerRecord(b *testing.B) {
+	p := NewProfiler(0)
+	p.SetEnabled(true)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		p.Record(nil, 42, "select ?", time.Microsecond, 1, nil, 1)
+	}
+}

@@ -1,0 +1,104 @@
+package plan
+
+import (
+	"patchindex/internal/expr"
+	"patchindex/internal/obs"
+	"patchindex/internal/vector"
+)
+
+// MineAccess walks a bound logical plan and records per-table/column access
+// observations into the statement observation: predicate columns (with the
+// compared constants, when numeric, as the observed range), sort keys,
+// group-by/distinct columns, and equi-join keys. Column provenance comes
+// from the bound schema, so the accounting survives projections. Call on
+// the bound plan, before optimization rewrites reshape it; a nil
+// observation no-ops.
+func MineAccess(n Node, so *obs.StmtObs) {
+	if so == nil || n == nil {
+		return
+	}
+	switch x := n.(type) {
+	case *FilterNode:
+		minePred(x.Pred, x.Input.Schema(), so)
+	case *SortNode:
+		for _, k := range x.Keys {
+			mineCol(x.Input, k.Col, obs.AccessSortKey, so)
+		}
+	case *AggregateNode:
+		for _, g := range x.GroupCols {
+			mineCol(x.Input, g, obs.AccessGroupBy, so)
+		}
+	case *JoinNode:
+		mineCol(x.Left, x.LeftKey, obs.AccessJoinKey, so)
+		mineCol(x.Right, x.RightKey, obs.AccessJoinKey, so)
+	}
+	for _, c := range n.Children() {
+		MineAccess(c, so)
+	}
+}
+
+// mineCol records one non-predicate column access when the column has base
+// table provenance.
+func mineCol(input Node, col int, kind obs.AccessKind, so *obs.StmtObs) {
+	cols := input.Schema()
+	if col < 0 || col >= len(cols) || cols[col].SourceTable == "" {
+		return
+	}
+	so.AddAccess(obs.ColumnAccess{
+		Table: cols[col].SourceTable, Column: cols[col].SourceCol, Kind: kind,
+	})
+}
+
+// minePred records predicate column accesses from comparisons between a
+// column reference and a literal, anywhere in the boolean structure (unlike
+// SMA bound extraction, OR branches count too: the access happened either
+// way). The compared constant, when numeric, becomes the observed range.
+func minePred(pred expr.Expr, schema []Column, so *obs.StmtObs) {
+	var walk func(e expr.Expr)
+	walk = func(e expr.Expr) {
+		switch x := e.(type) {
+		case *expr.BoolExpr:
+			walk(x.Left)
+			walk(x.Right)
+		case *expr.Cmp:
+			ref, okRef := x.Left.(*expr.ColRef)
+			lit, okLit := x.Right.(*expr.Literal)
+			if !okRef || !okLit {
+				// Mirrored form: literal <op> column.
+				r2, ok := x.Right.(*expr.ColRef)
+				l2, ok2 := x.Left.(*expr.Literal)
+				if !ok || !ok2 {
+					return
+				}
+				ref, lit = r2, l2
+			}
+			if ref.Col < 0 || ref.Col >= len(schema) || schema[ref.Col].SourceTable == "" {
+				return
+			}
+			a := obs.ColumnAccess{
+				Table:  schema[ref.Col].SourceTable,
+				Column: schema[ref.Col].SourceCol,
+				Kind:   obs.AccessPredicate,
+			}
+			if v, ok := numericOf(lit.Val); ok {
+				a.Lo, a.Hi, a.HasRange = v, v, true
+			}
+			so.AddAccess(a)
+		}
+	}
+	walk(pred)
+}
+
+// numericOf converts a literal value to float64 for range accounting.
+func numericOf(v vector.Value) (float64, bool) {
+	if v.Null {
+		return 0, false
+	}
+	switch v.Typ {
+	case vector.Int64, vector.Date:
+		return float64(v.I64), true
+	case vector.Float64:
+		return v.F64, true
+	}
+	return 0, false
+}

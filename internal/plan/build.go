@@ -5,9 +5,23 @@ import (
 
 	"patchindex/internal/exec"
 	"patchindex/internal/expr"
+	"patchindex/internal/obs"
+	"patchindex/internal/patch"
 	"patchindex/internal/storage"
 	"patchindex/internal/vector"
 )
+
+// newTaggedPatchSelect creates the PatchSelect for one partition of a
+// patched scan, stamped with its enabling index's identity so executed-plan
+// benefit attribution can credit the index.
+func newTaggedPatchSelect(child exec.Operator, ix *patch.Index, part int, mode exec.SelectMode) (*exec.PatchSelect, error) {
+	ps, err := exec.NewPatchSelect(child, ix.Partition(part), mode)
+	if err != nil {
+		return nil, err
+	}
+	ps.TagIndex(ix.Table(), ix.Column(), constraintTag(ix.Constraint()))
+	return ps, nil
+}
 
 // Config controls physical plan building.
 type Config struct {
@@ -23,6 +37,10 @@ type Config struct {
 	// DisableKernels forces interpreted expression evaluation in Filter and
 	// Project operators instead of compiled vectorized kernels.
 	DisableKernels bool
+	// Workload, when set, receives build-time benefit attribution: rows
+	// skipped by zone-map pruning (credited to the table's zone maps) and
+	// the executed plan's estimated root cost. Nil no-ops.
+	Workload *obs.StmtObs
 
 	// pruned collects the (table, partition) pairs skipped by zone-map
 	// pruning during this build. Keyed rather than counted because the
@@ -68,6 +86,19 @@ func Build(n Node, cfg Config) (exec.Operator, error) {
 		return nil, err
 	}
 	op.Stats().PartitionsPruned = int64(len(cfg.pruned))
+	if cfg.Workload != nil {
+		// Credit each pruned partition's rows to the table's zone maps: the
+		// cost saved is the scan cost those rows would have incurred.
+		for k := range cfg.pruned {
+			rows := int64(k.t.Partition(k.part).NumRows())
+			cfg.Workload.AddIndexUse(obs.IndexUse{
+				Table: k.t.Name(), Constraint: "zonemap",
+				RowsSkipped: rows,
+				CostSaved:   float64(rows) * costScanTuple,
+			})
+		}
+		cfg.Workload.SetRootCost(op.Stats().EstCost)
+	}
 	return op, nil
 }
 
@@ -276,7 +307,7 @@ func buildPatchScan(s *PatchScanNode, cfg Config, bounds map[int]colBounds) (exe
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewPatchSelect(sc, s.Index.Partition(s.Part), s.Mode)
+		return newTaggedPatchSelect(sc, s.Index, s.Part, s.Mode)
 	}
 	// Zone-pruning a partition is safe in both patch modes: the bounds come
 	// from the filter enclosing this scan, so every row of a pruned partition
@@ -290,7 +321,7 @@ func buildPatchScan(s *PatchScanNode, cfg Config, bounds map[int]colBounds) (exe
 		if err != nil {
 			return nil, err
 		}
-		ps, err := exec.NewPatchSelect(sc, s.Index.Partition(p), s.Mode)
+		ps, err := newTaggedPatchSelect(sc, s.Index, p, s.Mode)
 		if err != nil {
 			return nil, err
 		}
@@ -301,7 +332,7 @@ func buildPatchScan(s *PatchScanNode, cfg Config, bounds map[int]colBounds) (exe
 		if err != nil {
 			return nil, err
 		}
-		ps, err := exec.NewPatchSelect(sc, s.Index.Partition(0), s.Mode)
+		ps, err := newTaggedPatchSelect(sc, s.Index, 0, s.Mode)
 		if err != nil {
 			return nil, err
 		}
@@ -385,7 +416,7 @@ func splitPipelines(n Node, cfg Config, bounds map[int]colBounds) ([]exec.Operat
 			if err != nil {
 				return nil, err
 			}
-			ps, err := exec.NewPatchSelect(sc, x.Index.Partition(p), x.Mode)
+			ps, err := newTaggedPatchSelect(sc, x.Index, p, x.Mode)
 			if err != nil {
 				return nil, err
 			}
@@ -396,7 +427,7 @@ func splitPipelines(n Node, cfg Config, bounds map[int]colBounds) ([]exec.Operat
 			if err != nil {
 				return nil, err
 			}
-			ps, err := exec.NewPatchSelect(sc, x.Index.Partition(0), x.Mode)
+			ps, err := newTaggedPatchSelect(sc, x.Index, 0, x.Mode)
 			if err != nil {
 				return nil, err
 			}

@@ -113,6 +113,68 @@ func Cost(n Node) float64 {
 	}
 }
 
+// ShadowExceptionRate is the exception rate shadow accounting assumes when
+// estimating how much a hypothetical PatchIndex would have saved: no index
+// exists, so the real rate is unknown, and 5% sits inside the regime where
+// both NUC and NSC rewrites pay off (see RecommendThresholds). The estimate
+// only has to rank candidates, not predict wall time.
+const ShadowExceptionRate = 0.05
+
+// ShadowDistinctSavings estimates, in cost units, what a NUC PatchIndex
+// would have saved a distinct/count-distinct query over a table of the
+// given row count, at the assumed exception rate. The formulas mirror the
+// nucBaseline/nucRewritten closures of RecommendThresholds with the
+// exception groups all distinct (groups = rate·n). Never negative.
+func ShadowDistinctSavings(rows int64) float64 {
+	n := float64(rows)
+	if n <= 0 {
+		return 0
+	}
+	rate := ShadowExceptionRate
+	use := n * rate
+	excl := n * (1 - rate)
+	baseline := n*costScanTuple + n*costHashProbe + n*costGroupInit
+	rewritten := 2*n*(costScanTuple+costPatchTuple) +
+		use*costHashProbe + use*costGroupInit +
+		(excl+use)*costUnionTuple
+	return math.Max(0, baseline-rewritten)
+}
+
+// ShadowSortSavings estimates what an NSC PatchIndex would have saved a
+// single-key sort over a table of the given row count: the full n·log n
+// sort versus sorting only the patches plus a merge union (the
+// nscBaseline/nscRewritten shapes of RecommendThresholds). Never negative.
+func ShadowSortSavings(rows int64) float64 {
+	n := float64(rows)
+	if n <= 0 {
+		return 0
+	}
+	rate := ShadowExceptionRate
+	use := n * rate
+	baseline := n*costScanTuple + n*math.Log2(math.Max(n, 2))*costSortCompare
+	sortCost := 0.0
+	if use >= 2 {
+		sortCost = use * math.Log2(use) * costSortCompare
+	}
+	rewritten := 2*n*(costScanTuple+costPatchTuple) + sortCost + n*costMergeTuple
+	return math.Max(0, baseline-rewritten)
+}
+
+// ShadowJoinSavings estimates what an NSC PatchIndex on the inner join
+// column would have saved: hash-building the whole inner side versus
+// merge-joining its sorted major part and hash-building only the patches.
+// Never negative.
+func ShadowJoinSavings(rows int64) float64 {
+	n := float64(rows)
+	if n <= 0 {
+		return 0
+	}
+	rate := ShadowExceptionRate
+	baseline := n * costHashBuild
+	rewritten := n*rate*costHashBuild + n*costMergeTuple + n*costPatchTuple
+	return math.Max(0, baseline-rewritten)
+}
+
 // RecommendThresholds derives reasonable nuc_threshold and nsc_threshold
 // values from the cost model (the paper: "Based on this, reasonable values
 // for both nuc_threshold and nsc_threshold should be defined"). It sweeps

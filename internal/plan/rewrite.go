@@ -27,6 +27,51 @@ type Optimizer struct {
 	// counters no-op, so wiring them is optional.
 	RewritesFired    *obs.Counter
 	RewritesRejected *obs.Counter
+	// Workload, when set, receives benefit attribution (which index enabled
+	// each accepted rewrite, with cost-model deltas) and shadow
+	// "would-have-helped" notes for rewrite shapes that matched without an
+	// applicable index. Nil no-ops.
+	Workload *obs.StmtObs
+
+	// pending carries the enabling-index identity from the rewrite function
+	// that matched to accept, which stamps the cost delta.
+	pending *obs.RewriteNote
+}
+
+// constraintTag is the short constraint name used in workload attribution
+// keys ("nuc"/"nsc").
+func constraintTag(c patch.Constraint) string {
+	if c == patch.NearlySorted {
+		return "nsc"
+	}
+	return "nuc"
+}
+
+// noteRewrite remembers the index that enabled the rewrite about to be
+// offered to accept.
+func (o *Optimizer) noteRewrite(ix *patch.Index) {
+	if o.Workload != nil && ix != nil {
+		o.pending = &obs.RewriteNote{
+			Table: ix.Table(), Column: ix.Column(),
+			Constraint: constraintTag(ix.Constraint()),
+		}
+	}
+}
+
+// noteShadow records a would-have-helped estimate: the rewrite shape
+// matched, but no applicable PatchIndex exists on the source column.
+func (o *Optimizer) noteShadow(n Node, col int, constraint, shape string, savings float64) {
+	if o.Workload == nil || savings <= 0 {
+		return
+	}
+	cols := n.Schema()
+	if col < 0 || col >= len(cols) || cols[col].SourceTable == "" {
+		return
+	}
+	o.Workload.AddShadow(obs.ShadowNote{
+		Table: cols[col].SourceTable, Column: cols[col].SourceCol,
+		Constraint: constraint, Shape: shape, Savings: savings,
+	})
 }
 
 // Optimize rewrites the plan bottom-up and returns the (possibly new) root.
@@ -134,10 +179,22 @@ func (o *Optimizer) Optimize(n Node) (Node, error) {
 
 // accept decides whether a rewritten plan replaces the original. Without
 // cost-based optimization every applicable rewrite is taken (the paper's
-// behaviour); with it, the rewrite must be estimated cheaper.
+// behaviour); with it, the rewrite must be estimated cheaper. Accepted
+// rewrites are attributed to their enabling index (noted by the rewrite
+// function via noteRewrite) with the cost-model delta.
 func (o *Optimizer) accept(orig, rewritten Node) bool {
-	if !o.CostBased || Cost(rewritten) < Cost(orig) {
+	pending := o.pending
+	o.pending = nil
+	var cb, cr float64
+	if o.CostBased || pending != nil {
+		cb, cr = Cost(orig), Cost(rewritten)
+	}
+	if !o.CostBased || cr < cb {
 		o.RewritesFired.Inc()
+		if pending != nil {
+			pending.CostBase, pending.CostRewritten = cb, cr
+			o.Workload.AddRewrite(*pending)
+		}
 		return true
 	}
 	o.RewritesRejected.Inc()
@@ -220,8 +277,15 @@ func (o *Optimizer) rewriteDistinct(a *AggregateNode) (Node, bool, error) {
 		}
 	}
 	if ix == nil || ix.Table() != leaf.Table.Name() {
+		// The rewrite shape matched but no index exists: shadow-account what
+		// a NUC index on the first distinct column would have saved.
+		if len(a.GroupCols) > 0 {
+			o.noteShadow(a.Input, a.GroupCols[0], "nuc", "distinct",
+				ShadowDistinctSavings(int64(leaf.Table.NumRows())))
+		}
 		return nil, false, nil
 	}
+	o.noteRewrite(ix)
 	exclLeaf := NewPatchScanNode(leaf.Table, leaf.Cols, ix, exec.ExcludePatches, false)
 	useLeaf := NewPatchScanNode(leaf.Table, leaf.Cols, ix, exec.UsePatches, false)
 	exclBranch, err := rebuild(exclLeaf)
@@ -297,14 +361,17 @@ func (o *Optimizer) rewriteCountDistinct(a *AggregateNode) (Node, bool, error) {
 		return nil, false, nil
 	}
 	col := a.Aggs[0].Col
-	ix := o.indexOn(a.Input, col, patch.NearlyUnique)
-	if ix == nil {
-		return nil, false, nil
-	}
 	leaf, rebuild, ok := matchChain(a.Input)
-	if !ok || ix.Table() != leaf.Table.Name() {
+	if !ok {
 		return nil, false, nil
 	}
+	ix := o.indexOn(a.Input, col, patch.NearlyUnique)
+	if ix == nil || ix.Table() != leaf.Table.Name() {
+		o.noteShadow(a.Input, col, "nuc", "count_distinct",
+			ShadowDistinctSavings(int64(leaf.Table.NumRows())))
+		return nil, false, nil
+	}
+	o.noteRewrite(ix)
 	exclLeaf := NewPatchScanNode(leaf.Table, leaf.Cols, ix, exec.ExcludePatches, false)
 	useLeaf := NewPatchScanNode(leaf.Table, leaf.Cols, ix, exec.UsePatches, false)
 	exclBranch, err := rebuild(exclLeaf)
@@ -352,12 +419,19 @@ func (o *Optimizer) rewriteSort(s *SortNode) (Node, bool, error) {
 	key := s.Keys[0]
 	ix := o.indexOn(s.Input, key.Col, patch.NearlySorted)
 	if ix == nil || ix.Descending() != key.Desc {
+		if ix == nil {
+			if leaf, _, ok := matchChain(s.Input); ok {
+				o.noteShadow(s.Input, key.Col, "nsc", "sort",
+					ShadowSortSavings(int64(leaf.Table.NumRows())))
+			}
+		}
 		return nil, false, nil
 	}
 	leaf, rebuild, ok := matchChain(s.Input)
 	if !ok || ix.Table() != leaf.Table.Name() {
 		return nil, false, nil
 	}
+	o.noteRewrite(ix)
 	exclLeaf := NewPatchScanNode(leaf.Table, leaf.Cols, ix, exec.ExcludePatches, true)
 	useLeaf := NewPatchScanNode(leaf.Table, leaf.Cols, ix, exec.UsePatches, false)
 	exclBranch, err := rebuild(exclLeaf)
@@ -408,6 +482,16 @@ func (o *Optimizer) tryJoinRewrite(j *JoinNode, mirrored bool) (Node, bool, erro
 	// The inner side must be a Filter/Project chain over the indexed table.
 	ix := o.indexOn(inner, innerKey, patch.NearlySorted)
 	if ix == nil || ix.Descending() {
+		if ix == nil {
+			// Shadow-account only when the rest of the shape would have
+			// allowed the rewrite (chain inner, sorted outer).
+			if leaf, _, ok := matchChain(inner); ok {
+				if ord, sorted := OrderingOf(outer); sorted && ord.Col == outerKey && !ord.Desc {
+					o.noteShadow(inner, innerKey, "nsc", "join",
+						ShadowJoinSavings(int64(leaf.Table.NumRows())))
+				}
+			}
+		}
 		return nil, false, nil
 	}
 	leaf, rebuild, ok := matchChain(inner)
@@ -474,5 +558,6 @@ func (o *Optimizer) tryJoinRewrite(j *JoinNode, mirrored bool) (Node, bool, erro
 	if err != nil {
 		return nil, false, err
 	}
+	o.noteRewrite(ix)
 	return u, true, nil
 }

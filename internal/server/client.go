@@ -220,6 +220,33 @@ func (c *Client) Queries() (*ClientResult, error) {
 	return toResult(resp)
 }
 
+// Workload fetches the workload observatory's top-N text report (statement
+// fingerprints, column accesses, shadow accounting).
+func (c *Client) Workload() (string, error) {
+	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeWorkload})
+	if err != nil {
+		return "", err
+	}
+	res, err := toResult(resp)
+	if err != nil {
+		return "", err
+	}
+	return res.Message, nil
+}
+
+// Indexes fetches per-index health and benefit attribution as text.
+func (c *Client) Indexes() (string, error) {
+	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeIndexes})
+	if err != nil {
+		return "", err
+	}
+	res, err := toResult(resp)
+	if err != nil {
+		return "", err
+	}
+	return res.Message, nil
+}
+
 // Stats fetches the server metrics as Prometheus-style text.
 func (c *Client) Stats() (string, error) {
 	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeStats})

@@ -37,6 +37,11 @@ const (
 	// TypeQueries returns the recent query history (the tracer's ring) as a
 	// result set.
 	TypeQueries = "queries"
+	// TypeWorkload returns the workload observatory's top-N text report
+	// (fingerprint aggregates, column accesses, shadow accounting).
+	TypeWorkload = "workload"
+	// TypeIndexes returns per-index health and benefit attribution as text.
+	TypeIndexes = "indexes"
 	// TypeClose ends the session gracefully.
 	TypeClose = "close"
 )

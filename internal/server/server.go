@@ -19,6 +19,7 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"net/http/pprof"
@@ -309,9 +310,11 @@ func (s *Server) Shutdown(ctx context.Context) error {
 }
 
 // httpMux builds the HTTP side of the shared listener: /metrics, /stats
-// (metrics snapshot + per-index PatchIndex health), /healthz, the query
-// history at /queries, single traces at /trace/<id> (?format=chrome for a
-// chrome://tracing document), and — when enabled — /debug/pprof/.
+// (metrics snapshot + per-index PatchIndex health + workload snapshot),
+// /healthz, the query history at /queries, single traces at /trace/<id>
+// (?format=chrome for a chrome://tracing document), the workload observatory
+// at /workload, per-index benefit attribution at /indexes, and — when
+// enabled — /debug/pprof/.
 func (s *Server) httpMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(s.metrics))
@@ -319,7 +322,8 @@ func (s *Server) httpMux() http.Handler {
 		doc := struct {
 			obs.Snapshot
 			PatchIndexes []patchindex.IndexHealth `json:"patchindexes"`
-		}{s.metrics.Snapshot(), s.eng.IndexHealth()}
+			Workload     obs.WorkloadSnapshot     `json:"workload"`
+		}{s.metrics.Snapshot(), s.eng.IndexHealth(), s.eng.Profiler().Snapshot()}
 		w.Header().Set("Content-Type", "application/json")
 		enc := json.NewEncoder(w)
 		enc.SetIndent("", "  ")
@@ -327,6 +331,19 @@ func (s *Server) httpMux() http.Handler {
 	}))
 	mux.Handle("/queries", obs.QueriesHandler(s.eng.Tracer()))
 	mux.Handle("/trace/", obs.TraceHandler(s.eng.Tracer()))
+	mux.Handle("/workload", obs.WorkloadHandler(s.eng.Profiler()))
+	mux.Handle("/indexes", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		doc := s.indexesDoc()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeIndexesText(w, doc)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(doc)
+	}))
 	if s.cfg.EnablePprof {
 		mux.HandleFunc("/debug/pprof/", pprof.Index)
 		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
@@ -350,6 +367,54 @@ func (s *Server) httpMux() http.Handler {
 			status, s.gActiveSess.Value(), s.inFlight.Load(), s.queued.Load())
 	})
 	return mux
+}
+
+// indexesDoc is the /indexes (and \indexes) document: every PatchIndex's
+// health enriched with its decayed benefit attribution, plus the raw benefit
+// snapshot — which also carries pseudo-indexes like zone maps ("zonemap"
+// constraint) that have no catalog entry. Tick is the profiler's decay clock
+// (engine-relative statement ticks, monotonic across snapshots).
+type indexesDoc struct {
+	Tick     int64                    `json:"tick"`
+	Indexes  []patchindex.IndexHealth `json:"indexes"`
+	Benefits []obs.IndexBenefit       `json:"benefits"`
+}
+
+func (s *Server) indexesDoc() indexesDoc {
+	p := s.eng.Profiler()
+	tick := p.Tick()
+	return indexesDoc{
+		Tick:     tick,
+		Indexes:  s.eng.IndexHealth(),
+		Benefits: p.Benefit().Snapshot(tick),
+	}
+}
+
+// writeIndexesText renders the /indexes document for terminals.
+func writeIndexesText(w io.Writer, doc indexesDoc) {
+	fmt.Fprintf(w, "indexes: %d tick=%d\n", len(doc.Indexes), doc.Tick)
+	for _, h := range doc.Indexes {
+		fmt.Fprintf(w, "  %s.%s %s kind=%s patches=%d rows=%d ratio=%.4f util=%.2f bytes=%d\n",
+			h.Table, h.Column, h.Constraint, h.Kinds, h.Patches, h.Rows,
+			h.PatchRatio, h.ThresholdUtilization, h.MemoryBytes)
+		if h.Rewrites > 0 || h.RowsSkipped > 0 || h.LastUsedTick > 0 {
+			fmt.Fprintf(w, "    benefit: rewrites=%d rows_skipped=%.0f cost_saved=%.1f time_saved=%s last_used_tick=%d\n",
+				h.Rewrites, h.RowsSkipped, h.CostSaved,
+				time.Duration(h.TimeSavedNanos).Round(time.Microsecond), h.LastUsedTick)
+		}
+	}
+	if len(doc.Benefits) > 0 {
+		fmt.Fprintf(w, "attribution:\n")
+		for _, b := range doc.Benefits {
+			name := b.Table + "[" + b.Constraint + "]"
+			if b.Column != "" {
+				name = b.Table + "." + b.Column + "[" + b.Constraint + "]"
+			}
+			fmt.Fprintf(w, "  %s rewrites=%d rows_skipped=%.0f cost_saved=%.1f time_saved=%s last_used_tick=%d\n",
+				name, b.Rewrites, b.RowsSkipped, b.CostSaved,
+				time.Duration(b.TimeSavedNanos).Round(time.Microsecond), b.LastUsedTick)
+		}
+	}
 }
 
 // bufferedConn replays bytes already buffered by the sniffing reader before

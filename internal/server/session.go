@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"patchindex"
+	"patchindex/internal/obs"
 	"patchindex/internal/server/protocol"
 )
 
@@ -122,6 +123,14 @@ func (sess *session) handle(req *protocol.Request, reqCh chan *protocol.Request,
 		return sess.write(&protocol.Response{ID: req.ID, Message: sb.String()})
 	case protocol.TypeQueries:
 		return sess.write(sess.renderQueries(req.ID))
+	case protocol.TypeWorkload:
+		var sb strings.Builder
+		obs.WriteWorkloadText(&sb, sess.srv.eng.Profiler().Snapshot(), 20)
+		return sess.write(&protocol.Response{ID: req.ID, Message: sb.String()})
+	case protocol.TypeIndexes:
+		var sb strings.Builder
+		writeIndexesText(&sb, sess.srv.indexesDoc())
+		return sess.write(&protocol.Response{ID: req.ID, Message: sb.String()})
 	case protocol.TypeClose:
 		_ = protocol.WriteMessage(sess.conn, &protocol.Response{ID: req.ID, Message: "bye"})
 		return false

@@ -1,0 +1,140 @@
+package sql
+
+import "strings"
+
+// Fingerprint computes a stable statement fingerprint: literals are stripped,
+// whitespace and comments collapse, keywords and identifiers are lowercased,
+// and lists of literals (IN-lists, multi-row VALUES) collapse to a single
+// placeholder group. Statements that differ only in their constants — the
+// same "statement shape" — therefore map to the same 64-bit id, which keys
+// the workload profiler's aggregate table and tags traces and the slow-query
+// log.
+//
+// The normalizer is deliberately forgiving: it never fails, even on input the
+// parser would reject, so error statements are profiled under their shape
+// too. Rules:
+//
+//   - number and string literals → "?" (TRUE/FALSE/NULL keep their spelling:
+//     they change the shape of a predicate, not just its constant)
+//   - "?, ?, ..." → "?"  and  "(?), (?), ..." → "(?)"
+//   - identifiers and keywords lowercase; runs of whitespace and -- comments
+//     become a single space
+//
+// The returned id is an FNV-1a hash of the normalized text (also returned,
+// for display).
+func Fingerprint(query string) (uint64, string) {
+	norm := Normalize(query)
+	// FNV-1a, inlined to keep the hot path allocation-free.
+	const offset64 = 14695981039346656037
+	const prime64 = 1099511628211
+	h := uint64(offset64)
+	for i := 0; i < len(norm); i++ {
+		h ^= uint64(norm[i])
+		h *= prime64
+	}
+	return h, norm
+}
+
+// Normalize returns the literal-stripped, case- and whitespace-normalized
+// form of a statement (the text Fingerprint hashes).
+func Normalize(query string) string {
+	toks := normTokens(query)
+	toks = collapsePlaceholders(toks)
+	return joinTokens(toks)
+}
+
+// normTokens scans the input into normalized token strings. Unlike Lex it
+// cannot fail: unknown characters pass through as single-character tokens.
+func normTokens(input string) []string {
+	var toks []string
+	i, n := 0, len(input)
+	for i < n {
+		c := input[i]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			i++
+		case c == '-' && i+1 < n && input[i+1] == '-':
+			for i < n && input[i] != '\n' {
+				i++
+			}
+		case isIdentStart(c):
+			start := i
+			for i < n && isIdentPart(input[i]) {
+				i++
+			}
+			toks = append(toks, strings.ToLower(input[start:i]))
+		case c >= '0' && c <= '9':
+			for i < n && (input[i] >= '0' && input[i] <= '9' || input[i] == '.' || input[i] == 'e' || input[i] == 'E') {
+				// "1.x" where x is not a digit ends the number before the dot.
+				if input[i] == '.' && (i+1 >= n || input[i+1] < '0' || input[i+1] > '9') {
+					break
+				}
+				i++
+			}
+			toks = append(toks, "?")
+		case c == '\'':
+			i++
+			for i < n {
+				if input[i] == '\'' {
+					if i+1 < n && input[i+1] == '\'' { // escaped quote
+						i += 2
+						continue
+					}
+					i++
+					break
+				}
+				i++
+			}
+			toks = append(toks, "?")
+		case (c == '<' || c == '>' || c == '!') && i+1 < n && (input[i+1] == '=' || input[i+1] == '>'):
+			toks = append(toks, input[i:i+2])
+			i += 2
+		default:
+			toks = append(toks, string(c))
+			i++
+		}
+	}
+	return toks
+}
+
+// collapsePlaceholders folds literal lists so that IN-list length and
+// VALUES row count do not change the fingerprint:
+//
+//	? , ?            → ?        (repeatedly, so any list length collapses)
+//	( ? ) , ( ? )    → ( ? )    (multi-row VALUES)
+func collapsePlaceholders(toks []string) []string {
+	out := toks[:0]
+	for _, t := range toks {
+		out = append(out, t)
+		for {
+			n := len(out)
+			if n >= 3 && out[n-1] == "?" && out[n-2] == "," && out[n-3] == "?" {
+				out = out[:n-2]
+				continue
+			}
+			if n >= 5 && out[n-1] == "?" && out[n-2] == "(" && out[n-3] == "," &&
+				out[n-4] == ")" && out[n-5] == "?" {
+				out = out[:n-4]
+				continue
+			}
+			break
+		}
+	}
+	return out
+}
+
+// joinTokens renders tokens with minimal spacing: no space before ",", ")",
+// ";" and none after "(" or ".", or before "." — readable and stable.
+func joinTokens(toks []string) string {
+	var sb strings.Builder
+	for i, t := range toks {
+		if i > 0 {
+			prev := toks[i-1]
+			if t != "," && t != ")" && t != ";" && t != "." && prev != "(" && prev != "." {
+				sb.WriteByte(' ')
+			}
+		}
+		sb.WriteString(t)
+	}
+	return sb.String()
+}

@@ -1,0 +1,115 @@
+package sql
+
+import "testing"
+
+// TestFingerprintSameShape verifies that statements differing only in their
+// constants — literal values, IN-list length, VALUES row count, whitespace,
+// comments, keyword/identifier case — map to one fingerprint.
+func TestFingerprintSameShape(t *testing.T) {
+	groups := [][]string{
+		{
+			"SELECT x FROM t WHERE y = 3",
+			"SELECT x FROM t WHERE y = 42",
+			"select X from T where Y = 7",
+			"SELECT  x\n FROM t -- comment\n WHERE y = 3",
+		},
+		{
+			"SELECT x FROM t WHERE y IN (1, 2, 3)",
+			"SELECT x FROM t WHERE y IN (4)",
+			"SELECT x FROM t WHERE y IN (9,8,7,6,5,4,3,2,1)",
+		},
+		{
+			"INSERT INTO t VALUES (1, 'a'), (2, 'b')",
+			"INSERT INTO t VALUES (9, 'zzz')",
+			"INSERT INTO t VALUES (1,'x'),(2,'y'),(3,'z''q')",
+		},
+		{
+			"SELECT name FROM u WHERE s = 'alice'",
+			"SELECT name FROM u WHERE s = 'bob''s'",
+			"SELECT name FROM u WHERE s = ''",
+		},
+		{
+			"SELECT x FROM t WHERE y >= 1.5",
+			"SELECT x FROM t WHERE y >= 2e9",
+			"SELECT x FROM t WHERE y >= 10",
+		},
+	}
+	for gi, g := range groups {
+		base, baseNorm := Fingerprint(g[0])
+		for _, q := range g[1:] {
+			fp, norm := Fingerprint(q)
+			if fp != base {
+				t.Errorf("group %d: %q → %016x (%q), want %016x (%q) like %q",
+					gi, q, fp, norm, base, baseNorm, g[0])
+			}
+		}
+	}
+}
+
+// TestFingerprintDistinctShapes verifies that genuinely different statement
+// shapes do not collide.
+func TestFingerprintDistinctShapes(t *testing.T) {
+	shapes := []string{
+		"SELECT x FROM t WHERE y = 3",
+		"SELECT x FROM t WHERE z = 3",
+		"SELECT x FROM t WHERE y > 3",
+		"SELECT x FROM t WHERE y = 3 AND z = 4",
+		"SELECT x, z FROM t WHERE y = 3",
+		"SELECT COUNT(DISTINCT x) FROM t",
+		"SELECT x FROM t ORDER BY x",
+		"SELECT x FROM t WHERE y = TRUE",
+		"SELECT x FROM t WHERE y IS NULL",
+		"INSERT INTO t VALUES (1)",
+	}
+	seen := map[uint64]string{}
+	for _, q := range shapes {
+		fp, norm := Fingerprint(q)
+		if prev, ok := seen[fp]; ok {
+			t.Errorf("collision: %q and %q both fingerprint to %016x (%q)", q, prev, fp, norm)
+		}
+		seen[fp] = q
+	}
+}
+
+// TestFingerprintPreparedEqualsAdHoc: a statement executed via the prepared
+// path fingerprints from the same original text, so it matches the ad-hoc
+// spelling of the same shape.
+func TestFingerprintPreparedEqualsAdHoc(t *testing.T) {
+	adhoc, _ := Fingerprint("SELECT x FROM t WHERE y = 99")
+	prepared, _ := Fingerprint("SELECT x FROM t WHERE y = 1")
+	if adhoc != prepared {
+		t.Fatalf("prepared shape fingerprint %016x != ad-hoc %016x", prepared, adhoc)
+	}
+}
+
+// TestNormalizeRendering pins the normalized text format (it is shown in
+// /workload and hashed, so accidental changes would orphan history).
+func TestNormalizeRendering(t *testing.T) {
+	cases := []struct{ in, want string }{
+		{"SELECT X FROM T WHERE Y = 3", "select x from t where y = ?"},
+		{"SELECT x FROM t WHERE y IN (1, 2, 3)", "select x from t where y in (?)"},
+		{"INSERT INTO t VALUES (1, 'a'), (2, 'b')", "insert into t values (?)"},
+		{"SELECT a.b FROM a", "select a.b from a"},
+		{"SELECT x -- trailing comment", "select x"},
+	}
+	for _, c := range cases {
+		if got := Normalize(c.in); got != c.want {
+			t.Errorf("Normalize(%q) = %q, want %q", c.in, got, c.want)
+		}
+	}
+}
+
+// TestFingerprintNeverPanics feeds junk through the forgiving scanner.
+func TestFingerprintNeverPanics(t *testing.T) {
+	for _, q := range []string{"", "'", "'''", "((((", "SELECT 'unterminated", "1.2.3.4", "--", "@#$%"} {
+		Fingerprint(q) // must not panic
+	}
+}
+
+func BenchmarkFingerprint(b *testing.B) {
+	q := "SELECT COUNT(DISTINCT c_email_address) FROM customer WHERE c_birth_year IN (1980, 1981, 1982)"
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		Fingerprint(q)
+	}
+}
