@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel|kernels|workload]
+//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel|kernels|workload|tuning]
 //	           [-rows N] [-customer-rows N] [-sales-rows N]
 //	           [-partitions N] [-reps N] [-parallel N] [-quick]
 //	           [-json FILE] [-trace FILE] [-trace-sql SQL]
@@ -21,6 +21,14 @@
 // benefit, shadow accounting):
 //
 //	patchbench -quick -exp workload -json BENCH_workload.json
+//
+// The "tuning" experiment demonstrates the self-tuner on a shifting
+// workload: a skewed count-distinct phase triggers an automatic NUC
+// PatchIndex creation, a shift to sort queries triggers the NSC creation
+// and the idle NUC drop, and a rollback restores the pre-tuner index set,
+// with before/after latencies and the journaled event timeline recorded:
+//
+//	patchbench -quick -exp tuning -json BENCH_tuning.json
 //
 // With -json the run additionally emits a machine-readable document holding
 // the configuration, every individual measurement, and a snapshot of the

@@ -14,8 +14,9 @@
 // metrics registry, \trace on|off toggles per-statement tracing (the trace
 // id is printed after each result), \queries lists the recent query history
 // from the tracer's ring, \workload prints the workload observatory report
-// (enable with -workload or \workload on), and \indexes prints per-index
-// health with benefit attribution. Try:
+// (enable with -workload or \workload on), \indexes prints per-index
+// health with benefit attribution, and \tune [on|off|now|rollback] controls
+// the background self-tuner (enable at startup with -tune). Try:
 //
 //	SHOW TABLES;
 //	CREATE PATCHINDEX ON customer(c_email_address) UNIQUE THRESHOLD 0.1;
@@ -36,6 +37,7 @@ import (
 	"patchindex/internal/datagen"
 	"patchindex/internal/obs"
 	"patchindex/internal/server"
+	"patchindex/internal/tuning"
 )
 
 func main() {
@@ -52,6 +54,8 @@ func main() {
 	slowMS := flag.Int("slow-ms", 0, "log statements slower than this many milliseconds")
 	workload := flag.Bool("workload", false, "enable the workload observatory (statement fingerprinting, benefit attribution)")
 	workloadFPs := flag.Int("workload-fingerprints", 0, "max statement fingerprints tracked (0 = default 256)")
+	tune := flag.Bool("tune", false, "start the background self-tuner (implies -workload)")
+	tuneIntervalMS := flag.Int("tune-interval-ms", 0, "self-tuner cycle period in milliseconds (0 = default)")
 	connect := flag.String("connect", "", "connect to a patchserver at host:port instead of running an embedded engine")
 	flag.Parse()
 
@@ -71,6 +75,8 @@ func main() {
 		SlowQueryThreshold:   time.Duration(*slowMS) * time.Millisecond,
 		WorkloadProfile:      *workload,
 		WorkloadFingerprints: *workloadFPs,
+		AutoTune:             *tune,
+		Tuning:               tuning.Config{Interval: time.Duration(*tuneIntervalMS) * time.Millisecond},
 	})
 	if err != nil {
 		fatal(err)
@@ -145,7 +151,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics, \\trace on|off, \\queries, \\workload [on|off], \\indexes")
+	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics, \\trace on|off, \\queries, \\workload [on|off], \\indexes, \\tune [on|off|now|rollback]")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -195,6 +201,12 @@ func main() {
 		}
 		if buf.Len() == 0 && trimmed == "\\indexes" {
 			printIndexes(eng)
+			continue
+		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\tune") {
+			if err := runTuneCommand(eng, strings.TrimSpace(strings.TrimPrefix(trimmed, "\\tune"))); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
 			continue
 		}
 		buf.WriteString(line)
@@ -280,6 +292,36 @@ func printIndexes(eng *patchindex.Engine) {
 	}
 }
 
+// runTuneCommand drives the local engine's self-tuner: bare \tune prints
+// SHOW TUNER, the arguments map onto ALTER TUNER statements.
+func runTuneCommand(eng *patchindex.Engine, arg string) error {
+	stmt := ""
+	switch arg {
+	case "":
+		stmt = "SHOW TUNER"
+	case "on":
+		stmt = "ALTER TUNER START"
+	case "off":
+		stmt = "ALTER TUNER STOP"
+	case "now":
+		stmt = "ALTER TUNER NOW"
+	case "rollback":
+		stmt = "ALTER TUNER ROLLBACK"
+	default:
+		return fmt.Errorf("usage: \\tune [on|off|now|rollback]")
+	}
+	res, err := eng.Exec(stmt)
+	if err != nil {
+		return err
+	}
+	s := res.String()
+	fmt.Print(s)
+	if !strings.HasSuffix(s, "\n") {
+		fmt.Println()
+	}
+	return nil
+}
+
 // remoteShell runs the REPL (or a single -e statement) against a remote
 // patchserver. \stats fetches the server-side metrics registry; \set
 // KEY VALUE adjusts session settings (timeout_ms, max_rows,
@@ -297,7 +339,7 @@ func remoteShell(addr, execStmt string) error {
 	}
 
 	fmt.Printf("patchindex shell — connected to %s (session %d)\n", addr, cli.SessionID())
-	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings, \\trace on|off, \\queries, \\workload, \\indexes")
+	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings, \\trace on|off, \\queries, \\workload, \\indexes, \\tune [on|off|now|rollback]")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -366,6 +408,30 @@ func remoteShell(addr, execStmt string) error {
 				continue
 			}
 			fmt.Print(text)
+			continue
+		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\tune") {
+			arg := strings.TrimSpace(strings.TrimPrefix(trimmed, "\\tune"))
+			if arg == "" {
+				text, err := cli.Tuner()
+				if err != nil {
+					fmt.Fprintf(os.Stderr, "error: %v\n", err)
+					continue
+				}
+				fmt.Print(text)
+				continue
+			}
+			stmt := map[string]string{
+				"on": "ALTER TUNER START", "off": "ALTER TUNER STOP",
+				"now": "ALTER TUNER NOW", "rollback": "ALTER TUNER ROLLBACK",
+			}[arg]
+			if stmt == "" {
+				fmt.Fprintln(os.Stderr, "usage: \\tune [on|off|now|rollback]")
+				continue
+			}
+			if err := runRemote(cli, stmt); err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+			}
 			continue
 		}
 		buf.WriteString(line)

@@ -4,8 +4,8 @@
 // plain HTTP for /metrics, /stats (with PatchIndex health), /healthz, the
 // query history at /queries, Chrome-exportable statement traces at
 // /trace/<id>, the workload observatory at /workload (-workload to enable),
-// per-index benefit attribution at /indexes, and (with -pprof)
-// /debug/pprof/.
+// per-index benefit attribution at /indexes, the self-tuner at /tuner
+// (-tune to enable background tuning), and (with -pprof) /debug/pprof/.
 //
 //	patchserver -listen :5433 -demo tpcds -rows 1000000 -trace-sample 1
 //	patchcli -connect localhost:5433
@@ -31,6 +31,7 @@ import (
 	"patchindex"
 	"patchindex/internal/datagen"
 	"patchindex/internal/server"
+	"patchindex/internal/tuning"
 )
 
 func main() {
@@ -54,6 +55,8 @@ func main() {
 	traceHistory := flag.Int("trace-history", 0, "completed-query profiles kept for /queries and /trace/<id> (0 = default 128)")
 	workload := flag.Bool("workload", false, "enable the workload observatory (/workload, /indexes benefit attribution)")
 	workloadFPs := flag.Int("workload-fingerprints", 0, "max statement fingerprints tracked by the workload observatory (0 = default 256)")
+	tune := flag.Bool("tune", false, "start the background self-tuner (implies -workload; ALTER TUNER / \\tune control it at runtime)")
+	tuneIntervalMS := flag.Int("tune-interval-ms", 0, "self-tuner cycle interval in ms (0 = default 2000)")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
 
@@ -68,6 +71,8 @@ func main() {
 		TraceHistory:         *traceHistory,
 		WorkloadProfile:      *workload,
 		WorkloadFingerprints: *workloadFPs,
+		AutoTune:             *tune,
+		Tuning:               tuning.Config{Interval: time.Duration(*tuneIntervalMS) * time.Millisecond},
 	})
 	if err != nil {
 		fatal(err)
@@ -98,7 +103,7 @@ func main() {
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz /queries /trace/<id> /workload /indexes)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz /queries /trace/<id> /workload /indexes /tuner)\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

@@ -36,6 +36,7 @@ import (
 	"patchindex/internal/plan"
 	"patchindex/internal/sql"
 	"patchindex/internal/storage"
+	"patchindex/internal/tuning"
 	"patchindex/internal/vector"
 	"patchindex/internal/wal"
 )
@@ -107,6 +108,16 @@ type Config struct {
 	// table (0 = obs.DefaultWorkloadFingerprints). Statements beyond the
 	// bound aggregate into a catch-all "(other)" bucket.
 	WorkloadFingerprints int
+	// AutoTune starts the background self-tuner: a goroutine that
+	// periodically mines the workload observatory for PatchIndex candidates,
+	// creates winners within the Tuning budget, and drops indexes whose
+	// decayed benefit no longer pays for their keep. Implies WorkloadProfile
+	// (the tuner is blind without the observatory). The tuner exists even
+	// when AutoTune is off — ALTER TUNER START flips it on at runtime.
+	AutoTune bool
+	// Tuning bounds the self-tuner (zero values take tuning defaults:
+	// interval, builds per cycle, memory budget, drop hysteresis).
+	Tuning tuning.Config
 }
 
 // ExecOptions tune a single statement execution.
@@ -161,6 +172,7 @@ type Engine struct {
 	metrics  *obs.Registry
 	tracer   *obs.Tracer
 	profiler *obs.Profiler
+	tuner    *tuning.Tuner
 	slowLog  io.Writer
 	// Hot-path metrics are resolved once here; incrementing them is
 	// lock-free.
@@ -204,8 +216,12 @@ func New(cfg Config) (*Engine, error) {
 		e.tracer.SetEnabled(true)
 	}
 	e.profiler = obs.NewProfiler(cfg.WorkloadFingerprints)
-	if cfg.WorkloadProfile {
+	if cfg.WorkloadProfile || cfg.AutoTune {
 		e.profiler.SetEnabled(true)
+	}
+	e.tuner = tuning.New(cfg.Tuning, e.profiler, engineActuator{e})
+	if cfg.AutoTune {
+		e.tuner.Start()
 	}
 	e.mStatements = e.metrics.Counter("statements_total")
 	e.mQueries = e.metrics.Counter("queries_total")
@@ -239,8 +255,9 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 // backs /workload, and its benefit tracker enriches IndexHealth.
 func (e *Engine) Profiler() *obs.Profiler { return e.profiler }
 
-// Close releases the WAL (if any).
+// Close stops the background tuner and releases the WAL (if any).
 func (e *Engine) Close() error {
+	e.tuner.Stop()
 	if e.log != nil {
 		return e.log.Close()
 	}
@@ -587,25 +604,17 @@ func (e *Engine) execStmt(ctx context.Context, query string, stmt sql.Statement,
 	case *sql.CreatePatchIndexStmt:
 		return e.runCreatePatchIndex(s)
 	case *sql.DropPatchIndexStmt:
-		if err := e.cat.DropIndex(s.Table, s.Column); err != nil {
+		// The statement dispatcher already holds the table's exclusive latch.
+		if err := e.dropPatchIndexLatched(s.Table, s.Column); err != nil {
 			return nil, err
-		}
-		e.invalidateMaintainers(s.Table)
-		if e.cfg.IndexDir != "" {
-			for _, c := range []patch.Constraint{patch.NearlyUnique, patch.NearlySorted} {
-				os.Remove(e.indexPath(s.Table, s.Column, c))
-			}
-		}
-		if e.log != nil {
-			if err := e.log.AppendDropIndex(wal.DropIndexRecord{Table: s.Table, Column: s.Column}); err != nil {
-				return nil, err
-			}
 		}
 		return &Result{Message: fmt.Sprintf("PatchIndex on %s.%s dropped", s.Table, s.Column)}, nil
 	case *sql.CopyStmt:
 		return e.runCopy(s)
 	case *sql.ShowStmt:
 		return e.runShow(s)
+	case *sql.AlterTunerStmt:
+		return e.runAlterTuner(s)
 	default:
 		return nil, fmt.Errorf("patchindex: unsupported statement %T", stmt)
 	}
@@ -1263,10 +1272,19 @@ func (e *Engine) runShow(s *sql.ShowStmt) (*Result, error) {
 	case "patchindexes":
 		// Indexes() is sorted by (table, column, constraint), so the output
 		// is deterministic and diffable; each index's table is latched shared
-		// while its row is rendered.
-		res := &Result{Columns: []string{"table", "column", "constraint", "kind", "patches", "rate", "bytes"}}
+		// while its row is rendered. origin distinguishes manual from
+		// tuner-created indexes; benefit is the decayed cost-saved from the
+		// workload observatory (0 when profiling is off or never used).
+		res := &Result{Columns: []string{"table", "column", "constraint", "kind", "patches", "rate", "bytes", "origin", "benefit", "last_used_tick"}}
+		tick := e.profiler.Tick()
 		for _, ix := range e.cat.Indexes() {
 			release := e.acquireLatches([]string{ix.Table()}, nil)
+			var benefit float64
+			var lastUsed int64
+			if b, ok := e.profiler.Benefit().Lookup(ix.Table(), ix.Column(), constraintTag(ix.Constraint()), tick); ok {
+				benefit = b.CostSaved
+				lastUsed = b.LastUsedTick
+			}
 			res.Rows = append(res.Rows, []vector.Value{
 				vector.StringValue(ix.Table()),
 				vector.StringValue(ix.Column()),
@@ -1275,10 +1293,15 @@ func (e *Engine) runShow(s *sql.ShowStmt) (*Result, error) {
 				vector.IntValue(int64(ix.Cardinality())),
 				vector.FloatValue(ix.ExceptionRate()),
 				vector.IntValue(int64(ix.MemoryBytes())),
+				vector.StringValue(ix.Origin()),
+				vector.FloatValue(benefit),
+				vector.IntValue(lastUsed),
 			})
 			release()
 		}
 		return res, nil
+	case "tuner":
+		return e.runShowTuner()
 	default:
 		return nil, fmt.Errorf("patchindex: unknown SHOW target %q", s.What)
 	}

@@ -109,12 +109,13 @@ const (
 	ExpParallel = "parallel"
 	ExpKernels  = "kernels"
 	ExpWorkload = "workload"
+	ExpTuning   = "tuning"
 )
 
 // All lists every experiment id in paper order, followed by the engine
 // experiments that have no paper counterpart.
 func All() []string {
-	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels, ExpWorkload}
+	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels, ExpWorkload, ExpTuning}
 }
 
 // Run executes one experiment by id, writing its report to w.
@@ -138,6 +139,8 @@ func Run(id string, cfg Config, w io.Writer) error {
 		return Kernels(cfg, w)
 	case ExpWorkload:
 		return Workload(cfg, w)
+	case ExpTuning:
+		return Tuning(cfg, w)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, All())
 	}

@@ -1,0 +1,185 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+	"time"
+
+	"patchindex"
+	"patchindex/internal/datagen"
+	"patchindex/internal/tuning"
+)
+
+// Tuning demonstrates the self-tuner converging on a shifting workload (no
+// paper counterpart; the scenario follows the paper's self-managing-database
+// motivation). Phase A runs a skewed count-distinct workload against an
+// engine with zero indexes until the tuner auto-creates the NUC PatchIndex;
+// phase B shifts the workload to sort queries, the tuner creates the NSC
+// index and retires the now-idle NUC one; finally ALTER TUNER ROLLBACK
+// restores the (empty) pre-tuner index set. Cycles are stepped synchronously
+// so the run is deterministic; before/after latencies and the create/drop
+// event timeline are recorded.
+func Tuning(cfg Config, w io.Writer) error {
+	rows := cfg.Rows / 10
+	if rows < 20_000 {
+		rows = 20_000
+	}
+	fmt.Fprintf(w, "== self-tuner: workload-shift convergence (data, %d rows, %d partitions) ==\n",
+		rows, cfg.Partitions)
+
+	e, err := patchindex.New(patchindex.Config{
+		DefaultPartitions: cfg.Partitions,
+		Parallelism:       cfg.Parallelism,
+		Metrics:           cfg.Metrics,
+		WorkloadProfile:   true,
+		Tuning: tuning.Config{
+			MinTicks:         8,
+			WarmupTicks:      8,
+			DropIdleTicks:    24,
+			DropBenefitFloor: 1e18, // idleness alone decides drops in this demo
+			CooldownCycles:   2,
+		},
+	})
+	if err != nil {
+		return err
+	}
+	defer e.Close()
+	t, err := datagen.LoadCustom("data", rows, cfg.Partitions, 0.05, 0.05, cfg.Seed)
+	if err != nil {
+		return err
+	}
+	if err := e.Catalog().AddTable(t); err != nil {
+		return err
+	}
+	tuner := e.Tuner()
+
+	autoIndexes := func() map[string]bool {
+		live := map[string]bool{}
+		res, err := e.Exec("SHOW PATCHINDEXES")
+		if err != nil {
+			return live
+		}
+		for _, row := range res.Rows {
+			if len(row) < 8 || row[7].Str != "auto" {
+				continue
+			}
+			tag := "nsc"
+			if strings.Contains(row[2].Str, "UNIQUE") {
+				tag = "nuc"
+			}
+			live[row[0].Str+"."+row[1].Str+"["+tag+"]"] = true
+		}
+		return live
+	}
+
+	// --- phase A: skewed count-distinct workload, zero indexes ------------
+	distinctQ := "SELECT COUNT(DISTINCT u) FROM data"
+	before, err := median(cfg.Reps, func() error {
+		_, err := e.DrainWith(distinctQ, patchindex.ExecOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	createCycle := -1
+	for cycle := 0; cycle < 12 && createCycle < 0; cycle++ {
+		for i := 0; i < 4; i++ {
+			if _, err := e.DrainWith(distinctQ, patchindex.ExecOptions{}); err != nil {
+				return err
+			}
+		}
+		res := tuner.RunCycle()
+		for _, ev := range res.Events {
+			if ev.Action == "create" {
+				createCycle = int(res.Cycle)
+			}
+		}
+	}
+	if createCycle < 0 {
+		return fmt.Errorf("bench: tuner never created the NUC index (journal: %+v)", tuner.Journal())
+	}
+	if !autoIndexes()["data.u[nuc]"] {
+		return fmt.Errorf("bench: expected auto NUC index on data.u, have %v", autoIndexes())
+	}
+	after, err := median(cfg.Reps, func() error {
+		_, err := e.DrainWith(distinctQ, patchindex.ExecOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "phase A (count-distinct): auto-created data.u[nuc] at cycle %d\n", createCycle)
+	fmt.Fprintf(w, "  %-24s %-10s\n", "no index (before)", before.Round(time.Millisecond))
+	fmt.Fprintf(w, "  %-24s %-10s  speedup %.2fx\n", "auto index (after)",
+		after.Round(time.Millisecond), float64(before)/float64(after))
+	cfg.record(ExpTuning, "distinct/before", 0, ms(before), "ms")
+	cfg.record(ExpTuning, "distinct/after", 0, ms(after), "ms")
+	cfg.record(ExpTuning, "create-cycle/data.u[nuc]", 0, float64(createCycle), "cycle")
+
+	// --- phase B: workload shifts to sort queries -------------------------
+	sortQ := "SELECT s FROM data ORDER BY s"
+	sortBefore, err := median(cfg.Reps, func() error {
+		_, err := e.DrainWith(sortQ, patchindex.ExecOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	dropCycle, nscCycle := -1, -1
+	for cycle := 0; cycle < 24 && dropCycle < 0; cycle++ {
+		for i := 0; i < 4; i++ {
+			if _, err := e.DrainWith(sortQ, patchindex.ExecOptions{}); err != nil {
+				return err
+			}
+		}
+		res := tuner.RunCycle()
+		for _, ev := range res.Events {
+			switch {
+			case ev.Action == "create" && ev.Constraint == "nsc":
+				nscCycle = int(res.Cycle)
+			case ev.Action == "drop" && ev.Column == "u":
+				dropCycle = int(res.Cycle)
+			}
+		}
+	}
+	if dropCycle < 0 {
+		return fmt.Errorf("bench: tuner never dropped the idle NUC index (journal: %+v)", tuner.Journal())
+	}
+	sortAfter, err := median(cfg.Reps, func() error {
+		_, err := e.DrainWith(sortQ, patchindex.ExecOptions{})
+		return err
+	})
+	if err != nil {
+		return err
+	}
+	fmt.Fprintf(w, "phase B (sort): auto-created data.s[nsc] at cycle %d, dropped idle data.u at cycle %d\n",
+		nscCycle, dropCycle)
+	fmt.Fprintf(w, "  %-24s %-10s\n", "no index (before)", sortBefore.Round(time.Millisecond))
+	fmt.Fprintf(w, "  %-24s %-10s  speedup %.2fx\n", "auto index (after)",
+		sortAfter.Round(time.Millisecond), float64(sortBefore)/float64(sortAfter))
+	cfg.record(ExpTuning, "sort/before", 0, ms(sortBefore), "ms")
+	cfg.record(ExpTuning, "sort/after", 0, ms(sortAfter), "ms")
+	cfg.record(ExpTuning, "create-cycle/data.s[nsc]", 0, float64(nscCycle), "cycle")
+	cfg.record(ExpTuning, "drop-cycle/data.u", 0, float64(dropCycle), "cycle")
+
+	// --- rollback: restore the (empty) pre-tuner index set ----------------
+	if err := tuner.Rollback(); err != nil {
+		return err
+	}
+	if live := autoIndexes(); len(live) != 0 {
+		return fmt.Errorf("bench: rollback left auto indexes %v", live)
+	}
+	st := tuner.Status()
+	fmt.Fprintf(w, "rollback: index set restored to pre-tuner baseline (%d indexes)\n", len(st.Baseline))
+	fmt.Fprintf(w, "journal: %d events (%d creates, %d drops, %d rejects, %d rollbacks)\n",
+		len(st.Journal), st.Creates, st.Drops, st.Rejects, st.Rollbacks)
+	for _, ev := range st.Journal {
+		name := ev.Action
+		if ev.Table != "" {
+			name += "/" + ev.Table + "." + ev.Column + "[" + ev.Constraint + "]"
+		}
+		cfg.record(ExpTuning, "event/"+name, 0, float64(ev.Tick), "tick")
+	}
+	return nil
+}

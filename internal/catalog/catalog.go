@@ -7,6 +7,7 @@ import (
 	"fmt"
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"patchindex/internal/patch"
 	"patchindex/internal/storage"
@@ -17,6 +18,11 @@ type Catalog struct {
 	mu      sync.RWMutex
 	tables  map[string]*storage.Table
 	indexes map[string]*patch.Index // key: table "." column
+	// epoch counts schema mutations (table or index add/drop). Readers that
+	// cache derived state — the plan cache of the future, the tuner's planned
+	// actions — revalidate when the epoch moved under them, so indexes can
+	// appear and disappear in the background without stale decisions.
+	epoch atomic.Uint64
 }
 
 // New creates an empty catalog.
@@ -35,8 +41,14 @@ func (c *Catalog) AddTable(t *storage.Table) error {
 		return fmt.Errorf("catalog: table %s already exists", t.Name())
 	}
 	c.tables[t.Name()] = t
+	c.epoch.Add(1)
 	return nil
 }
+
+// Epoch returns the catalog's schema-mutation counter. It increments on
+// every table or index registration/removal; equality of two observations
+// means no schema object changed in between.
+func (c *Catalog) Epoch() uint64 { return c.epoch.Load() }
 
 // Table looks up a table by name.
 func (c *Catalog) Table(name string) (*storage.Table, error) {
@@ -62,6 +74,7 @@ func (c *Catalog) DropTable(name string) error {
 			delete(c.indexes, key)
 		}
 	}
+	c.epoch.Add(1)
 	return nil
 }
 
@@ -97,6 +110,7 @@ func (c *Catalog) AddIndex(ix *patch.Index) error {
 		return fmt.Errorf("catalog: %s PatchIndex on %s.%s already exists", ix.Constraint(), ix.Table(), ix.Column())
 	}
 	c.indexes[key] = ix
+	c.epoch.Add(1)
 	return nil
 }
 
@@ -145,6 +159,7 @@ func (c *Catalog) DropIndex(table, column string) error {
 	if !dropped {
 		return fmt.Errorf("catalog: no PatchIndex on %s.%s", table, column)
 	}
+	c.epoch.Add(1)
 	return nil
 }
 

@@ -42,6 +42,7 @@ type Index struct {
 	threshold  float64
 	sets       []Set // one per partition, nil until built
 	descending bool  // NSC only: order relation is >= instead of <=
+	origin     string
 }
 
 // NewIndex creates an empty PatchIndex shell for a table with numPartitions
@@ -82,6 +83,25 @@ func (ix *Index) Threshold() float64 { return ix.threshold }
 
 // SetDescending marks a NSC index as maintaining a descending order.
 func (ix *Index) SetDescending(d bool) { ix.descending = d }
+
+// SetOrigin records who created the index: "manual" (CREATE PATCHINDEX, the
+// default) or "auto" (the background tuner).
+func (ix *Index) SetOrigin(o string) {
+	ix.mu.Lock()
+	ix.origin = o
+	ix.mu.Unlock()
+}
+
+// Origin reports who created the index ("manual" when never set).
+func (ix *Index) Origin() string {
+	ix.mu.RLock()
+	o := ix.origin
+	ix.mu.RUnlock()
+	if o == "" {
+		return "manual"
+	}
+	return o
+}
 
 // Descending reports whether a NSC index maintains a descending order.
 func (ix *Index) Descending() bool { return ix.descending }

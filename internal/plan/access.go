@@ -1,6 +1,7 @@
 package plan
 
 import (
+	"patchindex/internal/exec"
 	"patchindex/internal/expr"
 	"patchindex/internal/obs"
 	"patchindex/internal/vector"
@@ -27,6 +28,14 @@ func MineAccess(n Node, so *obs.StmtObs) {
 	case *AggregateNode:
 		for _, g := range x.GroupCols {
 			mineCol(x.Input, g, obs.AccessGroupBy, so)
+		}
+		// COUNT(DISTINCT c) deduplicates c exactly like a grouping would, and
+		// it is the canonical NUC PatchIndex beneficiary — account it as a
+		// group-by access so the tuner can see it.
+		for _, a := range x.Aggs {
+			if a.Func == exec.CountDistinct {
+				mineCol(x.Input, a.Col, obs.AccessGroupBy, so)
+			}
 		}
 	case *JoinNode:
 		mineCol(x.Left, x.LeftKey, obs.AccessJoinKey, so)

@@ -247,6 +247,19 @@ func (c *Client) Indexes() (string, error) {
 	return res.Message, nil
 }
 
+// Tuner fetches the self-tuner's status and journal as text.
+func (c *Client) Tuner() (string, error) {
+	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeTuner})
+	if err != nil {
+		return "", err
+	}
+	res, err := toResult(resp)
+	if err != nil {
+		return "", err
+	}
+	return res.Message, nil
+}
+
 // Stats fetches the server metrics as Prometheus-style text.
 func (c *Client) Stats() (string, error) {
 	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeStats})

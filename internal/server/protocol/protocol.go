@@ -42,6 +42,8 @@ const (
 	TypeWorkload = "workload"
 	// TypeIndexes returns per-index health and benefit attribution as text.
 	TypeIndexes = "indexes"
+	// TypeTuner returns the self-tuner's status and journal as text.
+	TypeTuner = "tuner"
 	// TypeClose ends the session gracefully.
 	TypeClose = "close"
 )

@@ -31,6 +31,7 @@ import (
 	"patchindex"
 	"patchindex/internal/obs"
 	"patchindex/internal/server/protocol"
+	"patchindex/internal/tuning"
 )
 
 // ErrServerBusy is returned (and sent to clients with code "busy") when the
@@ -313,8 +314,8 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // (metrics snapshot + per-index PatchIndex health + workload snapshot),
 // /healthz, the query history at /queries, single traces at /trace/<id>
 // (?format=chrome for a chrome://tracing document), the workload observatory
-// at /workload, per-index benefit attribution at /indexes, and — when
-// enabled — /debug/pprof/.
+// at /workload, per-index benefit attribution at /indexes, the self-tuner
+// status and journal at /tuner, and — when enabled — /debug/pprof/.
 func (s *Server) httpMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(s.metrics))
@@ -332,6 +333,18 @@ func (s *Server) httpMux() http.Handler {
 	mux.Handle("/queries", obs.QueriesHandler(s.eng.Tracer()))
 	mux.Handle("/trace/", obs.TraceHandler(s.eng.Tracer()))
 	mux.Handle("/workload", obs.WorkloadHandler(s.eng.Profiler()))
+	mux.Handle("/tuner", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		st := s.eng.Tuner().Status()
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			writeTunerText(w, st)
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(st)
+	}))
 	mux.Handle("/indexes", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		doc := s.indexesDoc()
 		if r.URL.Query().Get("format") == "text" {
@@ -413,6 +426,46 @@ func writeIndexesText(w io.Writer, doc indexesDoc) {
 			fmt.Fprintf(w, "  %s rewrites=%d rows_skipped=%.0f cost_saved=%.1f time_saved=%s last_used_tick=%d\n",
 				name, b.Rewrites, b.RowsSkipped, b.CostSaved,
 				time.Duration(b.TimeSavedNanos).Round(time.Microsecond), b.LastUsedTick)
+		}
+	}
+}
+
+// writeTunerText renders the /tuner document for terminals.
+func writeTunerText(w io.Writer, st tuning.Status) {
+	fmt.Fprintf(w, "tuner: running=%v cycles=%d creates=%d drops=%d rejects=%d rollbacks=%d tick=%d epoch=%d\n",
+		st.Running, st.Cycles, st.Creates, st.Drops, st.Rejects, st.Rollbacks, st.Tick, st.Epoch)
+	fmt.Fprintf(w, "budget: builds/cycle=%d max_auto=%d memory=%d B (used %d B by %d auto) min_score=%g\n",
+		st.MaxBuildsPerCycle, st.MaxAutoIndexes, st.MemoryBudgetBytes, st.AutoMemoryBytes, st.AutoLive, st.MinScore)
+	if len(st.Baseline) > 0 {
+		fmt.Fprintf(w, "baseline:\n")
+		for _, b := range st.Baseline {
+			fmt.Fprintf(w, "  %s.%s[%s] threshold=%.3f\n", b.Table, b.Column, b.Constraint, b.Threshold)
+		}
+	}
+	if len(st.LastCandidates) > 0 {
+		fmt.Fprintf(w, "candidates:\n")
+		for _, c := range st.LastCandidates {
+			fmt.Fprintf(w, "  %s.%s[%s] score=%.1f accesses=%d (%s)\n",
+				c.Table, c.Column, c.Constraint, c.Score, c.Accesses, c.Reason)
+		}
+	}
+	if len(st.Journal) > 0 {
+		fmt.Fprintf(w, "journal:\n")
+		for _, ev := range st.Journal {
+			fmt.Fprintf(w, "  #%d cycle=%d tick=%d %s", ev.Seq, ev.Cycle, ev.Tick, ev.Action)
+			if ev.Table != "" {
+				fmt.Fprintf(w, " %s.%s[%s]", ev.Table, ev.Column, ev.Constraint)
+			}
+			if ev.Score != 0 {
+				fmt.Fprintf(w, " score=%.1f", ev.Score)
+			}
+			if ev.Note != "" {
+				fmt.Fprintf(w, " (%s)", ev.Note)
+			}
+			if ev.Err != "" {
+				fmt.Fprintf(w, " err=%q", ev.Err)
+			}
+			fmt.Fprintln(w)
 		}
 	}
 }

@@ -131,6 +131,10 @@ func (sess *session) handle(req *protocol.Request, reqCh chan *protocol.Request,
 		var sb strings.Builder
 		writeIndexesText(&sb, sess.srv.indexesDoc())
 		return sess.write(&protocol.Response{ID: req.ID, Message: sb.String()})
+	case protocol.TypeTuner:
+		var sb strings.Builder
+		writeTunerText(&sb, sess.srv.eng.Tuner().Status())
+		return sess.write(&protocol.Response{ID: req.ID, Message: sb.String()})
 	case protocol.TypeClose:
 		_ = protocol.WriteMessage(sess.conn, &protocol.Response{ID: req.ID, Message: "bye"})
 		return false

@@ -123,10 +123,23 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
-// ShowStmt is SHOW TABLES or SHOW PATCHINDEXES.
+// ShowStmt is SHOW TABLES, SHOW PATCHINDEXES, or SHOW TUNER.
 type ShowStmt struct{ What string }
 
 func (*ShowStmt) stmt() {}
+
+// AlterTunerStmt controls the background tuner:
+//
+//	ALTER TUNER START | STOP | NOW | ROLLBACK
+//
+// START/STOP flip the background loop, NOW runs one tuning cycle
+// synchronously, ROLLBACK restores the index set captured when the tuner
+// was created (dropping auto-created indexes, re-creating dropped ones).
+type AlterTunerStmt struct {
+	Action string // "start", "stop", "now", "rollback"
+}
+
+func (*AlterTunerStmt) stmt() {}
 
 // Expr is an unbound AST expression.
 type Expr interface{ expr() }

@@ -43,6 +43,7 @@ var keywords = map[string]bool{
 	"FORCE": true, "EXPLAIN": true, "ANALYZE": true, "SHOW": true, "TABLES": true,
 	"PATCHINDEXES": true, "TRUE": true, "FALSE": true, "LEFT": true,
 	"OUTER": true, "DATE": true, "COPY": true, "HEADER": true, "WITH": true,
+	"ALTER": true, "TUNER": true,
 }
 
 // Lex tokenizes the input. It returns an error for unterminated strings or

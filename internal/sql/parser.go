@@ -79,6 +79,7 @@ var softKeywords = map[string]bool{
 	"PARTITIONS": true, "SORTKEY": true, "IDENTIFIER": true,
 	"BITMAP": true, "AUTO": true, "TABLES": true, "PATCHINDEXES": true,
 	"COPY": true, "SHOW": true, "DATE": true, "ANALYZE": true,
+	"TUNER": true, "ALTER": true,
 }
 
 func (p *Parser) expectIdent() (string, error) {
@@ -123,11 +124,36 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return &ShowStmt{What: "tables"}, nil
 		case p.acceptKeyword("PATCHINDEXES"):
 			return &ShowStmt{What: "patchindexes"}, nil
+		case p.acceptKeyword("TUNER"):
+			return &ShowStmt{What: "tuner"}, nil
 		default:
-			return nil, p.errorf("expected TABLES or PATCHINDEXES after SHOW")
+			return nil, p.errorf("expected TABLES, PATCHINDEXES or TUNER after SHOW")
 		}
+	case t.Kind == TokKeyword && t.Text == "ALTER":
+		return p.parseAlter()
 	default:
 		return nil, p.errorf("expected a statement, got %q", t.Text)
+	}
+}
+
+// parseAlter parses ALTER TUNER START|STOP|NOW|ROLLBACK. The actions are not
+// reserved words, so they arrive as (lowercased) identifiers.
+func (p *Parser) parseAlter() (Statement, error) {
+	if err := p.expectKeyword("ALTER"); err != nil {
+		return nil, err
+	}
+	if err := p.expectKeyword("TUNER"); err != nil {
+		return nil, err
+	}
+	action, err := p.expectIdent()
+	if err != nil {
+		return nil, p.errorf("expected START, STOP, NOW or ROLLBACK after ALTER TUNER")
+	}
+	switch action {
+	case "start", "stop", "now", "rollback":
+		return &AlterTunerStmt{Action: action}, nil
+	default:
+		return nil, p.errorf("unknown ALTER TUNER action %q (want START, STOP, NOW or ROLLBACK)", action)
 	}
 }
 

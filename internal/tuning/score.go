@@ -1,0 +1,124 @@
+// Package tuning implements the background self-tuner: it mines the workload
+// observatory for PatchIndex candidates, scores them with the planner's
+// closed-form shadow savings, creates winners within an explicit budget and
+// drops indexes whose decayed benefit no longer pays for their keep. Every
+// action is journaled and the whole tuner run can be rolled back to the index
+// set that existed when the tuner was created (AIM-style automated index
+// management, scaled down to PatchIndexes).
+package tuning
+
+import (
+	"sort"
+	"strings"
+
+	"patchindex/internal/obs"
+	"patchindex/internal/plan"
+)
+
+// overflowFingerprint is the reserved catch-all fingerprint the profiler
+// folds statements into once its table is full. Its aggregate mixes unrelated
+// statements, so it must never count as evidence for any specific column.
+const overflowFingerprint = "0000000000000000"
+
+// Candidate is one scored PatchIndex proposal.
+type Candidate struct {
+	Table      string  `json:"table"`
+	Column     string  `json:"column"`
+	Constraint string  `json:"constraint"` // "nuc" or "nsc"
+	Score      float64 `json:"score"`      // estimated cost units saved per cycle window
+	Accesses   int64   `json:"accesses"`   // access count backing the score
+	Reason     string  `json:"reason"`
+}
+
+func (c Candidate) key() string { return c.Table + "." + c.Column + "[" + c.Constraint + "]" }
+
+// ScoreColumns turns a workload snapshot into ranked PatchIndex candidates.
+// rows maps a table name to its current row count (return 0 for unknown
+// tables; their candidates are skipped).
+//
+// A column only qualifies when at least one *tracked* statement fingerprint
+// names it: the overflow bucket — fingerprint 0, normalized text "(other)" —
+// aggregates arbitrary statements once the fingerprint table is full, so its
+// traffic is clamped out and cannot justify an index for a column it never
+// actually named. Column access accounting itself is exact (it is mined at
+// bind time, not from fingerprints), but the support check keeps a
+// pathological flood of one-off statements from promoting a column on
+// aggregate counts alone.
+func ScoreColumns(snap obs.WorkloadSnapshot, rows func(table string) int64) []Candidate {
+	supported := func(table, column string) bool {
+		for _, st := range snap.Statements {
+			if st.Fingerprint == overflowFingerprint || st.SQL == "(other)" {
+				continue // satellite clamp: overflow evidence is inadmissible
+			}
+			if containsWord(st.SQL, table) && containsWord(st.SQL, column) {
+				return true
+			}
+		}
+		return false
+	}
+
+	var out []Candidate
+	for _, col := range snap.Columns {
+		n := rows(col.Table)
+		if n <= 0 {
+			continue
+		}
+		if !supported(col.Table, col.Column) {
+			continue
+		}
+		if col.GroupByCount > 0 {
+			score := float64(col.GroupByCount) * plan.ShadowDistinctSavings(n)
+			if score > 0 {
+				out = append(out, Candidate{
+					Table: col.Table, Column: col.Column, Constraint: "nuc",
+					Score: score, Accesses: col.GroupByCount,
+					Reason: "distinct/group-by traffic",
+				})
+			}
+		}
+		if col.SortKeyCount > 0 || col.JoinKeyCount > 0 {
+			score := float64(col.SortKeyCount)*plan.ShadowSortSavings(n) +
+				float64(col.JoinKeyCount)*plan.ShadowJoinSavings(n)
+			if score > 0 {
+				out = append(out, Candidate{
+					Table: col.Table, Column: col.Column, Constraint: "nsc",
+					Score: score, Accesses: col.SortKeyCount + col.JoinKeyCount,
+					Reason: "order-by/join traffic",
+				})
+			}
+		}
+	}
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].key() < out[j].key()
+	})
+	return out
+}
+
+// containsWord reports whether s contains w delimited by non-identifier
+// characters (both are already lowercased by the lexer/normalizer).
+func containsWord(s, w string) bool {
+	if w == "" {
+		return false
+	}
+	for from := 0; ; {
+		i := strings.Index(s[from:], w)
+		if i < 0 {
+			return false
+		}
+		i += from
+		before := i == 0 || !identByte(s[i-1])
+		afterIdx := i + len(w)
+		after := afterIdx >= len(s) || !identByte(s[afterIdx])
+		if before && after {
+			return true
+		}
+		from = i + 1
+	}
+}
+
+func identByte(c byte) bool {
+	return c == '_' || c >= '0' && c <= '9' || c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z'
+}
