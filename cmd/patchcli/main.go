@@ -15,8 +15,11 @@
 // id is printed after each result), \queries lists the recent query history
 // from the tracer's ring, \workload prints the workload observatory report
 // (enable with -workload or \workload on), \indexes prints per-index
-// health with benefit attribution, and \tune [on|off|now|rollback] controls
-// the background self-tuner (enable at startup with -tune). Try:
+// health with benefit attribution, \tune [on|off|now|rollback] controls
+// the background self-tuner (enable at startup with -tune), and
+// \alerts [on|off] prints the health watchdog's alert standings (on/off
+// starts or stops its sampler; SHOW ALERTS and SHOW TIMESERIES FOR <metric>
+// work as SQL too). Try:
 //
 //	SHOW TABLES;
 //	CREATE PATCHINDEX ON customer(c_email_address) UNIQUE THRESHOLD 0.1;
@@ -151,7 +154,7 @@ func main() {
 		return
 	}
 
-	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics, \\trace on|off, \\queries, \\workload [on|off], \\indexes, \\tune [on|off|now|rollback]")
+	fmt.Println("patchindex shell — statements end with ';', \\q quits, \\stats prints metrics, \\trace on|off, \\queries, \\workload [on|off], \\indexes, \\tune [on|off|now|rollback], \\alerts [on|off]")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -206,6 +209,22 @@ func main() {
 		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\tune") {
 			if err := runTuneCommand(eng, strings.TrimSpace(strings.TrimPrefix(trimmed, "\\tune"))); err != nil {
 				fmt.Fprintln(os.Stderr, err)
+			}
+			continue
+		}
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, "\\alerts") {
+			switch strings.TrimSpace(strings.TrimPrefix(trimmed, "\\alerts")) {
+			case "on":
+				eng.Monitor().Start()
+				fmt.Println("health watchdog on")
+			case "off":
+				eng.Monitor().Stop()
+				fmt.Println("health watchdog off")
+			case "":
+				a := eng.Monitor().Alerter()
+				obs.WriteAlertsText(os.Stdout, a.Alerts(), a.History(20))
+			default:
+				fmt.Fprintln(os.Stderr, "usage: \\alerts [on|off]")
 			}
 			continue
 		}
@@ -339,7 +358,7 @@ func remoteShell(addr, execStmt string) error {
 	}
 
 	fmt.Printf("patchindex shell — connected to %s (session %d)\n", addr, cli.SessionID())
-	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings, \\trace on|off, \\queries, \\workload, \\indexes, \\tune [on|off|now|rollback]")
+	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings, \\trace on|off, \\queries, \\workload, \\indexes, \\tune [on|off|now|rollback], \\alerts")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder
@@ -403,6 +422,15 @@ func remoteShell(addr, execStmt string) error {
 		}
 		if buf.Len() == 0 && trimmed == "\\indexes" {
 			text, err := cli.Indexes()
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "error: %v\n", err)
+				continue
+			}
+			fmt.Print(text)
+			continue
+		}
+		if buf.Len() == 0 && trimmed == "\\alerts" {
+			text, err := cli.Alerts()
 			if err != nil {
 				fmt.Fprintf(os.Stderr, "error: %v\n", err)
 				continue

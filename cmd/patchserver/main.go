@@ -5,7 +5,10 @@
 // query history at /queries, Chrome-exportable statement traces at
 // /trace/<id>, the workload observatory at /workload (-workload to enable),
 // per-index benefit attribution at /indexes, the self-tuner at /tuner
-// (-tune to enable background tuning), and (with -pprof) /debug/pprof/.
+// (-tune to enable background tuning), the health watchdog's time-series at
+// /timeseries and alerts at /alerts (-monitor to enable sampling;
+// -sample-interval-ms and -alert-rules tune it), and (with -pprof)
+// /debug/pprof/.
 //
 //	patchserver -listen :5433 -demo tpcds -rows 1000000 -trace-sample 1
 //	patchcli -connect localhost:5433
@@ -30,6 +33,7 @@ import (
 
 	"patchindex"
 	"patchindex/internal/datagen"
+	"patchindex/internal/obs"
 	"patchindex/internal/server"
 	"patchindex/internal/tuning"
 )
@@ -57,8 +61,19 @@ func main() {
 	workloadFPs := flag.Int("workload-fingerprints", 0, "max statement fingerprints tracked by the workload observatory (0 = default 256)")
 	tune := flag.Bool("tune", false, "start the background self-tuner (implies -workload; ALTER TUNER / \\tune control it at runtime)")
 	tuneIntervalMS := flag.Int("tune-interval-ms", 0, "self-tuner cycle interval in ms (0 = default 2000)")
+	monitor := flag.Bool("monitor", false, "start the health watchdog sampler (/timeseries, /alerts, SHOW ALERTS)")
+	sampleIntervalMS := flag.Int("sample-interval-ms", 0, "watchdog sampling interval in ms (0 = default 1000)")
+	alertRules := flag.String("alert-rules", "", "JSON file of alert rules overriding the built-in watchdog rules")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
 	flag.Parse()
+
+	var rules []obs.Rule
+	if *alertRules != "" {
+		var err error
+		if rules, err = obs.LoadRules(*alertRules); err != nil {
+			fatal(err)
+		}
+	}
 
 	eng, err := patchindex.New(patchindex.Config{
 		DefaultPartitions:    *partitions,
@@ -73,6 +88,9 @@ func main() {
 		WorkloadFingerprints: *workloadFPs,
 		AutoTune:             *tune,
 		Tuning:               tuning.Config{Interval: time.Duration(*tuneIntervalMS) * time.Millisecond},
+		Monitor:              *monitor,
+		SampleInterval:       time.Duration(*sampleIntervalMS) * time.Millisecond,
+		AlertRules:           rules,
 	})
 	if err != nil {
 		fatal(err)
@@ -103,7 +121,7 @@ func main() {
 	if err := srv.Start(); err != nil {
 		fatal(err)
 	}
-	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz /queries /trace/<id> /workload /indexes /tuner)\n", srv.Addr())
+	fmt.Fprintf(os.Stderr, "patchserver listening on %s (wire protocol + HTTP /metrics /stats /healthz /queries /trace/<id> /workload /indexes /tuner /timeseries /alerts)\n", srv.Addr())
 
 	ctx, stop := signal.NotifyContext(context.Background(), syscall.SIGINT, syscall.SIGTERM)
 	defer stop()

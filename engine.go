@@ -118,6 +118,20 @@ type Config struct {
 	// Tuning bounds the self-tuner (zero values take tuning defaults:
 	// interval, builds per cycle, memory budget, drop hysteresis).
 	Tuning tuning.Config
+	// Monitor starts the health watchdog: a sampler goroutine snapshotting
+	// registry metrics, per-index patch ratios, zone-map staleness, and
+	// runtime stats into bounded time-series rings, with drift detection and
+	// rule-based alerting on top (/timeseries, /alerts, SHOW ALERTS). The
+	// monitor exists even when this is off — Engine.Monitor().Start() flips
+	// it on at runtime; disabled it costs nothing on the statement path.
+	Monitor bool
+	// SampleInterval is the monitor's sampling cadence (default 1s, min
+	// 10ms).
+	SampleInterval time.Duration
+	// AlertRules overrides the built-in watchdog rules (nil keeps
+	// obs.DefaultRules: patch-ratio drift vs the 1/64 crossover, latency
+	// regression, admission pressure, queue depth).
+	AlertRules []obs.Rule
 }
 
 // ExecOptions tune a single statement execution.
@@ -173,6 +187,7 @@ type Engine struct {
 	tracer   *obs.Tracer
 	profiler *obs.Profiler
 	tuner    *tuning.Tuner
+	monitor  *obs.Monitor
 	slowLog  io.Writer
 	// Hot-path metrics are resolved once here; incrementing them is
 	// lock-free.
@@ -223,6 +238,15 @@ func New(cfg Config) (*Engine, error) {
 	if cfg.AutoTune {
 		e.tuner.Start()
 	}
+	e.monitor = obs.NewMonitor(e.metrics, cfg.SampleInterval, cfg.AlertRules, e.collectSamples)
+	// Close the observe→detect→act loop: firing drift alerts become tuner
+	// rebuild candidates, and every tuner journal action surfaces as an info
+	// alert event.
+	e.monitor.Alerter().SetNotify(e.onAlert)
+	e.tuner.SetNotify(e.onTunerEvent)
+	if cfg.Monitor {
+		e.monitor.Start()
+	}
 	e.mStatements = e.metrics.Counter("statements_total")
 	e.mQueries = e.metrics.Counter("queries_total")
 	e.mSlowQueries = e.metrics.Counter("slow_queries_total")
@@ -255,8 +279,10 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 // backs /workload, and its benefit tracker enriches IndexHealth.
 func (e *Engine) Profiler() *obs.Profiler { return e.profiler }
 
-// Close stops the background tuner and releases the WAL (if any).
+// Close stops the monitor and the background tuner (in that order — the
+// sampler feeds the tuner) and releases the WAL (if any).
 func (e *Engine) Close() error {
+	e.monitor.Stop()
 	e.tuner.Stop()
 	if e.log != nil {
 		return e.log.Close()
@@ -464,6 +490,13 @@ func (e *Engine) noteSlow(query string, elapsed time.Duration, opts ExecOptions,
 	}
 	if fp != 0 {
 		fmt.Fprintf(&tags, " fingerprint=%016x", fp)
+	}
+	// Put the statement in context: running p95/p99 of all query latencies,
+	// so a reader can tell an outlier from a general slowdown at a glance.
+	if q := e.hQuery.Snapshot(); q.Count > 0 {
+		fmt.Fprintf(&tags, " p95=%s p99=%s",
+			time.Duration(q.P95Nanos).Round(time.Microsecond),
+			time.Duration(q.P99Nanos).Round(time.Microsecond))
 	}
 	e.slowMu.Lock()
 	defer e.slowMu.Unlock()
@@ -1302,6 +1335,10 @@ func (e *Engine) runShow(s *sql.ShowStmt) (*Result, error) {
 		return res, nil
 	case "tuner":
 		return e.runShowTuner()
+	case "alerts":
+		return e.runShowAlerts()
+	case "timeseries":
+		return e.runShowTimeseries(s.Arg)
 	default:
 		return nil, fmt.Errorf("patchindex: unknown SHOW target %q", s.What)
 	}
@@ -1340,6 +1377,12 @@ type IndexHealth struct {
 	CostSaved      float64 `json:"cost_saved"`
 	TimeSavedNanos float64 `json:"time_saved_nanos"`
 	LastUsedTick   int64   `json:"last_used_tick"`
+	// Zone-map staleness of the index's table: rows appended (and
+	// partitions touched) since the last zone recompute. A second
+	// degradation signal next to PatchRatio — appends widen zone entries in
+	// place but never re-derive them.
+	ZoneStaleRows       int `json:"zone_stale_rows"`
+	ZoneStalePartitions int `json:"zone_stale_partitions"`
 }
 
 // IndexHealth reports the health of every PatchIndex, sorted by (table,
@@ -1374,6 +1417,9 @@ func (e *Engine) IndexHealth() []IndexHealth {
 		if h.Rows > 0 {
 			h.PatchRatio = float64(h.Patches) / float64(h.Rows)
 			h.ThresholdUtilization = h.PatchRatio / patch.CrossoverRate
+		}
+		if t, err := e.cat.Table(ix.Table()); err == nil {
+			h.ZoneStaleRows, h.ZoneStalePartitions = t.ZoneStaleness()
 		}
 		kinds := map[patch.Kind]bool{}
 		for p := 0; p < ix.NumPartitions(); p++ {

@@ -1,0 +1,402 @@
+package obs
+
+import (
+	"fmt"
+	"strings"
+	"testing"
+	"time"
+)
+
+// feed drives a single-series alerter through a value sequence at 1s cadence
+// and returns the alerter plus the last evaluation time.
+func feed(t *testing.T, rules []Rule, metric string, values []float64) (*Alerter, *SeriesSet, int64) {
+	t.Helper()
+	a := NewAlerter(rules)
+	set := NewSeriesSet(0, 0, 0)
+	s := set.Get(metric)
+	var now int64
+	for i, v := range values {
+		now = int64(i+1) * int64(time.Second)
+		s.Observe(now, v)
+		a.Evaluate(set, now)
+	}
+	return a, set, now
+}
+
+func TestAboveRuleHysteresis(t *testing.T) {
+	rules := []Rule{{
+		Name: "hot", Metric: "g", Kind: KindAbove, Severity: SeverityWarn,
+		Threshold: 10, Resolve: 4, FireAfter: 2, ResolveAfter: 2,
+	}}
+	a := NewAlerter(rules)
+	set := NewSeriesSet(0, 0, 0)
+	s := set.Get("g")
+	step := func(i int, v float64) {
+		s.Observe(int64(i)*int64(time.Second), v)
+		a.Evaluate(set, int64(i)*int64(time.Second))
+	}
+
+	step(1, 12) // first breach: debounced, not firing yet
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("fired after 1 breach with FireAfter=2: %+v", got)
+	}
+	step(2, 13) // second consecutive breach: fires
+	firing := a.Firing()
+	if len(firing) != 1 || firing[0].Rule != "hot" || firing[0].Metric != "g" {
+		t.Fatalf("Firing = %+v, want rule hot on g", firing)
+	}
+	if firing[0].Severity != SeverityWarn || firing[0].Value != 13 {
+		t.Fatalf("firing alert = %+v, want warn value=13", firing[0])
+	}
+
+	// Dropping below threshold but above Resolve must NOT resolve (hysteresis).
+	step(3, 7)
+	step(4, 7)
+	step(5, 7)
+	if got := a.Firing(); len(got) != 1 {
+		t.Fatalf("resolved while hovering in the hysteresis band: %+v", got)
+	}
+
+	step(6, 2) // first clear
+	if got := a.Firing(); len(got) != 1 {
+		t.Fatalf("resolved after 1 clear with ResolveAfter=2: %+v", got)
+	}
+	step(7, 1) // second clear: resolves
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("still firing after 2 clears: %+v", got)
+	}
+	alerts := a.Alerts()
+	if len(alerts) != 1 || alerts[0].State != StateResolved {
+		t.Fatalf("Alerts = %+v, want one resolved standing", alerts)
+	}
+	if alerts[0].ResolvedUnix != 7*int64(time.Second) {
+		t.Fatalf("ResolvedUnix = %d, want 7s", alerts[0].ResolvedUnix)
+	}
+
+	// History holds exactly the two transitions, newest first.
+	hist := a.History(0)
+	if len(hist) != 2 || hist[0].State != StateResolved || hist[1].State != StateFiring {
+		t.Fatalf("History = %+v, want [resolved, firing]", hist)
+	}
+}
+
+func TestDriftRuleProjectsCrossover(t *testing.T) {
+	rules := []Rule{{
+		Name: "drift", Metric: "index.*.patch_ratio", Kind: KindDrift,
+		Severity: SeverityWarn, Target: DefaultCrossoverRate,
+		HorizonSeconds: 3600, FireAfter: 1, ResolveAfter: 2,
+	}}
+	// Ratio rising ~0.001/s from 0.004: still below 1/64 (~0.0156) but the
+	// projected crossover lands well inside the hour horizon.
+	vals := []float64{0.004, 0.005, 0.006, 0.007, 0.008}
+	a, _, _ := feed(t, rules, "index.emp.s.nsc.patch_ratio", vals)
+	firing := a.Firing()
+	if len(firing) != 1 {
+		t.Fatalf("drift rule did not fire on a rising sub-threshold series: %+v", a.Alerts())
+	}
+	al := firing[0]
+	if al.Value >= DefaultCrossoverRate {
+		t.Fatalf("fired on value %.5f >= target; want trend-based fire below target", al.Value)
+	}
+	if al.CrossoverSeconds <= 0 || al.CrossoverSeconds > 3600 {
+		t.Fatalf("CrossoverSeconds = %v, want within (0, 3600]", al.CrossoverSeconds)
+	}
+	if !strings.Contains(al.Message, "trending to cross") {
+		t.Fatalf("message %q should name the projected crossover", al.Message)
+	}
+}
+
+func TestDriftRuleFiresPastTargetAndResolves(t *testing.T) {
+	rules := []Rule{{
+		Name: "drift", Metric: "r", Kind: KindDrift, Severity: SeverityWarn,
+		Target: DefaultCrossoverRate, HorizonSeconds: 3600,
+		Resolve: DefaultCrossoverRate / 2, FireAfter: 1, ResolveAfter: 2,
+	}}
+	a := NewAlerter(rules)
+	set := NewSeriesSet(0, 0, 0)
+	s := set.Get("r")
+	now := int64(time.Second)
+	obs := func(v float64) {
+		s.Observe(now, v)
+		a.Evaluate(set, now)
+		now += int64(time.Second)
+	}
+	obs(0.05) // far past the 1/64 target: immediate breach
+	firing := a.Firing()
+	if len(firing) != 1 || firing[0].CrossoverSeconds != 0 {
+		t.Fatalf("Firing = %+v, want one alert already past crossover (0s)", firing)
+	}
+	if !strings.Contains(firing[0].Message, "past the") {
+		t.Fatalf("message %q should say the target is past", firing[0].Message)
+	}
+	// Collapse (a rebuild): falling series, below the resolve floor.
+	obs(0.001)
+	obs(0.001)
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("drift alert did not resolve after collapse: %+v", got)
+	}
+}
+
+func TestRatioRuleNeedsEstablishedBaseline(t *testing.T) {
+	rules := []Rule{{
+		Name: "lat", Metric: "stmt.*.ewma_nanos", Kind: KindRatio,
+		Severity: SeverityWarn, Threshold: 2.0, Resolve: 1.25,
+		FireAfter: 1, ResolveAfter: 2,
+	}}
+	a := NewAlerter(rules)
+	set := NewSeriesSet(0, 0, 0)
+	s := set.Get("stmt.abcd.ewma_nanos")
+	now := int64(time.Second)
+	obs := func(v float64) {
+		s.Observe(now, v)
+		a.Evaluate(set, now)
+		now += int64(time.Second)
+	}
+	// A spike in the first few samples must not fire: baseline not yet
+	// established (baselineMinSamples).
+	obs(100)
+	obs(100_000)
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("ratio rule fired on a cold baseline: %+v", got)
+	}
+	// Establish a flat baseline, then regress 10x.
+	for i := 0; i < 12; i++ {
+		obs(1000)
+	}
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("ratio rule fired on a flat series: %+v", got)
+	}
+	for i := 0; i < 6; i++ {
+		obs(10_000)
+	}
+	firing := a.Firing()
+	if len(firing) != 1 {
+		t.Fatalf("ratio rule missed a 10x regression: %+v", a.Alerts())
+	}
+	if firing[0].Value < 2.0 {
+		t.Fatalf("firing ratio = %v, want >= 2.0", firing[0].Value)
+	}
+}
+
+func TestRateRuleOnCounter(t *testing.T) {
+	rules := []Rule{{
+		Name: "shed", Metric: "counter.shed", Kind: KindRate,
+		Severity: SeverityCrit, Threshold: 1, Resolve: 0.1,
+		FireAfter: 1, ResolveAfter: 2,
+	}}
+	a := NewAlerter(rules)
+	set := NewSeriesSet(0, 0, 0)
+	s := set.Get("counter.shed")
+	obs := func(sec int64, v float64) {
+		s.Observe(sec*int64(time.Second), v)
+		a.Evaluate(set, sec*int64(time.Second))
+	}
+	obs(1, 0)
+	obs(2, 0)
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("rate rule fired on a flat counter: %+v", got)
+	}
+	obs(3, 5) // 5/s: shedding
+	firing := a.Firing()
+	if len(firing) != 1 || firing[0].Severity != SeverityCrit {
+		t.Fatalf("Firing = %+v, want one crit rate alert", firing)
+	}
+	obs(4, 5) // counter stops moving
+	obs(5, 5)
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("rate alert did not resolve once shedding stopped: %+v", got)
+	}
+	// Counter reset clamps to zero rate instead of going negative.
+	obs(6, 0)
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("counter reset re-fired the rate alert: %+v", got)
+	}
+}
+
+func TestAlertHistoryBounded(t *testing.T) {
+	a := NewAlerter([]Rule{})
+	for i := 0; i < alertHistoryCap+50; i++ {
+		a.Event("tuner_create", SeverityInfo, "m", fmt.Sprintf("event %d", i), int64(i))
+	}
+	hist := a.History(0)
+	if len(hist) != alertHistoryCap {
+		t.Fatalf("history retained %d entries, want cap %d", len(hist), alertHistoryCap)
+	}
+	if hist[0].Seq != alertHistoryCap+50 {
+		t.Fatalf("newest seq = %d, want %d", hist[0].Seq, alertHistoryCap+50)
+	}
+	if got := a.History(10); len(got) != 10 {
+		t.Fatalf("History(10) returned %d", len(got))
+	}
+}
+
+func TestEventNotifyFiresOutsideLock(t *testing.T) {
+	a := NewAlerter(nil)
+	var got []AlertEvent
+	a.SetNotify(func(ev AlertEvent) {
+		// Re-entering the alerter from the callback must not deadlock: the
+		// notify contract is "mutex released".
+		a.History(1)
+		got = append(got, ev)
+	})
+	a.Event("tuner_rebuild", SeverityInfo, "emp.s[NEARLY SORTED]", "rebuilt", 42)
+	if len(got) != 1 || got[0].State != "event" || got[0].Alert.Rule != "tuner_rebuild" {
+		t.Fatalf("notify got %+v, want one tuner_rebuild event", got)
+	}
+	if got[0].UnixNanos != 42 {
+		t.Fatalf("event time = %d, want 42", got[0].UnixNanos)
+	}
+}
+
+func TestEvaluateNotifiesTransitions(t *testing.T) {
+	rules := []Rule{{
+		Name: "hot", Metric: "g", Kind: KindAbove, Severity: SeverityWarn,
+		Threshold: 10, FireAfter: 1, ResolveAfter: 1,
+	}}
+	a := NewAlerter(rules)
+	var states []string
+	a.SetNotify(func(ev AlertEvent) { states = append(states, ev.State) })
+	set := NewSeriesSet(0, 0, 0)
+	s := set.Get("g")
+	s.Observe(1, 20)
+	a.Evaluate(set, 1)
+	s.Observe(2, 20)
+	a.Evaluate(set, 2) // still firing: no new transition
+	s.Observe(3, 0)
+	a.Evaluate(set, 3)
+	if len(states) != 2 || states[0] != StateFiring || states[1] != StateResolved {
+		t.Fatalf("notify saw %v, want [firing resolved]", states)
+	}
+}
+
+func TestParseRules(t *testing.T) {
+	good := `[{"name":"x","metric":"g.*","kind":"above","severity":"warn","threshold":5}]`
+	rules, err := ParseRules([]byte(good))
+	if err != nil || len(rules) != 1 || rules[0].Name != "x" {
+		t.Fatalf("ParseRules(good) = %+v, %v", rules, err)
+	}
+	for _, bad := range []string{
+		`not json`,
+		`[{"name":"x","metric":"g","kind":"sideways","severity":"warn"}]`,
+		`[{"name":"x","metric":"g","kind":"above","severity":"mild"}]`,
+		`[{"name":"","metric":"g","kind":"above","severity":"warn"}]`,
+		`[{"name":"x","metric":"[","kind":"above","severity":"warn"}]`,
+	} {
+		if _, err := ParseRules([]byte(bad)); err == nil {
+			t.Errorf("ParseRules(%q) accepted invalid input", bad)
+		}
+	}
+	for _, r := range DefaultRules() {
+		if err := r.Validate(); err != nil {
+			t.Errorf("default rule %q invalid: %v", r.Name, err)
+		}
+	}
+}
+
+func TestNewAlerterDropsInvalidRules(t *testing.T) {
+	a := NewAlerter([]Rule{
+		{Name: "ok", Metric: "g", Kind: KindAbove, Severity: SeverityWarn, Threshold: 1},
+		{Name: "bad", Metric: "g", Kind: "sideways", Severity: SeverityWarn},
+	})
+	if rules := a.Rules(); len(rules) != 1 || rules[0].Name != "ok" {
+		t.Fatalf("Rules = %+v, want only the valid rule", rules)
+	}
+}
+
+func TestMonitorSampleNow(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("c_total").Add(3)
+	reg.Gauge("g_now").Set(7)
+	h := reg.Histogram("lat_nanos")
+	for i := 0; i < 100; i++ {
+		h.Observe(time.Duration(i) * time.Microsecond)
+	}
+	sourceCalls := 0
+	m := NewMonitor(reg, time.Second, nil, func(emit func(string, float64)) {
+		sourceCalls++
+		emit("index.emp.s.nsc.patch_ratio", 0.5)
+	})
+	now := int64(time.Second)
+	m.SetClock(func() int64 { return now })
+
+	m.SampleNow()
+	now += int64(time.Second)
+	m.SampleNow()
+
+	if m.Samples() != 2 || sourceCalls != 2 {
+		t.Fatalf("samples=%d sourceCalls=%d, want 2 each", m.Samples(), sourceCalls)
+	}
+	set := m.Series()
+	for _, name := range []string{
+		"counter.c_total", "gauge.g_now",
+		"hist.lat_nanos.p50", "hist.lat_nanos.p95", "hist.lat_nanos.p99",
+		"gauge.runtime_goroutines", "gauge.runtime_heap_alloc_bytes",
+		"gauge.runtime_gomaxprocs",
+		"index.emp.s.nsc.patch_ratio",
+	} {
+		s := set.Lookup(name)
+		if s == nil {
+			t.Errorf("series %q missing after SampleNow; have %v", name, set.Names())
+			continue
+		}
+		if s.Observed() != 2 {
+			t.Errorf("series %q observed %d, want 2", name, s.Observed())
+		}
+	}
+	if p, ok := set.Lookup("counter.c_total").Latest(); !ok || p.Last != 3 {
+		t.Fatalf("counter mirror = %+v, want 3", p)
+	}
+	// The default patch_ratio_drift rule sees 0.5 >= 1/64 and fires.
+	firing := m.Alerter().Firing()
+	if len(firing) != 1 || firing[0].Rule != "patch_ratio_drift" {
+		t.Fatalf("Firing = %+v, want patch_ratio_drift", firing)
+	}
+	if firing[0].Metric != "index.emp.s.nsc.patch_ratio" {
+		t.Fatalf("alert metric = %q, want the index series name", firing[0].Metric)
+	}
+}
+
+func TestMonitorStartStop(t *testing.T) {
+	m := NewMonitor(NewRegistry(), 10*time.Millisecond, nil, nil)
+	if m.Enabled() {
+		t.Fatal("monitor enabled before Start")
+	}
+	m.Start()
+	if !m.Enabled() {
+		t.Fatal("monitor not enabled after Start")
+	}
+	deadline := time.Now().Add(2 * time.Second)
+	for m.Samples() < 2 && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if m.Samples() < 2 {
+		t.Fatalf("sampler took no samples (got %d)", m.Samples())
+	}
+	m.Stop()
+	if m.Enabled() {
+		t.Fatal("monitor still enabled after Stop")
+	}
+	m.Stop() // idempotent
+	var nilM *Monitor
+	if nilM.Enabled() || nilM.Samples() != 0 {
+		t.Fatal("nil monitor should be disabled")
+	}
+	nilM.Start()
+	nilM.Stop()
+	nilM.SampleNow()
+}
+
+// BenchmarkSamplerDisabledPath measures the per-statement cost the monitor
+// adds when sampling is off: one nil-safe atomic load. CI gates this below
+// 50 ns/op, mirroring the profiler's disabled-path gate.
+func BenchmarkSamplerDisabledPath(b *testing.B) {
+	m := NewMonitor(NewRegistry(), time.Second, nil, nil)
+	b.ReportAllocs()
+	sink := false
+	for i := 0; i < b.N; i++ {
+		sink = m.Enabled()
+	}
+	if sink {
+		b.Fatal("monitor unexpectedly enabled")
+	}
+}

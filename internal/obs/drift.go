@@ -1,0 +1,121 @@
+package obs
+
+import "math"
+
+// Drift detectors: small incremental estimators the alert engine keeps per
+// (rule, series) pair. They see one sample per evaluation, so their state is
+// a handful of floats — no window buffers.
+
+// slopeTracker estimates the trend of a series as an exponentially weighted
+// moving average of the instantaneous slope (value units per second). The
+// EWMA smooths sampling noise so a single jittery sample does not project a
+// crossover.
+type slopeTracker struct {
+	init      bool
+	lastNanos int64
+	lastValue float64
+	slope     float64 // EWMA of dv/dt, per second
+	samples   int64
+}
+
+// slopeAlpha weighs the newest instantaneous slope; ~0.3 reacts within a
+// few samples while still damping single-sample spikes.
+const slopeAlpha = 0.3
+
+func (st *slopeTracker) observe(unixNanos int64, v float64) {
+	if !st.init {
+		st.init = true
+		st.lastNanos, st.lastValue = unixNanos, v
+		st.samples = 1
+		return
+	}
+	dt := float64(unixNanos-st.lastNanos) / 1e9
+	if dt <= 0 {
+		return // duplicate or out-of-order sample: no slope information
+	}
+	inst := (v - st.lastValue) / dt
+	st.slope = slopeAlpha*inst + (1-slopeAlpha)*st.slope
+	st.lastNanos, st.lastValue = unixNanos, v
+	st.samples++
+}
+
+// projectedSeconds returns the extrapolated time until the series reaches
+// target: 0 when already at or past it, +Inf when flat or falling (or too
+// few samples to know).
+func (st *slopeTracker) projectedSeconds(target float64) float64 {
+	if st.lastValue >= target {
+		return 0
+	}
+	if st.samples < 2 || st.slope <= 1e-12 {
+		return math.Inf(1)
+	}
+	return (target - st.lastValue) / st.slope
+}
+
+// baselineTracker compares a fast EWMA of a series against a slow trailing
+// baseline — the latency-regression detector: when the recent level is a
+// multiple of what it used to be, the workload regressed.
+type baselineTracker struct {
+	init    bool
+	fast    float64
+	slow    float64
+	samples int64
+}
+
+const (
+	baselineFastAlpha = 0.3
+	baselineSlowAlpha = 0.03
+	// baselineMinSamples is how many samples establish the trailing
+	// baseline before a ratio is trusted (a cold baseline of one sample
+	// would make every second sample look like a regression).
+	baselineMinSamples = 8
+)
+
+func (bt *baselineTracker) observe(v float64) {
+	if !bt.init {
+		bt.init = true
+		bt.fast, bt.slow = v, v
+		bt.samples = 1
+		return
+	}
+	bt.fast = baselineFastAlpha*v + (1-baselineFastAlpha)*bt.fast
+	bt.slow = baselineSlowAlpha*v + (1-baselineSlowAlpha)*bt.slow
+	bt.samples++
+}
+
+// ratio returns fast/slow and whether the baseline is established.
+func (bt *baselineTracker) ratio() (float64, bool) {
+	if bt.samples < baselineMinSamples || bt.slow <= 0 {
+		return 1, false
+	}
+	return bt.fast / bt.slow, true
+}
+
+// rateTracker turns a monotone counter series into a per-second rate from
+// consecutive samples — the shed/queue-pressure detector input.
+type rateTracker struct {
+	init      bool
+	lastNanos int64
+	lastValue float64
+	rate      float64
+	valid     bool
+}
+
+func (rt *rateTracker) observe(unixNanos int64, v float64) {
+	if !rt.init {
+		rt.init = true
+		rt.lastNanos, rt.lastValue = unixNanos, v
+		return
+	}
+	dt := float64(unixNanos-rt.lastNanos) / 1e9
+	if dt <= 0 {
+		return
+	}
+	d := v - rt.lastValue
+	if d < 0 {
+		d = 0 // counter reset
+	}
+	rt.rate = d / dt
+	rt.valid = true
+	rt.lastNanos, rt.lastValue = unixNanos, v
+}

@@ -203,6 +203,114 @@ func WriteWorkloadText(w io.Writer, snap WorkloadSnapshot, n int) {
 	}
 }
 
+// timeseriesDoc is the /timeseries response: either the series catalog
+// (no ?metric=) or one series' points.
+type timeseriesDoc struct {
+	Metric   string   `json:"metric,omitempty"`
+	Tier     string   `json:"tier,omitempty"`
+	WindowMS int64    `json:"window_ms,omitempty"`
+	Points   []Point  `json:"points,omitempty"`
+	Metrics  []string `json:"metrics,omitempty"`
+}
+
+// TimeseriesHandler serves the sampler's retained history — mount at
+// /timeseries. Without ?metric= it lists the series catalog; with it,
+// ?window= (Go duration, e.g. 5m) selects the trailing window and picks the
+// coarsest tier that covers it (?tier=raw|10s|5m overrides).
+func TimeseriesHandler(m *Monitor) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		set := m.Series()
+		metric := r.URL.Query().Get("metric")
+		if metric == "" {
+			_ = enc.Encode(timeseriesDoc{Metrics: set.Names()})
+			return
+		}
+		var window time.Duration
+		if q := r.URL.Query().Get("window"); q != "" {
+			d, err := time.ParseDuration(q)
+			if err != nil || d < 0 {
+				http.Error(w, "bad window (want a Go duration, e.g. 5m)", http.StatusBadRequest)
+				return
+			}
+			window = d
+		}
+		tier := r.URL.Query().Get("tier")
+		pts := set.Window(metric, tier, window, time.Now().UnixNano(), m.Interval())
+		if pts == nil && set.Lookup(metric) == nil {
+			http.Error(w, "unknown metric (drop ?metric= to list)", http.StatusNotFound)
+			return
+		}
+		if tier == "" {
+			if window <= 0 {
+				tier = TierRaw
+			} else {
+				tier = TierFor(window, m.Interval(), set.RawCap())
+			}
+		}
+		_ = enc.Encode(timeseriesDoc{
+			Metric: metric, Tier: tier, WindowMS: window.Milliseconds(), Points: pts,
+		})
+	})
+}
+
+// alertsDoc is the /alerts response: standing alerts plus recent
+// transition/event history.
+type alertsDoc struct {
+	Alerts  []Alert      `json:"alerts"`
+	History []AlertEvent `json:"history,omitempty"`
+}
+
+// AlertsHandler serves the alert engine state — mount at /alerts. The
+// default response is JSON; ?format=text renders the terminal report shown
+// by patchcli \alerts. ?n=N bounds the history (default 50).
+func AlertsHandler(a *Alerter) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		n := clampN(r.URL.Query().Get("n"), 50)
+		if r.URL.Query().Get("format") == "text" {
+			w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+			WriteAlertsText(w, a.Alerts(), a.History(n))
+			return
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", "  ")
+		_ = enc.Encode(alertsDoc{Alerts: a.Alerts(), History: a.History(n)})
+	})
+}
+
+// WriteAlertsText renders the alert state as a terminal report: firing and
+// resolved standings first, then the recent transition history.
+func WriteAlertsText(w io.Writer, alerts []Alert, history []AlertEvent) {
+	firing := 0
+	for _, al := range alerts {
+		if al.State == StateFiring {
+			firing++
+		}
+	}
+	fmt.Fprintf(w, "alerts: %d firing, %d tracked\n", firing, len(alerts))
+	for _, al := range alerts {
+		fmt.Fprintf(w, "  [%s] %-8s %s %s", al.Severity, al.State, al.Rule, al.Metric)
+		if al.Message != "" {
+			fmt.Fprintf(w, " — %s", al.Message)
+		}
+		fmt.Fprintln(w)
+	}
+	if len(history) > 0 {
+		fmt.Fprintf(w, "\nrecent transitions:\n")
+		for _, ev := range history {
+			t := time.Unix(0, ev.UnixNanos).UTC().Format("15:04:05")
+			fmt.Fprintf(w, "  %s %-8s [%s] %s %s", t, ev.State, ev.Alert.Severity, ev.Alert.Rule, ev.Alert.Metric)
+			if ev.Alert.Message != "" {
+				fmt.Fprintf(w, " — %s", ev.Alert.Message)
+			}
+			fmt.Fprintln(w)
+		}
+	}
+}
+
 // Handler mounts MetricsHandler at /metrics and StatsHandler at /stats on a
 // fresh mux, ready for http.ListenAndServe. When tracer is non-nil the
 // query-history endpoints /queries and /trace/<id> are mounted too.

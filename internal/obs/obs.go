@@ -126,10 +126,15 @@ type HistBucket struct {
 	Count int64 `json:"count"`
 }
 
-// HistSnapshot is a point-in-time copy of a histogram.
+// HistSnapshot is a point-in-time copy of a histogram. P50/P95/P99 are
+// bucket-interpolated quantile estimates (see Quantile) so /stats readers
+// get tail latency without re-deriving it from the buckets.
 type HistSnapshot struct {
 	Count    int64        `json:"count"`
 	SumNanos int64        `json:"sum_nanos"`
+	P50Nanos int64        `json:"p50_nanos,omitempty"`
+	P95Nanos int64        `json:"p95_nanos,omitempty"`
+	P99Nanos int64        `json:"p99_nanos,omitempty"`
 	Buckets  []HistBucket `json:"buckets,omitempty"`
 }
 
@@ -146,6 +151,9 @@ func (h *Histogram) Snapshot() HistSnapshot {
 		}
 		s.Buckets = append(s.Buckets, HistBucket{LENanos: le, Count: cum})
 	}
+	s.P50Nanos = int64(s.Quantile(0.50))
+	s.P95Nanos = int64(s.Quantile(0.95))
+	s.P99Nanos = int64(s.Quantile(0.99))
 	return s
 }
 

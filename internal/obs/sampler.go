@@ -1,0 +1,213 @@
+package obs
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// SampleSource feeds engine-specific series (per-index patch ratios,
+// zone-map staleness, per-fingerprint latency) into one sampling pass. The
+// emit callback records a single observation; implementations must not
+// retain it.
+type SampleSource func(emit func(name string, v float64))
+
+// Monitor owns the sampling goroutine: every interval it collects runtime
+// gauges into the registry, mirrors the registry snapshot into the
+// time-series set (counter.<name>, gauge.<name>, hist.<name>.p50/p95/p99),
+// runs the engine's SampleSource, and evaluates the alert rules. A nil
+// *Monitor is valid and no-ops, so the engine's hot path can gate on
+// Enabled() without nil checks.
+type Monitor struct {
+	reg      *Registry
+	set      *SeriesSet
+	alerter  *Alerter
+	interval time.Duration
+	source   SampleSource
+
+	// now is the sample clock, replaceable in tests so drift projections
+	// and downsampling boundaries are deterministic.
+	now func() int64
+
+	enabled atomic.Bool
+	mu      sync.Mutex
+	stop    chan struct{}
+	done    chan struct{}
+	samples atomic.Int64
+}
+
+// NewMonitor creates a monitor sampling reg (and the optional source) every
+// interval (min 10ms, default 1s) under the given rules (nil = defaults).
+// The monitor starts stopped; call Start.
+func NewMonitor(reg *Registry, interval time.Duration, rules []Rule, source SampleSource) *Monitor {
+	if interval <= 0 {
+		interval = time.Second
+	}
+	if interval < 10*time.Millisecond {
+		interval = 10 * time.Millisecond
+	}
+	return &Monitor{
+		reg:      reg,
+		set:      NewSeriesSet(0, 0, 0),
+		alerter:  NewAlerter(rules),
+		interval: interval,
+		source:   source,
+		now:      func() int64 { return time.Now().UnixNano() },
+	}
+}
+
+// Enabled reports whether the sampler goroutine is running — the engine's
+// per-statement gate, a single atomic load on a possibly-nil receiver.
+func (m *Monitor) Enabled() bool {
+	return m != nil && m.enabled.Load()
+}
+
+// Series returns the time-series set (nil-safe).
+func (m *Monitor) Series() *SeriesSet {
+	if m == nil {
+		return nil
+	}
+	return m.set
+}
+
+// Alerter returns the alert engine (nil-safe).
+func (m *Monitor) Alerter() *Alerter {
+	if m == nil {
+		return nil
+	}
+	return m.alerter
+}
+
+// Interval returns the sampling interval (used for tier selection).
+func (m *Monitor) Interval() time.Duration {
+	if m == nil {
+		return time.Second
+	}
+	return m.interval
+}
+
+// Samples returns the number of sampling passes completed.
+func (m *Monitor) Samples() int64 {
+	if m == nil {
+		return 0
+	}
+	return m.samples.Load()
+}
+
+// SetClock replaces the sample clock — tests drive synthetic time through
+// it so drift slopes and bucket boundaries are deterministic. Call before
+// Start (or use SampleNow directly without starting the goroutine).
+func (m *Monitor) SetClock(now func() int64) {
+	if m != nil && now != nil {
+		m.now = now
+	}
+}
+
+// Start launches the sampling goroutine. No-op when already running.
+func (m *Monitor) Start() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.stop != nil {
+		return
+	}
+	m.stop = make(chan struct{})
+	m.done = make(chan struct{})
+	m.enabled.Store(true)
+	go m.loop(m.stop, m.done)
+}
+
+// Stop halts the sampling goroutine and waits for it to exit. No-op when
+// not running.
+func (m *Monitor) Stop() {
+	if m == nil {
+		return
+	}
+	m.mu.Lock()
+	stop, done := m.stop, m.done
+	m.stop, m.done = nil, nil
+	m.mu.Unlock()
+	if stop == nil {
+		return
+	}
+	m.enabled.Store(false)
+	close(stop)
+	<-done
+}
+
+func (m *Monitor) loop(stop <-chan struct{}, done chan<- struct{}) {
+	defer close(done)
+	t := time.NewTicker(m.interval)
+	defer t.Stop()
+	m.SampleNow() // first sample immediately so endpoints are warm
+	for {
+		select {
+		case <-stop:
+			return
+		case <-t.C:
+			m.SampleNow()
+		}
+	}
+}
+
+// SampleNow runs one complete sampling pass synchronously: runtime gauges,
+// registry mirror, engine source, alert evaluation. Tests call it directly
+// with an injected clock; the goroutine calls it on each tick.
+func (m *Monitor) SampleNow() {
+	if m == nil {
+		return
+	}
+	now := m.now()
+	CollectRuntime(m.reg)
+	m.mirrorRegistry(now)
+	if m.source != nil {
+		m.source(func(name string, v float64) {
+			m.set.Get(name).Observe(now, v)
+		})
+	}
+	m.alerter.Evaluate(m.set, now)
+	m.samples.Add(1)
+}
+
+// mirrorRegistry copies one registry snapshot into the series set so every
+// counter, gauge, and histogram quantile gains history for free.
+func (m *Monitor) mirrorRegistry(now int64) {
+	if m.reg == nil {
+		return
+	}
+	snap := m.reg.Snapshot()
+	for k, v := range snap.Counters {
+		m.set.Get("counter."+k).Observe(now, float64(v))
+	}
+	for k, v := range snap.Gauges {
+		m.set.Get("gauge."+k).Observe(now, float64(v))
+	}
+	for k, h := range snap.Histograms {
+		if h.Count == 0 {
+			continue
+		}
+		m.set.Get("hist."+k+".p50").Observe(now, float64(h.Quantile(0.50)))
+		m.set.Get("hist."+k+".p95").Observe(now, float64(h.Quantile(0.95)))
+		m.set.Get("hist."+k+".p99").Observe(now, float64(h.Quantile(0.99)))
+	}
+}
+
+// CollectRuntime refreshes the process-health gauges in the registry:
+// goroutine count, heap bytes, cumulative GC pause, GC cycles, GOMAXPROCS.
+// Called on every sampling pass and usable standalone (e.g. /metrics-only
+// deployments without a monitor).
+func CollectRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("runtime_goroutines").Set(int64(runtime.NumGoroutine()))
+	r.Gauge("runtime_heap_alloc_bytes").Set(int64(ms.HeapAlloc))
+	r.Gauge("runtime_gc_pause_total_nanos").Set(int64(ms.PauseTotalNs))
+	r.Gauge("runtime_num_gc").Set(int64(ms.NumGC))
+	r.Gauge("runtime_gomaxprocs").Set(int64(runtime.GOMAXPROCS(0)))
+}

@@ -1,0 +1,195 @@
+package obs
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+func TestSeriesRawRingWrapAround(t *testing.T) {
+	s := newSeries(8, 4, 4)
+	const total = 37
+	for i := 0; i < total; i++ {
+		s.Observe(int64(i)*int64(time.Second), float64(i))
+	}
+	if got := s.Observed(); got != total {
+		t.Fatalf("Observed = %d, want %d", got, total)
+	}
+	pts := s.Points(TierRaw)
+	if len(pts) != 8 {
+		t.Fatalf("raw retained %d points, want ring capacity 8", len(pts))
+	}
+	// Oldest retained point must be total-8; newest must be total-1, and the
+	// snapshot must come back oldest-first.
+	for i, p := range pts {
+		want := float64(total - 8 + i)
+		if p.Last != want {
+			t.Fatalf("pts[%d].Last = %v, want %v", i, p.Last, want)
+		}
+	}
+	last, ok := s.Latest()
+	if !ok || last.Last != total-1 {
+		t.Fatalf("Latest = %+v ok=%v, want Last=%d", last, ok, total-1)
+	}
+}
+
+func TestSeriesDownsampling(t *testing.T) {
+	s := newSeries(64, 16, 16)
+	// Two full 10s buckets plus one open one, 1s cadence.
+	// Bucket 0 (t=0..9): values 0..9; bucket 1 (t=10..19): values 10..19;
+	// open bucket (t=20): value 20.
+	for i := 0; i <= 20; i++ {
+		s.Observe(int64(i)*int64(time.Second), float64(i))
+	}
+	pts := s.Points(Tier10s)
+	if len(pts) != 3 {
+		t.Fatalf("10s tier has %d points, want 2 closed + 1 open", len(pts))
+	}
+	b0 := pts[0]
+	if b0.UnixNanos != 0 || b0.Min != 0 || b0.Max != 9 || b0.Last != 9 || b0.Count != 10 || b0.Sum != 45 {
+		t.Fatalf("bucket 0 = %+v, want start=0 min=0 max=9 last=9 count=10 sum=45", b0)
+	}
+	if got := b0.Mean(); got != 4.5 {
+		t.Fatalf("bucket 0 mean = %v, want 4.5", got)
+	}
+	b1 := pts[1]
+	if b1.UnixNanos != 10*int64(time.Second) || b1.Min != 10 || b1.Max != 19 || b1.Count != 10 {
+		t.Fatalf("bucket 1 = %+v, want start=10s min=10 max=19 count=10", b1)
+	}
+	open := pts[2]
+	if open.UnixNanos != 20*int64(time.Second) || open.Count != 1 || open.Last != 20 {
+		t.Fatalf("open bucket = %+v, want start=20s count=1 last=20", open)
+	}
+	// All 21 samples still land in one open 5-minute bucket.
+	lng := s.Points(Tier5m)
+	if len(lng) != 1 || lng[0].Count != 21 || lng[0].Min != 0 || lng[0].Max != 20 {
+		t.Fatalf("5m tier = %+v, want one open bucket covering all 21 samples", lng)
+	}
+}
+
+func TestSeriesDownsamplingBucketGap(t *testing.T) {
+	s := newSeries(16, 8, 8)
+	// A sample, then a long silence past several bucket boundaries: the old
+	// bucket closes when the next sample arrives, with no phantom buckets in
+	// between.
+	s.Observe(1*int64(time.Second), 5)
+	s.Observe(95*int64(time.Second), 7)
+	pts := s.Points(Tier10s)
+	if len(pts) != 2 {
+		t.Fatalf("10s tier has %d points, want closed + open", len(pts))
+	}
+	if pts[0].UnixNanos != 0 || pts[0].Count != 1 || pts[0].Last != 5 {
+		t.Fatalf("closed bucket = %+v, want start=0 count=1 last=5", pts[0])
+	}
+	if pts[1].UnixNanos != 90*int64(time.Second) || pts[1].Last != 7 {
+		t.Fatalf("open bucket = %+v, want start=90s last=7", pts[1])
+	}
+}
+
+func TestSeriesConcurrentObserveAndRead(t *testing.T) {
+	set := NewSeriesSet(32, 16, 16)
+	const writers, perWriter = 4, 2000
+	var wg sync.WaitGroup
+	stop := make(chan struct{})
+	// Concurrent readers exercising the lock-free snapshots while writers
+	// wrap the rings; run under -race this is the wrap-around safety test.
+	for r := 0; r < 2; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				s := set.Get("m")
+				s.Points(TierRaw)
+				s.Points(Tier10s)
+				s.Latest()
+				set.Names()
+			}
+		}()
+	}
+	var ww sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		ww.Add(1)
+		go func(w int) {
+			defer ww.Done()
+			s := set.Get("m")
+			for i := 0; i < perWriter; i++ {
+				s.Observe(int64(w*perWriter+i)*int64(time.Millisecond), float64(i))
+			}
+		}(w)
+	}
+	ww.Wait()
+	close(stop)
+	wg.Wait()
+	if got := set.Get("m").Observed(); got != writers*perWriter {
+		t.Fatalf("Observed = %d, want %d", got, writers*perWriter)
+	}
+	if pts := set.Get("m").Points(TierRaw); len(pts) != 32 {
+		t.Fatalf("raw retained %d, want full ring 32", len(pts))
+	}
+}
+
+func TestTierFor(t *testing.T) {
+	cases := []struct {
+		window time.Duration
+		want   string
+	}{
+		{5 * time.Minute, TierRaw},  // 600 raw points at 1s cover 10 min
+		{10 * time.Minute, TierRaw}, // exactly at raw capacity
+		{30 * time.Minute, Tier10s}, // past raw, within 1h of 10s points
+		{time.Hour, Tier10s},        // exactly at 10s capacity
+		{6 * time.Hour, Tier5m},     // beyond both
+		{24 * time.Hour, Tier5m},
+	}
+	for _, c := range cases {
+		if got := TierFor(c.window, time.Second, DefaultRawPoints); got != c.want {
+			t.Errorf("TierFor(%v) = %s, want %s", c.window, got, c.want)
+		}
+	}
+	// Faster sampling shrinks the raw tier's coverage.
+	if got := TierFor(time.Minute, 10*time.Millisecond, DefaultRawPoints); got != Tier10s {
+		t.Errorf("TierFor(1m @10ms) = %s, want %s", got, Tier10s)
+	}
+}
+
+func TestSeriesSetWindow(t *testing.T) {
+	set := NewSeriesSet(64, 16, 16)
+	s := set.Get("w")
+	for i := 0; i < 30; i++ {
+		s.Observe(int64(i)*int64(time.Second), float64(i))
+	}
+	now := int64(29) * int64(time.Second)
+	pts := set.Window("w", "", 10*time.Second, now, time.Second)
+	if len(pts) != 11 { // t=19s..29s inclusive
+		t.Fatalf("window returned %d points, want 11", len(pts))
+	}
+	if pts[0].Last != 19 || pts[len(pts)-1].Last != 29 {
+		t.Fatalf("window edges = %v..%v, want 19..29", pts[0].Last, pts[len(pts)-1].Last)
+	}
+	if got := set.Window("missing", "", 0, now, time.Second); got != nil {
+		t.Fatalf("missing series window = %v, want nil", got)
+	}
+	// Zero window returns the whole raw tier.
+	if got := set.Window("w", "", 0, now, time.Second); len(got) != 30 {
+		t.Fatalf("zero window returned %d points, want 30", len(got))
+	}
+}
+
+func TestSeriesSetNilSafety(t *testing.T) {
+	var set *SeriesSet
+	if set.Get("x") != nil || set.Lookup("x") != nil || set.Names() != nil {
+		t.Fatal("nil SeriesSet should return nil series and names")
+	}
+	var s *Series
+	s.Observe(0, 1) // must not panic
+	if s.Observed() != 0 || s.Points(TierRaw) != nil {
+		t.Fatal("nil Series should no-op")
+	}
+	if _, ok := s.Latest(); ok {
+		t.Fatal("nil Series Latest should report !ok")
+	}
+}

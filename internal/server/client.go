@@ -260,6 +260,20 @@ func (c *Client) Tuner() (string, error) {
 	return res.Message, nil
 }
 
+// Alerts fetches the health watchdog's alert standings and recent
+// transition history as text.
+func (c *Client) Alerts() (string, error) {
+	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeAlerts})
+	if err != nil {
+		return "", err
+	}
+	res, err := toResult(resp)
+	if err != nil {
+		return "", err
+	}
+	return res.Message, nil
+}
+
 // Stats fetches the server metrics as Prometheus-style text.
 func (c *Client) Stats() (string, error) {
 	resp, err := c.roundTrip(&protocol.Request{Type: protocol.TypeStats})

@@ -44,6 +44,9 @@ const (
 	TypeIndexes = "indexes"
 	// TypeTuner returns the self-tuner's status and journal as text.
 	TypeTuner = "tuner"
+	// TypeAlerts returns the health watchdog's alert standings and recent
+	// transition history as text.
+	TypeAlerts = "alerts"
 	// TypeClose ends the session gracefully.
 	TypeClose = "close"
 )

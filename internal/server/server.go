@@ -95,6 +95,8 @@ type Server struct {
 	metrics        *obs.Registry
 	mSessions      *obs.Counter
 	gActiveSess    *obs.Gauge
+	gQueued        *obs.Gauge
+	gInFlight      *obs.Gauge
 	mQueries       *obs.Counter
 	mAdmitted      *obs.Counter
 	mQueuedTotal   *obs.Counter
@@ -134,6 +136,8 @@ func New(cfg Config) (*Server, error) {
 	r := cfg.Metrics
 	s.mSessions = r.Counter("server_sessions_total")
 	s.gActiveSess = r.Gauge("server_active_sessions")
+	s.gQueued = r.Gauge("server_queries_queued")
+	s.gInFlight = r.Gauge("server_queries_in_flight")
 	s.mQueries = r.Counter("server_queries_total")
 	s.mAdmitted = r.Counter("server_queries_admitted_total")
 	s.mQueuedTotal = r.Counter("server_queries_queued_total")
@@ -259,7 +263,11 @@ func (s *Server) admit(ctx context.Context) (func(), error) {
 		return nil, ErrServerBusy
 	}
 	s.mQueuedTotal.Inc()
-	defer s.queued.Add(-1)
+	s.gQueued.Add(1)
+	defer func() {
+		s.queued.Add(-1)
+		s.gQueued.Add(-1)
+	}()
 	select {
 	case s.sem <- struct{}{}:
 		s.mAdmitted.Inc()
@@ -315,7 +323,9 @@ func (s *Server) Shutdown(ctx context.Context) error {
 // /healthz, the query history at /queries, single traces at /trace/<id>
 // (?format=chrome for a chrome://tracing document), the workload observatory
 // at /workload, per-index benefit attribution at /indexes, the self-tuner
-// status and journal at /tuner, and — when enabled — /debug/pprof/.
+// status and journal at /tuner, the health watchdog's retained history at
+// /timeseries and alert standings at /alerts, and — when enabled —
+// /debug/pprof/.
 func (s *Server) httpMux() http.Handler {
 	mux := http.NewServeMux()
 	mux.Handle("/metrics", obs.MetricsHandler(s.metrics))
@@ -345,6 +355,8 @@ func (s *Server) httpMux() http.Handler {
 		enc.SetIndent("", "  ")
 		_ = enc.Encode(st)
 	}))
+	mux.Handle("/timeseries", obs.TimeseriesHandler(s.eng.Monitor()))
+	mux.Handle("/alerts", obs.AlertsHandler(s.eng.Monitor().Alerter()))
 	mux.Handle("/indexes", http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
 		doc := s.indexesDoc()
 		if r.URL.Query().Get("format") == "text" {

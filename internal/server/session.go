@@ -135,6 +135,11 @@ func (sess *session) handle(req *protocol.Request, reqCh chan *protocol.Request,
 		var sb strings.Builder
 		writeTunerText(&sb, sess.srv.eng.Tuner().Status())
 		return sess.write(&protocol.Response{ID: req.ID, Message: sb.String()})
+	case protocol.TypeAlerts:
+		var sb strings.Builder
+		a := sess.srv.eng.Monitor().Alerter()
+		obs.WriteAlertsText(&sb, a.Alerts(), a.History(50))
+		return sess.write(&protocol.Response{ID: req.ID, Message: sb.String()})
 	case protocol.TypeClose:
 		_ = protocol.WriteMessage(sess.conn, &protocol.Response{ID: req.ID, Message: "bye"})
 		return false
@@ -184,7 +189,11 @@ func (sess *session) runQuery(req *protocol.Request, reqCh chan *protocol.Reques
 	resCh := make(chan outcome, 1)
 	go func() {
 		s.inFlight.Add(1)
-		defer s.inFlight.Add(-1)
+		s.gInFlight.Add(1)
+		defer func() {
+			s.inFlight.Add(-1)
+			s.gInFlight.Add(-1)
+		}()
 		resp, err := sess.execute(qctx, req)
 		resCh <- outcome{resp, err}
 	}()

@@ -123,8 +123,12 @@ type ExplainStmt struct {
 
 func (*ExplainStmt) stmt() {}
 
-// ShowStmt is SHOW TABLES, SHOW PATCHINDEXES, or SHOW TUNER.
-type ShowStmt struct{ What string }
+// ShowStmt is SHOW TABLES, SHOW PATCHINDEXES, SHOW TUNER, SHOW ALERTS, or
+// SHOW TIMESERIES FOR <metric> (Arg carries the metric name).
+type ShowStmt struct {
+	What string
+	Arg  string
+}
 
 func (*ShowStmt) stmt() {}
 

@@ -93,6 +93,54 @@ func (p *Parser) expectIdent() (string, error) {
 	return "", p.errorf("expected identifier, got %q", p.peek().Text)
 }
 
+// acceptIdentWord consumes a non-reserved word (lexed as a lowercased
+// identifier) when it matches, e.g. ALERTS or FOR in SHOW statements.
+func (p *Parser) acceptIdentWord(word string) bool {
+	if t := p.peek(); t.Kind == TokIdent && t.Text == word {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+// parseMetricName parses a time-series name: either a quoted string or a
+// dotted identifier path like index.emp.s.nsc.patch_ratio (dots lex as
+// symbols between identifier segments). Segments that collide with SQL
+// keywords — "table", "index" — are accepted and lowercased.
+func (p *Parser) parseMetricName() (string, error) {
+	if t := p.peek(); t.Kind == TokString {
+		p.pos++
+		return t.Text, nil
+	}
+	seg, ok := p.acceptMetricSegment()
+	if !ok {
+		return "", p.errorf("expected a metric name after FOR")
+	}
+	name := seg
+	for p.acceptSymbol(".") {
+		seg, ok = p.acceptMetricSegment()
+		if !ok {
+			return "", p.errorf("expected a metric name segment after '.'")
+		}
+		name += "." + seg
+	}
+	return name, nil
+}
+
+// acceptMetricSegment consumes one metric-name segment: an identifier, or a
+// keyword token lowercased back to its source form.
+func (p *Parser) acceptMetricSegment() (string, bool) {
+	switch t := p.peek(); t.Kind {
+	case TokIdent:
+		p.pos++
+		return t.Text, true
+	case TokKeyword:
+		p.pos++
+		return strings.ToLower(t.Text), true
+	}
+	return "", false
+}
+
 func (p *Parser) parseStatement() (Statement, error) {
 	switch t := p.peek(); {
 	case t.Kind == TokKeyword && t.Text == "SELECT":
@@ -126,8 +174,20 @@ func (p *Parser) parseStatement() (Statement, error) {
 			return &ShowStmt{What: "patchindexes"}, nil
 		case p.acceptKeyword("TUNER"):
 			return &ShowStmt{What: "tuner"}, nil
+		case p.acceptIdentWord("alerts"):
+			return &ShowStmt{What: "alerts"}, nil
+		case p.acceptIdentWord("timeseries"):
+			// FOR is not a reserved word, so it arrives as an identifier.
+			if !p.acceptIdentWord("for") {
+				return nil, p.errorf("expected FOR after SHOW TIMESERIES")
+			}
+			metric, err := p.parseMetricName()
+			if err != nil {
+				return nil, err
+			}
+			return &ShowStmt{What: "timeseries", Arg: metric}, nil
 		default:
-			return nil, p.errorf("expected TABLES, PATCHINDEXES or TUNER after SHOW")
+			return nil, p.errorf("expected TABLES, PATCHINDEXES, TUNER, ALERTS or TIMESERIES after SHOW")
 		}
 	case t.Kind == TokKeyword && t.Text == "ALTER":
 		return p.parseAlter()

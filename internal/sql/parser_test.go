@@ -260,6 +260,48 @@ func TestParseDropAndShow(t *testing.T) {
 	}
 }
 
+func TestParseShowAlertsAndTimeseries(t *testing.T) {
+	stmt, err := Parse("SHOW ALERTS")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh := stmt.(*ShowStmt); sh.What != "alerts" {
+		t.Errorf("show = %+v", sh)
+	}
+	stmt, err = Parse("SHOW TIMESERIES FOR index.emp.s.nsc.patch_ratio")
+	if err != nil {
+		t.Fatal(err)
+	}
+	sh := stmt.(*ShowStmt)
+	if sh.What != "timeseries" || sh.Arg != "index.emp.s.nsc.patch_ratio" {
+		t.Errorf("show timeseries = %+v", sh)
+	}
+	// Keyword-colliding segments ("table", "index") and quoted names parse.
+	stmt, err = Parse("SHOW TIMESERIES FOR table.emp.zone_stale_rows")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh := stmt.(*ShowStmt); sh.Arg != "table.emp.zone_stale_rows" {
+		t.Errorf("keyword segment = %+v", sh)
+	}
+	stmt, err = Parse("SHOW TIMESERIES FOR 'hist.query_nanos.p99'")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sh := stmt.(*ShowStmt); sh.Arg != "hist.query_nanos.p99" {
+		t.Errorf("quoted metric = %+v", sh)
+	}
+	if _, err := Parse("SHOW TIMESERIES"); err == nil {
+		t.Error("SHOW TIMESERIES without FOR must fail")
+	}
+	if _, err := Parse("SHOW TIMESERIES FOR"); err == nil {
+		t.Error("missing metric must fail")
+	}
+	if _, err := Parse("SHOW TIMESERIES FOR a..b"); err == nil {
+		t.Error("empty metric segment must fail")
+	}
+}
+
 func TestParseInsert(t *testing.T) {
 	stmt, err := Parse("INSERT INTO t VALUES (1, 'a', NULL), (2, 'b', 3.5)")
 	if err != nil {

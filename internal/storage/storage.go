@@ -108,6 +108,11 @@ type Partition struct {
 	ID    int
 	cols  []*columnData
 	nrows int
+	// staleRows counts rows appended since the last zone-map recompute.
+	// Appends widen zone entries in place (they stay correct) but never
+	// re-derive them, so a partition with many post-recompute rows is a
+	// drift signal: its zones may be far looser than a fresh build's.
+	staleRows int
 }
 
 // NumRows returns the number of rows stored in the partition.
@@ -215,6 +220,7 @@ func (t *Table) AppendRow(part int, vals []vector.Value) error {
 		p.cols[c].updateSMA(p.nrows)
 	}
 	p.nrows++
+	p.staleRows++
 	return nil
 }
 
@@ -238,6 +244,7 @@ func (t *Table) AppendBatch(part int, b *vector.Batch) error {
 		}
 	}
 	p.nrows += n
+	p.staleRows += n
 	return nil
 }
 
@@ -270,7 +277,57 @@ func (t *Table) AppendColumns(part int, cols []*vector.Vector) error {
 		}
 	}
 	p.nrows += n
+	p.staleRows += n
 	return nil
+}
+
+// ZoneStaleness reports how much the table's zone maps have drifted from a
+// fresh build: the total rows appended since the last RecomputeZones and
+// the number of partitions with any such rows. A second degradation signal
+// next to the patch ratio.
+func (t *Table) ZoneStaleness() (staleRows, stalePartitions int) {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	for _, p := range t.partitions {
+		if p.staleRows > 0 {
+			staleRows += p.staleRows
+			stalePartitions++
+		}
+	}
+	return staleRows, stalePartitions
+}
+
+// RecomputeZones re-derives every partition's zone map entries from the
+// block SMAs and resets the staleness counters — called after an index
+// rebuild so the drift signal restarts from a clean baseline.
+func (t *Table) RecomputeZones() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	for _, p := range t.partitions {
+		for _, c := range p.cols {
+			z := sma{}
+			for _, s := range c.smas {
+				if s.hasNull {
+					z.hasNull = true
+				}
+				if !s.valid {
+					continue
+				}
+				if !z.valid {
+					z.min, z.max, z.valid = s.min, s.max, true
+					continue
+				}
+				if s.min.Compare(z.min) < 0 {
+					z.min = s.min
+				}
+				if s.max.Compare(z.max) > 0 {
+					z.max = s.max
+				}
+			}
+			c.zone = z
+		}
+		p.staleRows = 0
+	}
 }
 
 // PruneRanges computes the scan ranges of a partition that can contain values

@@ -245,3 +245,55 @@ func TestPruneRangesSoundness(t *testing.T) {
 		}
 	}
 }
+
+func TestZoneStaleness(t *testing.T) {
+	tab := newTestTable(t, 2)
+	if sr, sp := tab.ZoneStaleness(); sr != 0 || sp != 0 {
+		t.Fatalf("fresh table staleness = %d rows / %d parts, want 0/0", sr, sp)
+	}
+
+	// Every append path counts toward staleness.
+	if err := tab.AppendRow(0, []vector.Value{vector.IntValue(1), vector.StringValue("x")}); err != nil {
+		t.Fatal(err)
+	}
+	b := vector.NewBatch([]vector.Type{vector.Int64, vector.String})
+	b.Vecs[0].AppendInt64(2)
+	b.Vecs[1].AppendString("y")
+	b.Vecs[0].AppendInt64(3)
+	b.Vecs[1].AppendString("z")
+	if err := tab.AppendBatch(0, b); err != nil {
+		t.Fatal(err)
+	}
+	if err := tab.AppendColumns(1, []*vector.Vector{
+		vector.NewFromInt64([]int64{4, 5}),
+		vector.NewFromString([]string{"p", "q"}),
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if sr, sp := tab.ZoneStaleness(); sr != 5 || sp != 2 {
+		t.Fatalf("staleness = %d rows / %d parts, want 5/2", sr, sp)
+	}
+
+	before := tab.ZoneMap(0, 0)
+	tab.RecomputeZones()
+	if sr, sp := tab.ZoneStaleness(); sr != 0 || sp != 0 {
+		t.Fatalf("staleness after recompute = %d/%d, want 0/0", sr, sp)
+	}
+	// Recompute must preserve a correct zone map, not loosen or tighten it
+	// incorrectly: same bounds, same row counts.
+	after := tab.ZoneMap(0, 0)
+	if !after.Valid || after.Rows != before.Rows ||
+		after.Min.Compare(before.Min) != 0 ||
+		after.Max.Compare(before.Max) != 0 ||
+		after.HasNull != before.HasNull {
+		t.Fatalf("zone map changed across recompute: before %+v after %+v", before, after)
+	}
+
+	// New appends after the recompute restart the drift counter.
+	if err := tab.AppendRow(1, []vector.Value{vector.IntValue(6), vector.StringValue("r")}); err != nil {
+		t.Fatal(err)
+	}
+	if sr, sp := tab.ZoneStaleness(); sr != 1 || sp != 1 {
+		t.Fatalf("staleness after fresh append = %d/%d, want 1/1", sr, sp)
+	}
+}

@@ -2,6 +2,7 @@ package tuning
 
 import (
 	"fmt"
+	"sort"
 	"sync"
 	"time"
 
@@ -142,7 +143,7 @@ type Event struct {
 	Seq        int64   `json:"seq"`
 	Cycle      int64   `json:"cycle"`
 	Tick       int64   `json:"tick"`
-	Action     string  `json:"action"` // create|drop|reject|rollback|start|stop
+	Action     string  `json:"action"` // create|drop|rebuild|reject|rollback|start|stop
 	Table      string  `json:"table,omitempty"`
 	Column     string  `json:"column,omitempty"`
 	Constraint string  `json:"constraint,omitempty"`
@@ -158,6 +159,7 @@ type Status struct {
 	Cycles            int64       `json:"cycles"`
 	Creates           int64       `json:"creates"`
 	Drops             int64       `json:"drops"`
+	Rebuilds          int64       `json:"rebuilds"`
 	Rejects           int64       `json:"rejects"`
 	Rollbacks         int64       `json:"rollbacks"`
 	Tick              int64       `json:"tick"`
@@ -217,7 +219,31 @@ type Tuner struct {
 	prevCols map[string]obs.ColumnStats
 	lastCand []Candidate
 	journal  []Event
+	// drift queues rebuild candidates reported by the monitor's
+	// patch-ratio-drift detector, deduplicated by index key. The next cycle
+	// services them ahead of (and regardless of) the MinTicks gate: a
+	// drifting index needs repair even when the observatory is cold.
+	drift    map[string]DriftReport
+	rebuilds int64
+	// notify, when set, receives every journaled event (the monitor turns
+	// them into info alerts). Called with t.mu held — it must not call back
+	// into the tuner.
+	notify func(Event)
 }
+
+// DriftReport is one monitor finding: an index whose patch ratio crossed
+// (or is projected to cross) the representation crossover.
+type DriftReport struct {
+	Table      string  `json:"table"`
+	Column     string  `json:"column"`
+	Constraint string  `json:"constraint"` // "nuc" or "nsc"
+	Ratio      float64 `json:"ratio"`
+	// ProjectedSeconds is the detector's time-to-crossover estimate
+	// (0 = already past).
+	ProjectedSeconds float64 `json:"projected_seconds"`
+}
+
+func (r DriftReport) key() string { return r.Table + "." + r.Column + "[" + r.Constraint + "]" }
 
 // New creates a tuner over the profiler and actuator. The background loop is
 // not started; call Start, or RunCycle directly. The rollback baseline is
@@ -230,7 +256,24 @@ func New(cfg Config, prof *obs.Profiler, act Actuator) *Tuner {
 		createdTick:   map[string]int64{},
 		cooldownUntil: map[string]int64{},
 		prevCols:      map[string]obs.ColumnStats{},
+		drift:         map[string]DriftReport{},
 	}
+}
+
+// SetNotify installs the journal-event callback (see the notify field).
+func (t *Tuner) SetNotify(fn func(Event)) {
+	t.mu.Lock()
+	t.notify = fn
+	t.mu.Unlock()
+}
+
+// ReportDrift queues an index for rebuild at the next cycle. Duplicate
+// reports for the same index coalesce (latest wins), so a firing alert
+// re-reported every sample costs one rebuild, not many.
+func (t *Tuner) ReportDrift(r DriftReport) {
+	t.mu.Lock()
+	t.drift[r.key()] = r
+	t.mu.Unlock()
 }
 
 // ensureBaseline captures the rollback baseline on the tuner's first action.
@@ -312,6 +355,14 @@ func (t *Tuner) RunCycle() CycleResult {
 
 	tick := t.prof.Tick()
 	res.Tick = tick
+
+	// Drift rebuilds run ahead of the MinTicks gate: the monitor's signal is
+	// the index's own patch ratio, not the observatory, so a cold profiler is
+	// no reason to leave a degrading index in place.
+	if len(t.drift) > 0 {
+		res.Events = append(res.Events, t.rebuildDrifted(tick)...)
+	}
+
 	if tick < t.cfg.MinTicks {
 		res.Skipped = fmt.Sprintf("observatory cold: tick %d < min %d", tick, t.cfg.MinTicks)
 		return res
@@ -336,8 +387,69 @@ func (t *Tuner) RunCycle() CycleResult {
 	}
 	events = append(events, t.createWinners(tick, cands, states)...)
 
-	res.Events = events
+	res.Events = append(res.Events, events...)
 	return res
+}
+
+// rebuildDrifted services the drift queue: each reported index is dropped
+// and re-created from scratch, which re-runs full discovery (minimal patch
+// set) where incremental maintenance had accumulated a greedy, inflated
+// one. DROP PATCHINDEX removes every constraint on the column, so all of
+// the column's indexes are re-created, preserving each one's origin.
+// Caller holds t.mu.
+func (t *Tuner) rebuildDrifted(tick int64) []Event {
+	reports := make([]DriftReport, 0, len(t.drift))
+	for _, r := range t.drift {
+		reports = append(reports, r)
+	}
+	t.drift = map[string]DriftReport{}
+	sort.Slice(reports, func(i, j int) bool { return reports[i].key() < reports[j].key() })
+
+	states := t.act.Indexes()
+	byCol := map[string][]IndexState{}
+	for _, st := range states {
+		byCol[st.colKey()] = append(byCol[st.colKey()], st)
+	}
+
+	var events []Event
+	rebuiltCols := map[string]bool{}
+	for _, r := range reports {
+		colKey := r.Table + "." + r.Column
+		if rebuiltCols[colKey] {
+			continue
+		}
+		col := byCol[colKey]
+		if len(col) == 0 {
+			continue // index vanished since the report (manual drop)
+		}
+		rebuiltCols[colKey] = true
+		ev := Event{Action: "rebuild", Tick: tick, Table: r.Table, Column: r.Column,
+			Constraint: r.Constraint,
+			Note:       fmt.Sprintf("patch ratio %.5f drifted past crossover", r.Ratio)}
+		if err := t.act.DropIndex(r.Table, r.Column); err != nil {
+			ev.Err = err.Error()
+			t.logEvent(&ev)
+			events = append(events, ev)
+			continue
+		}
+		for _, st := range col {
+			spec := st.IndexSpec
+			spec.Force = true // it existed; rebuild even if the ratio is high
+			if err := t.act.CreateIndex(spec, st.Origin); err != nil && ev.Err == "" {
+				ev.Err = err.Error()
+				continue
+			}
+			if st.Origin == "auto" {
+				t.createdTick[spec.key()] = tick // rebuild restarts warmup
+			}
+		}
+		if ev.Err == "" {
+			t.rebuilds++
+		}
+		t.logEvent(&ev)
+		events = append(events, ev)
+	}
+	return events
 }
 
 // withColumns returns snap with its column accounting replaced.
@@ -617,6 +729,9 @@ func (t *Tuner) logEvent(ev *Event) {
 	if len(t.journal) > journalCap {
 		t.journal = t.journal[len(t.journal)-journalCap:]
 	}
+	if t.notify != nil {
+		t.notify(*ev)
+	}
 }
 
 // Journal returns a copy of the journaled events, oldest first.
@@ -638,6 +753,7 @@ func (t *Tuner) Status() Status {
 		Cycles:            t.cycle,
 		Creates:           t.creates,
 		Drops:             t.drops,
+		Rebuilds:          t.rebuilds,
 		Rejects:           t.rejects,
 		Rollbacks:         t.rollback,
 		Tick:              t.prof.Tick(),
