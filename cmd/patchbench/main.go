@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel|kernels|workload|tuning]
+//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel|kernels|workload|tuning|serving]
 //	           [-rows N] [-customer-rows N] [-sales-rows N]
 //	           [-partitions N] [-reps N] [-parallel N] [-quick]
 //	           [-json FILE] [-trace FILE] [-trace-sql SQL]
@@ -29,6 +29,14 @@
 // with before/after latencies and the journaled event timeline recorded:
 //
 //	patchbench -quick -exp tuning -json BENCH_tuning.json
+//
+// The "serving" experiment measures the multi-tenant serving fast path: a
+// repeated-query microbench comparing cold planning against the bound-plan
+// cache and the versioned result cache, then a mixed-tenant server run (a
+// high-priority dashboard tenant against a rate-limited batch tenant) with
+// caches off and on, reporting per-tenant p50/p95 and QoS shed counts:
+//
+//	patchbench -quick -exp serving -json BENCH_serving.json
 //
 // With -json the run additionally emits a machine-readable document holding
 // the configuration, every individual measurement, and a snapshot of the

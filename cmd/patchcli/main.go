@@ -9,6 +9,7 @@
 //	patchcli -e "SELECT ..."       # execute one statement and exit
 //	patchcli -e "SELECT ..." stats # ... then dump engine metrics
 //	patchcli -connect host:5433    # remote shell against a patchserver
+//	patchcli -connect host:5433 -tenant dash   # ... as QoS tenant "dash"
 //
 // Inside the shell, statements end with ';', \stats prints the engine
 // metrics registry, \trace on|off toggles per-statement tracing (the trace
@@ -60,10 +61,11 @@ func main() {
 	tune := flag.Bool("tune", false, "start the background self-tuner (implies -workload)")
 	tuneIntervalMS := flag.Int("tune-interval-ms", 0, "self-tuner cycle period in milliseconds (0 = default)")
 	connect := flag.String("connect", "", "connect to a patchserver at host:port instead of running an embedded engine")
+	tenant := flag.String("tenant", "", "QoS tenant for the remote session (with -connect; also `\\set tenant ID` at runtime)")
 	flag.Parse()
 
 	if *connect != "" {
-		if err := remoteShell(*connect, *execStmt); err != nil {
+		if err := remoteShell(*connect, *tenant, *execStmt); err != nil {
 			fatal(err)
 		}
 		return
@@ -344,21 +346,28 @@ func runTuneCommand(eng *patchindex.Engine, arg string) error {
 // remoteShell runs the REPL (or a single -e statement) against a remote
 // patchserver. \stats fetches the server-side metrics registry; \set
 // KEY VALUE adjusts session settings (timeout_ms, max_rows,
-// disable_rewrites); \trace on|off requests a server-side trace for every
-// statement; \queries lists the server's recent query history.
-func remoteShell(addr, execStmt string) error {
+// disable_rewrites, tenant); \trace on|off requests a server-side trace for
+// every statement; \queries lists the server's recent query history. A
+// non-empty tenant moves the session to that QoS tenant before the first
+// statement.
+func remoteShell(addr, tenant, execStmt string) error {
 	cli, err := server.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer cli.Close()
+	if tenant != "" {
+		if err := cli.SetTenant(tenant); err != nil {
+			return err
+		}
+	}
 
 	if execStmt != "" {
 		return runRemote(cli, execStmt)
 	}
 
 	fmt.Printf("patchindex shell — connected to %s (session %d)\n", addr, cli.SessionID())
-	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings, \\trace on|off, \\queries, \\workload, \\indexes, \\tune [on|off|now|rollback], \\alerts")
+	fmt.Println("statements end with ';', \\q quits, \\stats prints server metrics, \\set KEY VALUE adjusts settings (timeout_ms, max_rows, disable_rewrites, tenant), \\trace on|off, \\queries, \\workload, \\indexes, \\tune [on|off|now|rollback], \\alerts")
 	scanner := bufio.NewScanner(os.Stdin)
 	scanner.Buffer(make([]byte, 1<<20), 1<<20)
 	var buf strings.Builder

@@ -20,10 +20,22 @@
 // bounded admission queue (-queue-depth); excess load is shed with a
 // "busy" error instead of piling up. SIGINT/SIGTERM trigger a graceful
 // shutdown that drains in-flight queries for up to -grace seconds.
+//
+// The serving fast path caches bound plans per statement text
+// (-plan-cache, on by default, invalidated on every DDL/tuner epoch bump)
+// and, opt-in, read-only query results keyed on per-table versions
+// (-result-cache, -result-cache-mb). Per-tenant QoS (token-bucket rate
+// limits, in-flight caps, priority-aware shedding) activates when any
+// -qos-* flag or a -tenants JSON file is given; sessions pick their tenant
+// with `\set tenant` or the wire protocol's tenant field, and per-tenant
+// shed/admitted/in-flight counters surface under /metrics and /stats:
+//
+//	patchserver -listen :5433 -result-cache -qos-rate 100 -tenants tenants.json
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -35,6 +47,7 @@ import (
 	"patchindex/internal/datagen"
 	"patchindex/internal/obs"
 	"patchindex/internal/server"
+	"patchindex/internal/serving"
 	"patchindex/internal/tuning"
 )
 
@@ -65,6 +78,15 @@ func main() {
 	sampleIntervalMS := flag.Int("sample-interval-ms", 0, "watchdog sampling interval in ms (0 = default 1000)")
 	alertRules := flag.String("alert-rules", "", "JSON file of alert rules overriding the built-in watchdog rules")
 	enablePprof := flag.Bool("pprof", false, "serve net/http/pprof under /debug/pprof/")
+	planCache := flag.Bool("plan-cache", true, "cache bound plans per statement text (invalidated on every DDL/tuner epoch bump)")
+	planCacheSize := flag.Int("plan-cache-size", 0, "bound-plan cache capacity in entries (0 = default 512)")
+	resultCache := flag.Bool("result-cache", false, "cache read-only deterministic-order results keyed on table versions")
+	resultCacheMB := flag.Int("result-cache-mb", 0, "result cache byte budget in MB (0 = default 32)")
+	qosRate := flag.Float64("qos-rate", 0, "default per-tenant statement rate limit per second (0 = unlimited)")
+	qosBurst := flag.Float64("qos-burst", 0, "default per-tenant token-bucket burst (0 = max(rate, 1))")
+	qosInFlight := flag.Int("qos-inflight", 0, "default per-tenant in-flight query cap (0 = unlimited)")
+	qosPriority := flag.String("qos-priority", "", "default tenant priority: low, normal, or high")
+	tenantsFile := flag.String("tenants", "", "JSON file mapping tenant id -> QoS limits (rate_per_sec, burst, max_in_flight, priority, result_cache_bytes)")
 	flag.Parse()
 
 	var rules []obs.Rule
@@ -91,11 +113,35 @@ func main() {
 		Monitor:              *monitor,
 		SampleInterval:       time.Duration(*sampleIntervalMS) * time.Millisecond,
 		AlertRules:           rules,
+		PlanCache:            *planCache,
+		PlanCacheSize:        *planCacheSize,
+		ResultCache:          *resultCache,
+		ResultCacheBytes:     int64(*resultCacheMB) << 20,
 	})
 	if err != nil {
 		fatal(err)
 	}
 	defer eng.Close()
+
+	var qos *serving.QoS
+	overrides := map[string]serving.TenantLimits{}
+	if *tenantsFile != "" {
+		data, err := os.ReadFile(*tenantsFile)
+		if err != nil {
+			fatal(err)
+		}
+		if err := json.Unmarshal(data, &overrides); err != nil {
+			fatal(fmt.Errorf("parsing -tenants %s: %w", *tenantsFile, err))
+		}
+	}
+	if *qosRate > 0 || *qosBurst > 0 || *qosInFlight > 0 || *qosPriority != "" || len(overrides) > 0 {
+		qos = serving.NewQoS(serving.TenantLimits{
+			RatePerSec:  *qosRate,
+			Burst:       *qosBurst,
+			MaxInFlight: *qosInFlight,
+			Priority:    *qosPriority,
+		}, overrides, eng.Metrics())
+	}
 
 	if err := loadDemo(eng, *demo, *rows, *partitions, *uniqueRate, *sortedRate); err != nil {
 		fatal(err)
@@ -114,6 +160,7 @@ func main() {
 		DefaultTimeout: time.Duration(*timeoutMS) * time.Millisecond,
 		DefaultMaxRows: *maxRows,
 		EnablePprof:    *enablePprof,
+		QoS:            qos,
 	})
 	if err != nil {
 		fatal(err)

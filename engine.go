@@ -34,6 +34,7 @@ import (
 	"patchindex/internal/obs"
 	"patchindex/internal/patch"
 	"patchindex/internal/plan"
+	"patchindex/internal/serving"
 	"patchindex/internal/sql"
 	"patchindex/internal/storage"
 	"patchindex/internal/tuning"
@@ -132,6 +133,22 @@ type Config struct {
 	// obs.DefaultRules: patch-ratio drift vs the 1/64 crossover, latency
 	// regression, admission pressure, queue depth).
 	AlertRules []obs.Rule
+	// PlanCache enables the serving bound-plan cache: optimized logical
+	// plans keyed on statement text + rewrite options, invalidated by the
+	// catalog epoch (every DDL and tuner create/drop/rebuild bumps it), so
+	// repeated dashboard-style statements skip parse-adjacent bind/rewrite
+	// work without ever serving a plan from a stale index set.
+	PlanCache bool
+	// PlanCacheSize bounds the plan cache entries (0 = default 512).
+	PlanCacheSize int
+	// ResultCache enables the serving result cache: materialized read-only
+	// results keyed on statement text + per-table version stamps, evicted
+	// LRU under ResultCacheBytes. Only deterministic-order SELECTs are
+	// cached (sorted output or a global aggregate); any append to a
+	// referenced table invalidates via the version vector.
+	ResultCache bool
+	// ResultCacheBytes bounds the result cache (0 = default 32 MiB).
+	ResultCacheBytes int64
 }
 
 // ExecOptions tune a single statement execution.
@@ -155,6 +172,10 @@ type ExecOptions struct {
 	// DisableKernels runs this statement with interpreted expression
 	// evaluation instead of compiled vectorized kernels.
 	DisableKernels bool
+	// Tenant attributes this statement to a serving tenant: the result
+	// cache charges cached bytes against the tenant's budget and slow-query
+	// log lines carry the id. Empty means the default tenant.
+	Tenant string
 }
 
 // Engine is a self-contained database instance.
@@ -202,6 +223,11 @@ type Engine struct {
 
 	maintMu     sync.Mutex
 	maintainers map[string]*maintain.Set // per table, lazily built
+
+	// Serving fast path (see serving.go): both caches always exist and are
+	// nil-safe/atomically-disabled, so the hot path needs no config checks.
+	planCache   *serving.PlanCache
+	resultCache *serving.ResultCache
 }
 
 // New creates an engine. If cfg.WALPath is set the log is opened (or
@@ -255,6 +281,10 @@ func New(cfg Config) (*Engine, error) {
 	e.hQuery = e.metrics.Histogram("query_nanos")
 	e.hIndexBuild = e.metrics.Histogram("index_build_nanos")
 	e.mIndexBuilds = e.metrics.Counter("index_builds_total")
+	e.planCache = serving.NewPlanCache(cfg.PlanCacheSize, e.metrics)
+	e.planCache.SetEnabled(cfg.PlanCache)
+	e.resultCache = serving.NewResultCache(cfg.ResultCacheBytes, e.metrics)
+	e.resultCache.SetEnabled(cfg.ResultCache)
 	if cfg.WALPath != "" {
 		l, err := wal.Open(cfg.WALPath)
 		if err != nil {
@@ -611,7 +641,7 @@ func tableRefTables(r *sql.TableRef, acc []string) []string {
 func (e *Engine) execStmt(ctx context.Context, query string, stmt sql.Statement, opts ExecOptions) (*Result, error) {
 	switch s := stmt.(type) {
 	case *sql.SelectStmt:
-		return e.runSelect(ctx, s, opts)
+		return e.runSelect(ctx, query, s, opts)
 	case *sql.ExplainStmt:
 		var text string
 		var err error
@@ -683,7 +713,7 @@ func (e *Engine) DrainWithContext(ctx context.Context, query string, opts ExecOp
 	start := time.Now()
 	release := e.acquireLatches(selectTables(s, nil), nil)
 	defer release()
-	node, err := e.planSelect(ctx, s, opts)
+	node, err := e.planSelectCached(ctx, query, s, opts)
 	if err != nil {
 		at.Finish(0, err)
 		return 0, err
@@ -801,10 +831,24 @@ func (e *Engine) buildPlan(ctx context.Context, node plan.Node, opts ExecOptions
 	return op, err
 }
 
-func (e *Engine) runSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (*Result, error) {
-	node, err := e.planSelect(ctx, s, opts)
+func (e *Engine) runSelect(ctx context.Context, query string, s *sql.SelectStmt, opts ExecOptions) (*Result, error) {
+	node, err := e.planSelectCached(ctx, query, s, opts)
 	if err != nil {
 		return nil, err
+	}
+	// Result-cache lookup happens after planning (eligibility is a plan
+	// property) but before the build: the caller holds shared latches on
+	// every referenced table, so the version stamps read here cover exactly
+	// the rows a fresh execution would scan.
+	var stamp resultStamp
+	if e.resultCache.Enabled() {
+		stamp = e.resultStamp(s, node, opts)
+		if stamp.ok {
+			if res, ok := e.lookupCachedResult(ctx, query, stamp); ok {
+				e.mQueries.Inc()
+				return res, nil
+			}
+		}
 	}
 	op, err := e.buildPlan(ctx, node, opts)
 	if err != nil {
@@ -824,7 +868,11 @@ func (e *Engine) runSelect(ctx context.Context, s *sql.SelectStmt, opts ExecOpti
 	for i, c := range node.Schema() {
 		cols[i] = c.Name
 	}
-	return &Result{Columns: cols, Rows: rows}, nil
+	res := &Result{Columns: cols, Rows: rows}
+	if stamp.ok {
+		e.storeCachedResult(query, stamp, opts.Tenant, res)
+	}
+	return res, nil
 }
 
 func (e *Engine) explain(ctx context.Context, s *sql.SelectStmt, opts ExecOptions) (string, error) {

@@ -110,12 +110,13 @@ const (
 	ExpKernels  = "kernels"
 	ExpWorkload = "workload"
 	ExpTuning   = "tuning"
+	ExpServing  = "serving"
 )
 
 // All lists every experiment id in paper order, followed by the engine
 // experiments that have no paper counterpart.
 func All() []string {
-	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels, ExpWorkload, ExpTuning}
+	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels, ExpWorkload, ExpTuning, ExpServing}
 }
 
 // Run executes one experiment by id, writing its report to w.
@@ -141,6 +142,8 @@ func Run(id string, cfg Config, w io.Writer) error {
 		return Workload(cfg, w)
 	case ExpTuning:
 		return Tuning(cfg, w)
+	case ExpServing:
+		return Serving(cfg, w)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, All())
 	}

@@ -124,6 +124,8 @@ func (r Rule) resolveAfter() int {
 //     reached 2x its trailing baseline.
 //   - admission_pressure: the server is shedding queries (queue full).
 //   - queue_depth: the admission queue is persistently deep.
+//   - tenant_shed_rate: a QoS tenant is being shed (rate limit or
+//     in-flight cap) at a sustained rate — its limits need a review.
 func DefaultRules() []Rule {
 	return []Rule{
 		{
@@ -146,6 +148,11 @@ func DefaultRules() []Rule {
 			Name: "queue_depth", Metric: "gauge.server_queries_queued",
 			Kind: KindAbove, Severity: SeverityWarn,
 			Threshold: 16, Resolve: 4, FireAfter: 2, ResolveAfter: 3,
+		},
+		{
+			Name: "tenant_shed_rate", Metric: "counter.tenant.*.shed",
+			Kind: KindRate, Severity: SeverityWarn,
+			Threshold: 1, Resolve: 0.1, FireAfter: 2, ResolveAfter: 3,
 		},
 	}
 }

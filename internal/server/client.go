@@ -10,6 +10,7 @@ import (
 	"time"
 
 	"patchindex/internal/server/protocol"
+	"patchindex/internal/serving"
 )
 
 // Client is a synchronous wire-protocol client. One request is in flight at
@@ -77,7 +78,8 @@ func (r *ClientResult) String() string {
 
 // ServerError is an error response from the server. It unwraps to the
 // matching sentinel (context.DeadlineExceeded, context.Canceled,
-// ErrServerBusy) so callers can use errors.Is on the code.
+// ErrServerBusy, serving.ErrThrottled) so callers can use errors.Is on the
+// code.
 type ServerError struct {
 	Msg  string
 	Code string
@@ -95,6 +97,8 @@ func (e *ServerError) Unwrap() error {
 		return context.Canceled
 	case protocol.CodeBusy:
 		return ErrServerBusy
+	case protocol.CodeThrottled:
+		return serving.ErrThrottled
 	case protocol.CodeShutdown:
 		return errShuttingDown
 	}
@@ -123,6 +127,12 @@ func Dial(addr string) (*Client, error) {
 
 // SessionID returns the server-assigned session id.
 func (c *Client) SessionID() uint64 { return c.sessionID }
+
+// SetTenant moves the session to the given QoS tenant (the programmatic
+// `\set tenant`).
+func (c *Client) SetTenant(tenant string) error {
+	return c.Set(map[string]string{"tenant": tenant})
+}
 
 // Query executes one SQL statement.
 func (c *Client) Query(sqlText string) (*ClientResult, error) {

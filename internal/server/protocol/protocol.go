@@ -55,6 +55,9 @@ const (
 const (
 	// CodeBusy: the admission queue was full and the query was shed.
 	CodeBusy = "busy"
+	// CodeThrottled: the session's tenant exceeded its QoS rate limit or
+	// in-flight cap and the query was shed before queueing.
+	CodeThrottled = "throttled"
 	// CodeTimeout: the session's timeout_ms elapsed mid-execution.
 	CodeTimeout = "timeout"
 	// CodeCanceled: the query was cancelled (cancel request, disconnect, or
@@ -81,6 +84,12 @@ type Request struct {
 	// statement; the trace id comes back in Response.TraceID and the
 	// profile is retrievable via TypeQueries or HTTP /trace/<id>.
 	Trace bool `json:"trace,omitempty"`
+	// Tenant identifies the session's QoS tenant. It may ride any request
+	// (typically the first one a client sends) and moves the session to
+	// that tenant; absent or empty keeps the current tenant (sessions start
+	// on the default tenant). `\set tenant` reaches the same state via
+	// Settings["tenant"].
+	Tenant string `json:"tenant,omitempty"`
 }
 
 // Response is one server→client message.
@@ -89,6 +98,9 @@ type Response struct {
 	ID uint64 `json:"id"`
 	// SessionID identifies the session; set on the hello message.
 	SessionID uint64 `json:"session_id,omitempty"`
+	// Tenant echoes the session's QoS tenant on the hello message (the
+	// default tenant, until the client sets one).
+	Tenant string `json:"tenant,omitempty"`
 	// Columns and Rows carry a query result set (rows rendered as strings).
 	Columns []string   `json:"columns,omitempty"`
 	Rows    [][]string `json:"rows,omitempty"`

@@ -13,6 +13,7 @@ import (
 	"patchindex"
 	"patchindex/internal/obs"
 	"patchindex/internal/server/protocol"
+	"patchindex/internal/serving"
 )
 
 // stmtCacheCap bounds the per-session prepared-statement cache (FIFO
@@ -31,6 +32,7 @@ type session struct {
 	maxRows         int           // result clip; 0 = unlimited
 	disableRewrites bool          // run baseline plans (no PatchIndex rewrites)
 	parallelism     int           // degree of parallelism; 0 = engine default, 1 = serial
+	tenant          string        // QoS tenant; sessions start on the default tenant
 
 	// Prepared-statement cache: SQL text → parsed statement, FIFO-evicted.
 	cache      map[string]*patchindex.Prepared
@@ -55,11 +57,13 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader) {
 		remote:  conn.RemoteAddr().String(),
 		timeout: s.cfg.DefaultTimeout,
 		maxRows: s.cfg.DefaultMaxRows,
+		tenant:  serving.DefaultTenant,
 		cache:   map[string]*patchindex.Prepared{},
 	}
-	// Hello: tells the client its session id.
+	// Hello: tells the client its session id and tenant. Clients move to a
+	// tenant with the Tenant request field or `\set tenant`.
 	if err := protocol.WriteMessage(conn, &protocol.Response{
-		SessionID: sess.id, Message: "patchindex server ready",
+		SessionID: sess.id, Tenant: sess.tenant, Message: "patchindex server ready",
 	}); err != nil {
 		return
 	}
@@ -106,6 +110,13 @@ func (s *Server) serveSession(conn net.Conn, br *bufio.Reader) {
 // handle dispatches one request; false ends the session.
 func (sess *session) handle(req *protocol.Request, reqCh chan *protocol.Request, readErr chan error) bool {
 	sess.srv.mProtoRequests.Inc()
+	// A tenant riding any request moves the session (the wire-level
+	// equivalent of `\set tenant`); a bad id fails the request.
+	if req.Tenant != "" {
+		if err := sess.setTenant(req.Tenant); err != nil {
+			return sess.write(&protocol.Response{ID: req.ID, Error: err.Error(), Code: protocol.CodeError})
+		}
+	}
 	switch req.Type {
 	case protocol.TypeQuery:
 		return sess.runQuery(req, reqCh, readErr)
@@ -244,11 +255,24 @@ wait:
 	return true
 }
 
-// execute admits, prepares (with the session cache), and runs one query.
+// execute admits (tenant QoS first, then the global queue), prepares
+// (with the session cache), and runs one query.
 func (sess *session) execute(ctx context.Context, req *protocol.Request) (*protocol.Response, error) {
 	s := sess.srv
-	release, err := s.admit(ctx)
+	// Tenant QoS gates before the global queue: a rate-limited or
+	// at-capacity tenant is shed immediately and never occupies a queue
+	// slot another tenant could use.
+	qosRelease, err := s.cfg.QoS.Admit(sess.tenant)
 	if err != nil {
+		return nil, err
+	}
+	defer qosRelease()
+	release, err := s.admit(ctx, s.cfg.QoS.Priority(sess.tenant))
+	if err != nil {
+		if errors.Is(err, ErrServerBusy) {
+			// Charge queue-level sheds to the tenant too.
+			s.cfg.QoS.Shed(sess.tenant)
+		}
 		return nil, err
 	}
 	defer release()
@@ -263,6 +287,7 @@ func (sess *session) execute(ctx context.Context, req *protocol.Request) (*proto
 		SessionID:            sess.id,
 		ClientAddr:           sess.remote,
 		Parallelism:          sess.parallelism,
+		Tenant:               sess.tenant,
 	})
 	s.hQuery.Observe(time.Since(start))
 	if err != nil {
@@ -375,12 +400,37 @@ func (sess *session) applySettings(req *protocol.Request) *protocol.Response {
 				return &protocol.Response{ID: req.ID, Error: fmt.Sprintf("bad parallelism %q", v), Code: protocol.CodeError}
 			}
 			sess.parallelism = n
+		case "tenant":
+			if err := sess.setTenant(v); err != nil {
+				return &protocol.Response{ID: req.ID, Error: err.Error(), Code: protocol.CodeError}
+			}
 		default:
 			return &protocol.Response{ID: req.ID, Error: fmt.Sprintf("unknown setting %q", k), Code: protocol.CodeError}
 		}
 		applied = append(applied, k+"="+v)
 	}
 	return &protocol.Response{ID: req.ID, Message: "set " + strings.Join(applied, " ")}
+}
+
+// setTenant validates and applies a tenant id. Ids are restricted to
+// [A-Za-z0-9_-] so per-tenant metric names (`tenant.<id>.shed`) stay
+// unambiguous for the dot-separated alert-rule globs.
+func (sess *session) setTenant(id string) error {
+	if id == "" || len(id) > 64 {
+		return fmt.Errorf("bad tenant %q", id)
+	}
+	for _, c := range id {
+		if !(c >= 'a' && c <= 'z' || c >= 'A' && c <= 'Z' || c >= '0' && c <= '9' || c == '_' || c == '-') {
+			return fmt.Errorf("bad tenant %q: use letters, digits, '_', '-'", id)
+		}
+	}
+	sess.tenant = id
+	// Lazily wire the tenant's result-cache budget (overrides were wired at
+	// server start; this covers tenants that only match the QoS defaults).
+	if qos := sess.srv.cfg.QoS; qos != nil {
+		sess.srv.eng.ResultCache().SetTenantBudget(id, qos.Limits(id).ResultCacheBytes)
+	}
+	return nil
 }
 
 // write sends one response; false means the connection is dead.
@@ -404,6 +454,8 @@ func errorResponse(s *Server, id uint64, err error) *protocol.Response {
 		}
 	case errors.Is(err, ErrServerBusy):
 		code = protocol.CodeBusy
+	case errors.Is(err, serving.ErrThrottled), errors.Is(err, serving.ErrTenantBusy):
+		code = protocol.CodeThrottled
 	case errors.Is(err, errShuttingDown):
 		code = protocol.CodeShutdown
 	}

@@ -11,6 +11,7 @@ package storage
 import (
 	"fmt"
 	"sync"
+	"sync/atomic"
 
 	"patchindex/internal/vector"
 )
@@ -129,6 +130,11 @@ type ScanRange struct {
 // Len returns the number of rows in the range.
 func (r ScanRange) Len() uint64 { return r.End - r.Start }
 
+// versionCounter issues globally unique table version stamps, so a table
+// dropped and recreated under the same name can never alias an older
+// version (see Table.Version).
+var versionCounter atomic.Uint64
+
 // Table is a partitioned columnar table.
 type Table struct {
 	mu         sync.RWMutex
@@ -136,6 +142,11 @@ type Table struct {
 	schema     *Schema
 	partitions []*Partition
 	sortKey    string // declared (exact) sort key, "" if none
+	// version is a content version stamp: re-issued from versionCounter on
+	// creation and on every append. The serving result cache keys cached
+	// result sets on the version vector of all referenced tables, so any
+	// row change invalidates them without scanning.
+	version atomic.Uint64
 }
 
 // NewTable creates an empty table with the given number of partitions.
@@ -154,6 +165,7 @@ func NewTable(name string, schema *Schema, numPartitions int) (*Table, error) {
 		seen[c.Name] = true
 	}
 	t := &Table{name: name, schema: schema}
+	t.version.Store(versionCounter.Add(1))
 	for i := 0; i < numPartitions; i++ {
 		p := &Partition{ID: i, cols: make([]*columnData, len(schema.Columns))}
 		for c := range schema.Columns {
@@ -169,6 +181,12 @@ func (t *Table) Name() string { return t.name }
 
 // Schema returns the table schema.
 func (t *Table) Schema() *Schema { return t.schema }
+
+// Version returns the table's content version stamp. It changes on every
+// append (writers hold the table's exclusive latch in the engine, so a
+// reader holding the shared latch sees a stable value covering exactly the
+// rows it can scan). Stamps are globally unique across all tables.
+func (t *Table) Version() uint64 { return t.version.Load() }
 
 // NumPartitions returns the partition count.
 func (t *Table) NumPartitions() int { return len(t.partitions) }
@@ -221,6 +239,7 @@ func (t *Table) AppendRow(part int, vals []vector.Value) error {
 	}
 	p.nrows++
 	p.staleRows++
+	t.version.Store(versionCounter.Add(1))
 	return nil
 }
 
@@ -245,6 +264,7 @@ func (t *Table) AppendBatch(part int, b *vector.Batch) error {
 	}
 	p.nrows += n
 	p.staleRows += n
+	t.version.Store(versionCounter.Add(1))
 	return nil
 }
 
@@ -278,6 +298,7 @@ func (t *Table) AppendColumns(part int, cols []*vector.Vector) error {
 	}
 	p.nrows += n
 	p.staleRows += n
+	t.version.Store(versionCounter.Add(1))
 	return nil
 }
 
