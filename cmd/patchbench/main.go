@@ -3,7 +3,7 @@
 //
 // Usage:
 //
-//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel|kernels|workload|tuning|serving]
+//	patchbench [-exp all|table1|nsc-join|fig4|fig5|fig6|memory|parallel|kernels|workload|tuning|serving|storage]
 //	           [-rows N] [-customer-rows N] [-sales-rows N]
 //	           [-partitions N] [-reps N] [-parallel N] [-quick]
 //	           [-json FILE] [-trace FILE] [-trace-sql SQL]
@@ -37,6 +37,13 @@
 // caches off and on, reporting per-tenant p50/p95 and QoS shed counts:
 //
 //	patchbench -quick -exp serving -json BENCH_serving.json
+//
+// The "storage" experiment measures the disk-backed segment layer: durable
+// ingest, checkpoint cost and compression ratio, cold vs warm vs
+// all-resident scans across a restart, and restart time with a checkpoint
+// (WAL-suffix replay) against WAL-only recovery:
+//
+//	patchbench -quick -exp storage -json BENCH_storage.json
 //
 // With -json the run additionally emits a machine-readable document holding
 // the configuration, every individual measurement, and a snapshot of the

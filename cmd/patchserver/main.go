@@ -31,6 +31,14 @@
 // shed/admitted/in-flight counters surface under /metrics and /stats:
 //
 //	patchserver -listen :5433 -result-cache -qos-rate 100 -tenants tenants.json
+//
+// Full durability: -data-dir stores compressed column segments, a catalog
+// manifest, and the WAL in one directory; -cache-mb bounds the decoded
+// column cache, -spill-mb bounds operator memory before Sort/HashJoin spill
+// to disk, and -checkpoint-interval runs background checkpoints (manual
+// CHECKPOINT always works):
+//
+//	patchserver -listen :5433 -data-dir /var/lib/patchindex -cache-mb 512 -spill-mb 256 -checkpoint-interval 60
 package main
 
 import (
@@ -60,6 +68,10 @@ func main() {
 	sortedRate := flag.Float64("sorted-rate", 0.05, "sortedness exception rate for -demo custom")
 	walPath := flag.String("wal", "", "write-ahead log path (enables durability of index definitions)")
 	indexDir := flag.String("indexdir", "", "directory for materialized PatchIndex payloads (fast recovery)")
+	dataDir := flag.String("data-dir", "", "data directory for full durability: compressed column segments, manifest, WAL (supersedes -wal/-indexdir)")
+	cacheMB := flag.Int("cache-mb", 0, "column cache byte budget in MB for -data-dir mode (0 = unlimited)")
+	spillMB := flag.Int("spill-mb", 0, "per-operator memory budget in MB before Sort/HashJoin spill to disk (0 = never spill)")
+	checkpointInterval := flag.Int("checkpoint-interval", 0, "seconds between background checkpoints in -data-dir mode (0 = manual CHECKPOINT only)")
 	parallel := flag.Bool("parallel", false, "parallel partition scans (legacy; implies -parallelism 2*GOMAXPROCS)")
 	parallelism := flag.Int("parallelism", 0, "degree of intra-query parallelism (0 = serial, >1 = bounded worker pool)")
 	slowMS := flag.Int("slow-ms", 0, "log statements slower than this many milliseconds")
@@ -103,6 +115,9 @@ func main() {
 		Parallelism:          *parallelism,
 		WALPath:              *walPath,
 		IndexDir:             *indexDir,
+		DataDir:              *dataDir,
+		CacheBytes:           int64(*cacheMB) << 20,
+		SpillBytes:           int64(*spillMB) << 20,
 		SlowQueryThreshold:   time.Duration(*slowMS) * time.Millisecond,
 		TraceSample:          *traceSample,
 		TraceHistory:         *traceHistory,
@@ -149,6 +164,16 @@ func main() {
 	if *walPath != "" && *demo != "" {
 		if err := eng.Recover(); err != nil {
 			fmt.Fprintf(os.Stderr, "warning: WAL recovery failed: %v\n", err)
+		}
+	}
+	if *dataDir != "" {
+		if rec := eng.Recovery(); rec.ManifestTables > 0 || rec.ReplayedRecords > 0 {
+			fmt.Fprintf(os.Stderr, "recovered %d table(s) from manifest, replayed %d WAL record(s) (%d rows) in %s\n",
+				rec.ManifestTables, rec.ReplayedRecords, rec.ReplayedRows, rec.Duration.Round(time.Millisecond))
+		}
+		if *checkpointInterval > 0 {
+			stopCkpt := eng.StartCheckpointer(time.Duration(*checkpointInterval) * time.Second)
+			defer stopCkpt()
 		}
 	}
 

@@ -149,6 +149,26 @@ type Config struct {
 	ResultCache bool
 	// ResultCacheBytes bounds the result cache (0 = default 32 MiB).
 	ResultCacheBytes int64
+	// DataDir enables durable storage mode: partitions flush to compressed
+	// segment files under DataDir/segs, the catalog manifest lives at
+	// DataDir/MANIFEST.json, ingest is write-ahead logged to a generation
+	// file (DataDir/wal.gN.log) rotated by CHECKPOINT, and decoded column
+	// payloads are governed by the clock cache. WALPath is ignored in this
+	// mode (the data directory owns its log); IndexDir defaults to
+	// DataDir/idx. Opening an existing DataDir restores the checkpointed
+	// state and replays the WAL suffix automatically — no Recover call.
+	DataDir string
+	// CacheBytes budgets the decoded-column clock cache in durable mode
+	// (<= 0 means unlimited: nothing is ever evicted). Dirty and pinned
+	// partitions never evict, so the budget can be temporarily overshot —
+	// the storage_cache_budget_overshoots_total counter tracks that.
+	CacheBytes int64
+	// SpillDir is where Sort and HashJoin spill runs when an operator's
+	// working set exceeds SpillBytes (default: os.TempDir()).
+	SpillDir string
+	// SpillBytes bounds an operator's in-memory working set before it
+	// spills to disk (0 disables spilling).
+	SpillBytes int64
 }
 
 // ExecOptions tune a single statement execution.
@@ -228,6 +248,17 @@ type Engine struct {
 	// nil-safe/atomically-disabled, so the hot path needs no config checks.
 	planCache   *serving.PlanCache
 	resultCache *serving.ResultCache
+
+	// Durable mode (see persist.go). cache is nil outside durable mode;
+	// gen/walPath track the current checkpoint generation and its WAL file;
+	// replaying suppresses re-logging while the WAL suffix applies through
+	// the ordinary append path; checkpointMu serializes checkpoints.
+	cache        *storage.Cache
+	recovery     RecoveryStats
+	gen          uint64
+	walPath      string
+	replaying    bool
+	checkpointMu sync.Mutex
 }
 
 // New creates an engine. If cfg.WALPath is set the log is opened (or
@@ -285,13 +316,23 @@ func New(cfg Config) (*Engine, error) {
 	e.planCache.SetEnabled(cfg.PlanCache)
 	e.resultCache = serving.NewResultCache(cfg.ResultCacheBytes, e.metrics)
 	e.resultCache.SetEnabled(cfg.ResultCache)
-	if cfg.WALPath != "" {
+	if cfg.DataDir != "" {
+		if e.cfg.IndexDir == "" {
+			e.cfg.IndexDir = filepath.Join(cfg.DataDir, "idx")
+		}
+		e.cache = storage.NewCache(cfg.CacheBytes)
+		e.cache.SetMetrics(e.metrics)
+		if err := e.openDataDir(); err != nil {
+			return nil, err
+		}
+	} else if cfg.WALPath != "" {
 		l, err := wal.Open(cfg.WALPath)
 		if err != nil {
 			return nil, err
 		}
 		l.SetMetrics(e.metrics)
 		e.log = l
+		e.walPath = cfg.WALPath
 	}
 	return e, nil
 }
@@ -310,10 +351,20 @@ func (e *Engine) Tracer() *obs.Tracer { return e.tracer }
 func (e *Engine) Profiler() *obs.Profiler { return e.profiler }
 
 // Close stops the monitor and the background tuner (in that order — the
-// sampler feeds the tuner) and releases the WAL (if any).
+// sampler feeds the tuner), closes every table's segment files, and
+// releases the WAL (if any). It does NOT checkpoint: unflushed ingest is
+// still in the WAL, so a reopen replays it — call Checkpoint first when a
+// fast restart matters.
 func (e *Engine) Close() error {
 	e.monitor.Stop()
 	e.tuner.Stop()
+	if e.durable() {
+		for _, name := range e.cat.TableNames() {
+			if t, err := e.cat.Table(name); err == nil {
+				t.ReleaseStorage()
+			}
+		}
+	}
 	if e.log != nil {
 		return e.log.Close()
 	}
@@ -657,10 +708,23 @@ func (e *Engine) execStmt(ctx context.Context, query string, stmt sql.Statement,
 	case *sql.CreateTableStmt:
 		return e.runCreateTable(s)
 	case *sql.DropTableStmt:
+		t, err := e.cat.Table(s.Name)
+		if err != nil {
+			return nil, err
+		}
 		if err := e.cat.DropTable(s.Name); err != nil {
 			return nil, err
 		}
+		// Close segment file handles now; the files themselves stay until
+		// the next checkpoint's orphan sweep (the current manifest may still
+		// reference them — deleting early would break crash recovery).
+		t.ReleaseStorage()
 		e.invalidateMaintainers(s.Name)
+		if e.log != nil && e.durable() && !e.replaying {
+			if err := e.log.AppendDropTable(wal.DropTableRecord{Table: s.Name}); err != nil {
+				return nil, err
+			}
+		}
 		return &Result{Message: fmt.Sprintf("table %s dropped", s.Name)}, nil
 	case *sql.InsertStmt:
 		return e.runInsert(s)
@@ -678,6 +742,8 @@ func (e *Engine) execStmt(ctx context.Context, query string, stmt sql.Statement,
 		return e.runShow(s)
 	case *sql.AlterTunerStmt:
 		return e.runAlterTuner(s)
+	case *sql.CheckpointStmt:
+		return e.runCheckpoint()
 	default:
 		return nil, fmt.Errorf("patchindex: unsupported statement %T", stmt)
 	}
@@ -826,6 +892,7 @@ func (e *Engine) buildPlan(ctx context.Context, node plan.Node, opts ExecOptions
 		DisableScanRanges: e.cfg.DisableScanRanges,
 		DisableKernels:    e.cfg.DisableKernels || opts.DisableKernels,
 		Workload:          obs.StmtObsFromContext(ctx),
+		Spill:             exec.SpillConfig{Dir: e.spillDir(), Limit: e.cfg.SpillBytes},
 	})
 	at.EndSpan(sp)
 	return op, err
@@ -975,7 +1042,13 @@ func (e *Engine) runCreateTable(s *sql.CreateTableStmt) (*Result, error) {
 			return nil, err
 		}
 	}
+	if e.durable() {
+		t.AttachCache(e.cache)
+	}
 	if err := e.cat.AddTable(t); err != nil {
+		return nil, err
+	}
+	if err := e.logCreateTable(t, parts); err != nil {
 		return nil, err
 	}
 	return &Result{Message: fmt.Sprintf("table %s created (%d partitions)", s.Name, parts)}, nil
@@ -989,6 +1062,12 @@ func (e *Engine) runInsert(s *sql.InsertStmt) (*Result, error) {
 	schema := t.Schema()
 	base := t.NumRows()
 	n := 0
+	// In durable mode the inserted rows are re-grouped per partition and
+	// write-ahead logged as column images after the appends succeed.
+	var logged map[int][]*vector.Vector
+	if e.log != nil && e.durable() && !e.replaying {
+		logged = map[int][]*vector.Vector{}
+	}
 	for _, row := range s.Rows {
 		if len(row) != len(schema.Columns) {
 			return nil, fmt.Errorf("patchindex: row has %d values, table %s has %d columns", len(row), s.Table, len(schema.Columns))
@@ -1011,7 +1090,27 @@ func (e *Engine) runInsert(s *sql.InsertStmt) (*Result, error) {
 		if err := t.AppendRow(part, vals); err != nil {
 			return nil, err
 		}
+		if logged != nil {
+			cols := logged[part]
+			if cols == nil {
+				cols = make([]*vector.Vector, len(schema.Columns))
+				for i, c := range schema.Columns {
+					cols[i] = vector.New(c.Typ, 8)
+				}
+				logged[part] = cols
+			}
+			for i, v := range vals {
+				if err := cols[i].AppendValue(v); err != nil {
+					return nil, err
+				}
+			}
+		}
 		n++
+	}
+	for part, cols := range logged {
+		if err := e.logAppend(s.Table, part, cols); err != nil {
+			return nil, err
+		}
 	}
 	return &Result{Message: fmt.Sprintf("%d rows inserted", n)}, nil
 }
@@ -1242,6 +1341,9 @@ func (e *Engine) createPatchIndexLatched(table, column string, c patch.Constrain
 // already contain their data (the engine stores tables in memory; only index
 // definitions are durable).
 func (e *Engine) Recover() error {
+	if e.durable() {
+		return nil // durable engines recover automatically in New
+	}
 	if e.cfg.WALPath == "" {
 		return fmt.Errorf("patchindex: recovery requires a WAL path")
 	}
@@ -1512,7 +1614,10 @@ func (e *Engine) LoadColumns(table string, part int, cols []*vector.Vector) erro
 	if err != nil {
 		return err
 	}
-	return t.AppendColumns(part, cols)
+	if err := t.AppendColumns(part, cols); err != nil {
+		return err
+	}
+	return e.logAppend(table, part, cols)
 }
 
 // Append appends whole column vectors into one partition of a table while
@@ -1549,7 +1654,10 @@ func (e *Engine) appendLatched(table string, part int, cols []*vector.Vector) er
 		set.SetMetrics(e.metrics)
 		e.maintainers[table] = set
 	}
-	return set.Append(part, cols)
+	if err := set.Append(part, cols); err != nil {
+		return err
+	}
+	return e.logAppend(table, part, cols)
 }
 
 // invalidateMaintainers drops cached maintenance state for a table after its

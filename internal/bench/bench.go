@@ -111,12 +111,13 @@ const (
 	ExpWorkload = "workload"
 	ExpTuning   = "tuning"
 	ExpServing  = "serving"
+	ExpStorage  = "storage"
 )
 
 // All lists every experiment id in paper order, followed by the engine
 // experiments that have no paper counterpart.
 func All() []string {
-	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels, ExpWorkload, ExpTuning, ExpServing}
+	return []string{ExpNSCJoin, ExpTable1, ExpFig4, ExpFig5, ExpFig6, ExpMemory, ExpParallel, ExpKernels, ExpWorkload, ExpTuning, ExpServing, ExpStorage}
 }
 
 // Run executes one experiment by id, writing its report to w.
@@ -144,6 +145,8 @@ func Run(id string, cfg Config, w io.Writer) error {
 		return Tuning(cfg, w)
 	case ExpServing:
 		return Serving(cfg, w)
+	case ExpStorage:
+		return Storage(cfg, w)
 	default:
 		return fmt.Errorf("bench: unknown experiment %q (known: %v)", id, All())
 	}

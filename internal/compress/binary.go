@@ -1,0 +1,374 @@
+package compress
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"patchindex/internal/vector"
+)
+
+// Scheme identifies how a column segment's payload is encoded on disk.
+type Scheme uint8
+
+const (
+	// SchemeRaw stores the vector codec's byte image verbatim. Fallback for
+	// floats, bools, and anything compression doesn't shrink.
+	SchemeRaw Scheme = iota
+	// SchemePFOR is patched frame-of-reference over Int64/Date.
+	SchemePFOR
+	// SchemePFORDelta is PFOR over consecutive deltas — the PatchIndex-aware
+	// choice when an index proves the column (nearly) sorted.
+	SchemePFORDelta
+	// SchemeDict is dictionary + bit-packed codes for strings.
+	SchemeDict
+)
+
+func (s Scheme) String() string {
+	switch s {
+	case SchemeRaw:
+		return "raw"
+	case SchemePFOR:
+		return "pfor"
+	case SchemePFORDelta:
+		return "pfor-delta"
+	case SchemeDict:
+		return "dict"
+	}
+	return fmt.Sprintf("scheme(%d)", uint8(s))
+}
+
+// Encoded is one column's compressed image: the in-memory parsed form that
+// segment files serialize and scans range-decode from without full
+// materialization.
+type Encoded struct {
+	Scheme Scheme
+	Typ    vector.Type
+	n      int
+	pfor   *PFOR       // SchemePFOR / SchemePFORDelta
+	dict   *DictString // SchemeDict
+	raw    []byte      // SchemeRaw: vector codec image
+}
+
+// EncodeColumn compresses a column vector, picking the cheapest applicable
+// scheme by measured payload size. sortedHint biases Int64/Date columns
+// toward PFOR-DELTA without trying plain PFOR first — the caller passes it
+// when a PatchIndex has proven the column nearly sorted, which is the
+// paper's future-work connection: discovered data properties select the
+// compression algorithm.
+func EncodeColumn(v *vector.Vector, sortedHint bool) (*Encoded, error) {
+	e := &Encoded{Typ: v.Typ, n: v.Len()}
+	switch v.Typ {
+	case vector.Int64, vector.Date:
+		if sortedHint {
+			p, err := EncodePFORDelta(v)
+			if err != nil {
+				return nil, err
+			}
+			e.Scheme, e.pfor = SchemePFORDelta, p
+		} else {
+			plain, err := EncodePFOR(v)
+			if err != nil {
+				return nil, err
+			}
+			delta, err := EncodePFORDelta(v)
+			if err != nil {
+				return nil, err
+			}
+			if delta.CompressedBytes() < plain.CompressedBytes() {
+				e.Scheme, e.pfor = SchemePFORDelta, delta
+			} else {
+				e.Scheme, e.pfor = SchemePFOR, plain
+			}
+		}
+		if e.pfor.CompressedBytes() >= RawBytes(v.Len()) {
+			e.Scheme, e.pfor = SchemeRaw, nil
+			e.raw = v.AppendBinary(nil)
+		}
+	case vector.String:
+		d, err := EncodeDictString(v)
+		if err != nil {
+			return nil, err
+		}
+		raw := v.AppendBinary(nil)
+		if d.CompressedBytes() < len(raw) {
+			e.Scheme, e.dict = SchemeDict, d
+		} else {
+			e.Scheme, e.raw = SchemeRaw, raw
+		}
+	default:
+		e.Scheme = SchemeRaw
+		e.raw = v.AppendBinary(nil)
+	}
+	return e, nil
+}
+
+// Len returns the number of encoded rows.
+func (e *Encoded) Len() int { return e.n }
+
+// CompressedBytes returns the payload size of the encoding.
+func (e *Encoded) CompressedBytes() int {
+	switch e.Scheme {
+	case SchemePFOR, SchemePFORDelta:
+		return e.pfor.CompressedBytes()
+	case SchemeDict:
+		return e.dict.CompressedBytes()
+	default:
+		return len(e.raw)
+	}
+}
+
+// DecodeRangeInto appends rows [start,end) onto out, decoding only the
+// blocks the range touches.
+func (e *Encoded) DecodeRangeInto(out *vector.Vector, start, end int) error {
+	if end > e.n {
+		end = e.n
+	}
+	switch e.Scheme {
+	case SchemePFOR:
+		e.pfor.DecodeRangeInto(out, start, end)
+	case SchemePFORDelta:
+		e.pfor.DecodeDeltaRangeInto(out, start, end)
+	case SchemeDict:
+		e.dict.DecodeRangeInto(out, start, end)
+	case SchemeRaw:
+		v, _, err := vector.DecodeVector(e.raw)
+		if err != nil {
+			return err
+		}
+		out.AppendRange(v, start, end)
+	default:
+		return fmt.Errorf("compress: unknown scheme %d", e.Scheme)
+	}
+	return nil
+}
+
+// Decode reconstructs the full column.
+func (e *Encoded) Decode() (*vector.Vector, error) {
+	if e.Scheme == SchemeRaw {
+		v, _, err := vector.DecodeVector(e.raw)
+		return v, err
+	}
+	out := vector.New(e.Typ, e.n)
+	if err := e.DecodeRangeInto(out, 0, e.n); err != nil {
+		return nil, err
+	}
+	return out, nil
+}
+
+// AppendBinary serializes the encoding onto buf:
+//
+//	scheme uint8, typ uint8, n uint32, payload
+func (e *Encoded) AppendBinary(buf []byte) []byte {
+	buf = append(buf, byte(e.Scheme), byte(e.Typ))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(e.n))
+	switch e.Scheme {
+	case SchemePFOR, SchemePFORDelta:
+		buf = appendPFOR(buf, e.pfor)
+	case SchemeDict:
+		buf = appendDict(buf, e.dict)
+	default:
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.raw)))
+		buf = append(buf, e.raw...)
+	}
+	return buf
+}
+
+// DecodeEncoded parses one column encoding, returning it and the bytes
+// consumed.
+func DecodeEncoded(data []byte) (*Encoded, int, error) {
+	if len(data) < 6 {
+		return nil, 0, fmt.Errorf("compress: truncated encoding header")
+	}
+	e := &Encoded{Scheme: Scheme(data[0]), Typ: vector.Type(data[1])}
+	e.n = int(binary.LittleEndian.Uint32(data[2:6]))
+	pos := 6
+	var err error
+	var used int
+	switch e.Scheme {
+	case SchemePFOR, SchemePFORDelta:
+		e.pfor, used, err = decodePFORBinary(data[pos:], e.n)
+	case SchemeDict:
+		e.dict, used, err = decodeDictBinary(data[pos:], e.n)
+	case SchemeRaw:
+		if len(data) < pos+4 {
+			return nil, 0, fmt.Errorf("compress: truncated raw length")
+		}
+		ln := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if ln > len(data)-pos {
+			return nil, 0, fmt.Errorf("compress: truncated raw payload")
+		}
+		e.raw = append([]byte(nil), data[pos:pos+ln]...)
+		used = ln
+	default:
+		return nil, 0, fmt.Errorf("compress: unknown scheme %d", e.Scheme)
+	}
+	if err != nil {
+		return nil, 0, err
+	}
+	return e, pos + used, nil
+}
+
+func appendPFOR(buf []byte, p *PFOR) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(p.blocks)))
+	for i := range p.blocks {
+		b := &p.blocks[i]
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b.ref))
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(b.base))
+		buf = append(buf, b.width)
+		buf = binary.LittleEndian.AppendUint16(buf, uint16(b.n))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.packed)))
+		buf = append(buf, b.packed...)
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(b.excIdx)))
+		for _, ix := range b.excIdx {
+			buf = binary.LittleEndian.AppendUint32(buf, ix)
+		}
+		for _, xv := range b.excVals {
+			buf = binary.LittleEndian.AppendUint64(buf, uint64(xv))
+		}
+		if b.nullMask == nil {
+			buf = append(buf, 0)
+		} else {
+			buf = append(buf, 1)
+			for _, w := range b.nullMask {
+				buf = binary.LittleEndian.AppendUint64(buf, w)
+			}
+		}
+	}
+	return buf
+}
+
+func decodePFORBinary(data []byte, n int) (*PFOR, int, error) {
+	if len(data) < 4 {
+		return nil, 0, fmt.Errorf("compress: truncated PFOR block count")
+	}
+	nb := int(binary.LittleEndian.Uint32(data))
+	pos := 4
+	p := &PFOR{n: n, blocks: make([]pforBlock, nb)}
+	for i := 0; i < nb; i++ {
+		b := &p.blocks[i]
+		if len(data) < pos+23 {
+			return nil, 0, fmt.Errorf("compress: truncated PFOR block header")
+		}
+		b.ref = int64(binary.LittleEndian.Uint64(data[pos:]))
+		b.base = int64(binary.LittleEndian.Uint64(data[pos+8:]))
+		b.width = data[pos+16]
+		b.n = int(binary.LittleEndian.Uint16(data[pos+17:]))
+		pl := int(binary.LittleEndian.Uint32(data[pos+19:]))
+		pos += 23
+		if b.n > pforBlockSize || pl > len(data)-pos {
+			return nil, 0, fmt.Errorf("compress: corrupt PFOR block")
+		}
+		b.packed = append([]byte(nil), data[pos:pos+pl]...)
+		pos += pl
+		if len(data) < pos+4 {
+			return nil, 0, fmt.Errorf("compress: truncated exception count")
+		}
+		ne := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if ne > b.n || len(data) < pos+12*ne {
+			return nil, 0, fmt.Errorf("compress: corrupt PFOR exceptions")
+		}
+		if ne > 0 {
+			b.excIdx = make([]uint32, ne)
+			b.excVals = make([]int64, ne)
+			for k := 0; k < ne; k++ {
+				b.excIdx[k] = binary.LittleEndian.Uint32(data[pos:])
+				pos += 4
+			}
+			for k := 0; k < ne; k++ {
+				b.excVals[k] = int64(binary.LittleEndian.Uint64(data[pos:]))
+				pos += 8
+			}
+		}
+		if len(data) < pos+1 {
+			return nil, 0, fmt.Errorf("compress: truncated null flag")
+		}
+		hasNull := data[pos] == 1
+		pos++
+		if hasNull {
+			nw := (b.n + 63) / 64
+			if len(data) < pos+8*nw {
+				return nil, 0, fmt.Errorf("compress: truncated null mask")
+			}
+			b.nullMask = make([]uint64, nw)
+			for k := 0; k < nw; k++ {
+				b.nullMask[k] = binary.LittleEndian.Uint64(data[pos:])
+				pos += 8
+			}
+		}
+	}
+	return p, pos, nil
+}
+
+func appendDict(buf []byte, d *DictString) []byte {
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.dict)))
+	for _, s := range d.dict {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(s)))
+		buf = append(buf, s...)
+	}
+	buf = append(buf, d.width)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(d.codes)))
+	buf = append(buf, d.codes...)
+	if d.nullMask == nil {
+		buf = append(buf, 0)
+	} else {
+		buf = append(buf, 1)
+		for _, w := range d.nullMask {
+			buf = binary.LittleEndian.AppendUint64(buf, w)
+		}
+	}
+	return buf
+}
+
+func decodeDictBinary(data []byte, n int) (*DictString, int, error) {
+	if len(data) < 4 {
+		return nil, 0, fmt.Errorf("compress: truncated dictionary size")
+	}
+	nd := int(binary.LittleEndian.Uint32(data))
+	pos := 4
+	if nd > n && n > 0 {
+		return nil, 0, fmt.Errorf("compress: dictionary larger than column")
+	}
+	d := &DictString{n: n, dict: make([]string, nd)}
+	for i := 0; i < nd; i++ {
+		if len(data) < pos+4 {
+			return nil, 0, fmt.Errorf("compress: truncated dictionary entry")
+		}
+		ln := int(binary.LittleEndian.Uint32(data[pos:]))
+		pos += 4
+		if ln > len(data)-pos {
+			return nil, 0, fmt.Errorf("compress: truncated dictionary entry")
+		}
+		d.dict[i] = string(data[pos : pos+ln])
+		pos += ln
+	}
+	if len(data) < pos+5 {
+		return nil, 0, fmt.Errorf("compress: truncated code header")
+	}
+	d.width = data[pos]
+	cl := int(binary.LittleEndian.Uint32(data[pos+1:]))
+	pos += 5
+	if cl > len(data)-pos {
+		return nil, 0, fmt.Errorf("compress: truncated codes")
+	}
+	d.codes = append([]byte(nil), data[pos:pos+cl]...)
+	pos += cl
+	if len(data) < pos+1 {
+		return nil, 0, fmt.Errorf("compress: truncated null flag")
+	}
+	hasNull := data[pos] == 1
+	pos++
+	if hasNull {
+		nw := (n + 63) / 64
+		if len(data) < pos+8*nw {
+			return nil, 0, fmt.Errorf("compress: truncated null mask")
+		}
+		d.nullMask = make([]uint64, nw)
+		for k := 0; k < nw; k++ {
+			d.nullMask[k] = binary.LittleEndian.Uint64(data[pos:])
+			pos += 8
+		}
+	}
+	return d, pos, nil
+}

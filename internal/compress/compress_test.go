@@ -1,7 +1,8 @@
-package compress
+package compress_test
 
 import (
 	"math/rand"
+	"patchindex/internal/compress"
 	"testing"
 	"testing/quick"
 
@@ -35,11 +36,11 @@ func vecEqual(a, b *vector.Vector) bool {
 
 func TestPFORRoundTrip(t *testing.T) {
 	v := intVec(100, 101, 103, 99, 1_000_000, 102, 104)
-	enc, err := EncodePFOR(v)
+	enc, err := compress.EncodePFOR(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !vecEqual(v, DecodePFOR(enc)) {
+	if !vecEqual(v, compress.DecodePFOR(enc)) {
 		t.Error("round trip failed")
 	}
 	if enc.Len() != v.Len() {
@@ -49,11 +50,11 @@ func TestPFORRoundTrip(t *testing.T) {
 
 func TestPFORDeltaRoundTrip(t *testing.T) {
 	v := intVec(10, 12, 15, 15, 20, 19, 25)
-	enc, err := EncodePFORDelta(v)
+	enc, err := compress.EncodePFORDelta(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !vecEqual(v, DecodePFORDelta(enc)) {
+	if !vecEqual(v, compress.DecodePFORDelta(enc)) {
 		t.Error("round trip failed")
 	}
 }
@@ -65,18 +66,18 @@ func TestPFORNulls(t *testing.T) {
 	v.AppendInt64(7)
 	v.AppendNull()
 	for _, mode := range []string{"pfor", "delta"} {
-		var enc *PFOR
+		var enc *compress.PFOR
 		var err error
 		var dec *vector.Vector
 		if mode == "pfor" {
-			enc, err = EncodePFOR(v)
+			enc, err = compress.EncodePFOR(v)
 			if err == nil {
-				dec = DecodePFOR(enc)
+				dec = compress.DecodePFOR(enc)
 			}
 		} else {
-			enc, err = EncodePFORDelta(v)
+			enc, err = compress.EncodePFORDelta(v)
 			if err == nil {
-				dec = DecodePFORDelta(enc)
+				dec = compress.DecodePFORDelta(enc)
 			}
 		}
 		if err != nil {
@@ -91,18 +92,18 @@ func TestPFORNulls(t *testing.T) {
 func TestPFORRejectsNonInteger(t *testing.T) {
 	v := vector.New(vector.Float64, 0)
 	v.AppendFloat64(1)
-	if _, err := EncodePFOR(v); err == nil {
+	if _, err := compress.EncodePFOR(v); err == nil {
 		t.Error("float input must be rejected")
 	}
 }
 
 func TestPFOREmptyAndSingle(t *testing.T) {
 	for _, v := range []*vector.Vector{intVec(), intVec(42)} {
-		enc, err := EncodePFOR(v)
+		enc, err := compress.EncodePFOR(v)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !vecEqual(v, DecodePFOR(enc)) {
+		if !vecEqual(v, compress.DecodePFOR(enc)) {
 			t.Error("round trip failed")
 		}
 	}
@@ -125,20 +126,20 @@ func TestPFORRoundTripProperty(t *testing.T) {
 				v.AppendInt64(x)
 			}
 		}
-		var enc *PFOR
+		var enc *compress.PFOR
 		var err error
 		if delta {
-			enc, err = EncodePFORDelta(v)
+			enc, err = compress.EncodePFORDelta(v)
 		} else {
-			enc, err = EncodePFOR(v)
+			enc, err = compress.EncodePFOR(v)
 		}
 		if err != nil {
 			return false
 		}
 		if delta {
-			return vecEqual(v, DecodePFORDelta(enc))
+			return vecEqual(v, compress.DecodePFORDelta(enc))
 		}
-		return vecEqual(v, DecodePFOR(enc))
+		return vecEqual(v, compress.DecodePFOR(enc))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
 		t.Error(err)
@@ -151,11 +152,11 @@ func TestPFORMultipleBlocks(t *testing.T) {
 	for i := 0; i < 5000; i++ {
 		v.AppendInt64(rng.Int63n(1 << 40))
 	}
-	enc, err := EncodePFOR(v)
+	enc, err := compress.EncodePFOR(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !vecEqual(v, DecodePFOR(enc)) {
+	if !vecEqual(v, compress.DecodePFOR(enc)) {
 		t.Error("multi-block round trip failed")
 	}
 }
@@ -173,15 +174,15 @@ func TestPFORCompressesSmallRange(t *testing.T) {
 			v.AppendInt64(1000 + rng.Int63n(255)) // 8-bit range
 		}
 	}
-	enc, err := EncodePFOR(v)
+	enc, err := compress.EncodePFOR(v)
 	if err != nil {
 		t.Fatal(err)
 	}
-	ratio := Ratio(RawBytes(n), enc.CompressedBytes())
+	ratio := compress.Ratio(compress.RawBytes(n), enc.CompressedBytes())
 	if ratio < 3 {
 		t.Errorf("outlier-robust compression ratio %.2f, want >= 3 (PFOR's whole point)", ratio)
 	}
-	if !vecEqual(v, DecodePFOR(enc)) {
+	if !vecEqual(v, compress.DecodePFOR(enc)) {
 		t.Error("round trip failed")
 	}
 }
@@ -206,7 +207,7 @@ func TestEncodeWithPatchesRoundTrip(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc, err := EncodeWithPatches(v, set, false)
+	pc, err := compress.EncodeWithPatches(v, set, false)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -215,7 +216,7 @@ func TestEncodeWithPatchesRoundTrip(t *testing.T) {
 	}
 	// The patched encoding must beat plain PFOR on nearly sorted data: the
 	// sorted majority delta-compresses to a few bits per value.
-	plain, err := EncodePFOR(v)
+	plain, err := compress.EncodePFOR(v)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +233,7 @@ func TestEncodeWithPatchesDescending(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	pc, err := EncodeWithPatches(v, set, true)
+	pc, err := compress.EncodeWithPatches(v, set, true)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,7 +245,7 @@ func TestEncodeWithPatchesDescending(t *testing.T) {
 func TestEncodeWithPatchesValidation(t *testing.T) {
 	v := intVec(1, 2, 3)
 	set, _ := patch.Build(patch.Identifier, nil, 5) // wrong row count
-	if _, err := EncodeWithPatches(v, set, false); err == nil {
+	if _, err := compress.EncodeWithPatches(v, set, false); err == nil {
 		t.Error("row count mismatch must fail")
 	}
 	// NULL outside the patch set must fail.
@@ -252,13 +253,13 @@ func TestEncodeWithPatchesValidation(t *testing.T) {
 	nv.AppendInt64(1)
 	nv.AppendNull()
 	badSet, _ := patch.Build(patch.Identifier, nil, 2)
-	if _, err := EncodeWithPatches(nv, badSet, false); err == nil {
+	if _, err := compress.EncodeWithPatches(nv, badSet, false); err == nil {
 		t.Error("uncovered NULL must fail")
 	}
 	f := vector.New(vector.Float64, 0)
 	f.AppendFloat64(1)
 	fset, _ := patch.Build(patch.Identifier, nil, 1)
-	if _, err := EncodeWithPatches(f, fset, false); err == nil {
+	if _, err := compress.EncodeWithPatches(f, fset, false); err == nil {
 		t.Error("non-integer column must fail")
 	}
 }
@@ -286,7 +287,7 @@ func TestPatchedColumnProperty(t *testing.T) {
 			if err != nil {
 				return false
 			}
-			pc, err := EncodeWithPatches(v, set, false)
+			pc, err := compress.EncodeWithPatches(v, set, false)
 			if err != nil {
 				return false
 			}
@@ -302,13 +303,13 @@ func TestPatchedColumnProperty(t *testing.T) {
 }
 
 func TestRatioAndSummary(t *testing.T) {
-	if Ratio(100, 0) != 0 {
+	if compress.Ratio(100, 0) != 0 {
 		t.Error("zero compressed size guards division")
 	}
-	if Ratio(100, 50) != 2 {
+	if compress.Ratio(100, 50) != 2 {
 		t.Error("ratio math")
 	}
-	if SizesSummary("x", 100, 50) == "" {
+	if compress.SizesSummary("x", 100, 50) == "" {
 		t.Error("summary rendering")
 	}
 }

@@ -1,0 +1,95 @@
+package compress
+
+import (
+	"fmt"
+	"math/bits"
+
+	"patchindex/internal/vector"
+)
+
+// DictString is a dictionary encoding for string columns: distinct values in
+// first-occurrence order plus bit-packed codes (width = bits needed for the
+// dictionary size). NULLs live in a separate bitmap; their code slots pack 0.
+// Low-cardinality columns (status flags, regions, nations) collapse to a
+// couple of bits per row.
+type DictString struct {
+	dict     []string
+	codes    []byte // bit-packed, width bits per row
+	width    uint8
+	nullMask []uint64 // nil when the column has no NULLs
+	n        int
+}
+
+// EncodeDictString builds a dictionary encoding of a string vector.
+func EncodeDictString(v *vector.Vector) (*DictString, error) {
+	if v.Typ != vector.String {
+		return nil, fmt.Errorf("compress: dictionary encoding supports string columns, got %s", v.Typ)
+	}
+	n := v.Len()
+	d := &DictString{n: n}
+	ids := make(map[string]uint64, 64)
+	raw := make([]uint64, n)
+	for i := 0; i < n; i++ {
+		if v.IsNull(i) {
+			if d.nullMask == nil {
+				d.nullMask = make([]uint64, (n+63)/64)
+			}
+			d.nullMask[i>>6] |= 1 << (i & 63)
+			continue
+		}
+		s := v.Str[i]
+		id, ok := ids[s]
+		if !ok {
+			id = uint64(len(d.dict))
+			ids[s] = id
+			d.dict = append(d.dict, s)
+		}
+		raw[i] = id
+	}
+	if len(d.dict) > 1 {
+		d.width = uint8(bits.Len64(uint64(len(d.dict) - 1)))
+	}
+	d.codes = make([]byte, (n*int(d.width)+7)/8)
+	for i, id := range raw {
+		putBits(d.codes, i, d.width, id)
+	}
+	return d, nil
+}
+
+// Len returns the number of encoded values.
+func (d *DictString) Len() int { return d.n }
+
+// Cardinality returns the dictionary size.
+func (d *DictString) Cardinality() int { return len(d.dict) }
+
+// CompressedBytes returns the payload size of the encoding.
+func (d *DictString) CompressedBytes() int {
+	total := len(d.codes) + 8*len(d.nullMask)
+	for _, s := range d.dict {
+		total += len(s) + 4
+	}
+	return total
+}
+
+// DecodeRangeInto appends rows [start,end) onto out. Decoded strings share
+// the dictionary's backing storage, so a wide scan over a dict column costs
+// code lookups, not string copies.
+func (d *DictString) DecodeRangeInto(out *vector.Vector, start, end int) {
+	if end > d.n {
+		end = d.n
+	}
+	for i := start; i < end; i++ {
+		if d.nullMask != nil && d.nullMask[i>>6]&(1<<(i&63)) != 0 {
+			out.AppendNull()
+			continue
+		}
+		out.AppendString(d.dict[getBits(d.codes, i, d.width)])
+	}
+}
+
+// Decode reconstructs the original column.
+func (d *DictString) Decode() *vector.Vector {
+	out := vector.New(vector.String, d.n)
+	d.DecodeRangeInto(out, 0, d.n)
+	return out
+}

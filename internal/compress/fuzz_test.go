@@ -1,0 +1,139 @@
+package compress_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"patchindex/internal/compress"
+	"patchindex/internal/vector"
+)
+
+// FuzzPFORRoundTrip drives the whole integer-compression surface from fuzzed
+// parameters: random NULL densities, adversarial bit-widths (values packed
+// near every width boundary plus rare huge outliers that become patches),
+// Int64 and Date vectors, sorted and shuffled — then checks full decode,
+// block-aligned and unaligned range decode, and the binary serialization all
+// reproduce the input exactly.
+func FuzzPFORRoundTrip(f *testing.F) {
+	f.Add(int64(1), uint16(10), uint8(0), uint8(3), false, false)
+	f.Add(int64(2), uint16(1024), uint8(30), uint8(63), true, false)
+	f.Add(int64(3), uint16(2500), uint8(100), uint8(1), false, true)
+	f.Add(int64(4), uint16(4096), uint8(250), uint8(17), true, true)
+	f.Add(int64(5), uint16(1), uint8(128), uint8(0), false, false)
+	f.Fuzz(func(t *testing.T, seed int64, nRaw uint16, nullPct uint8, widthRaw uint8, isDate, sorted bool) {
+		n := int(nRaw) % 5000
+		width := uint(widthRaw) % 64
+		rng := rand.New(rand.NewSource(seed))
+		typ := vector.Int64
+		if isDate {
+			typ = vector.Date
+		}
+		orig := vector.New(typ, n)
+		cur := int64(0)
+		for i := 0; i < n; i++ {
+			if int(nullPct)%101 > 0 && rng.Intn(101) < int(nullPct)%101 {
+				orig.AppendNull()
+				continue
+			}
+			// Values hugging the fuzzed bit-width, negatives included, with
+			// ~1% extreme outliers to force exception patching.
+			var x int64
+			switch rng.Intn(100) {
+			case 0:
+				x = rng.Int63() - rng.Int63() // extreme outlier, any sign
+			default:
+				if width == 0 {
+					x = 0
+				} else {
+					x = int64(rng.Uint64()&(1<<width-1)) - 1<<(width-1)
+				}
+			}
+			if sorted {
+				step := x % 16
+				if step < 0 {
+					step = -step
+				}
+				cur += step
+				x = cur
+			}
+			orig.AppendInt64(x)
+		}
+
+		check := func(name string, got *vector.Vector) {
+			t.Helper()
+			if got.Len() != orig.Len() {
+				t.Fatalf("%s: length %d, want %d", name, got.Len(), orig.Len())
+			}
+			for i := 0; i < orig.Len(); i++ {
+				if got.IsNull(i) != orig.IsNull(i) {
+					t.Fatalf("%s: row %d null=%v, want %v", name, i, got.IsNull(i), orig.IsNull(i))
+				}
+				if !orig.IsNull(i) && got.I64[i] != orig.I64[i] {
+					t.Fatalf("%s: row %d = %d, want %d", name, i, got.I64[i], orig.I64[i])
+				}
+			}
+		}
+
+		// Differential: plain PFOR and PFOR-DELTA must agree on the same input.
+		plain, err := compress.EncodePFOR(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("pfor", compress.DecodePFOR(plain))
+		delta, err := compress.EncodePFORDelta(orig)
+		if err != nil {
+			t.Fatal(err)
+		}
+		check("pfor-delta", compress.DecodePFORDelta(delta))
+
+		// The scheme-picking container, with and without the sorted hint.
+		for _, hint := range []bool{false, true} {
+			enc, err := compress.EncodeColumn(orig, hint)
+			if err != nil {
+				t.Fatal(err)
+			}
+			full, err := enc.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			check(enc.Scheme.String(), full)
+
+			// Range decode at fuzzed offsets: unaligned starts/ends crossing
+			// the 1024-value block boundary.
+			if n > 0 {
+				lo := rng.Intn(n)
+				hi := lo + rng.Intn(n-lo) + 1
+				out := vector.New(typ, 0)
+				if err := enc.DecodeRangeInto(out, lo, hi); err != nil {
+					t.Fatal(err)
+				}
+				if out.Len() != hi-lo {
+					t.Fatalf("range [%d,%d): got %d rows", lo, hi, out.Len())
+				}
+				for i := 0; i < out.Len(); i++ {
+					if out.IsNull(i) != orig.IsNull(lo+i) {
+						t.Fatalf("range row %d null mismatch", lo+i)
+					}
+					if !out.IsNull(i) && out.I64[i] != orig.I64[lo+i] {
+						t.Fatalf("range row %d = %d, want %d", lo+i, out.I64[i], orig.I64[lo+i])
+					}
+				}
+			}
+
+			// Binary round trip: serialize, reparse, decode again.
+			buf := enc.AppendBinary(nil)
+			enc2, used, err := compress.DecodeEncoded(buf)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if used != len(buf) {
+				t.Fatalf("DecodeEncoded consumed %d of %d bytes", used, len(buf))
+			}
+			full2, err := enc2.Decode()
+			if err != nil {
+				t.Fatal(err)
+			}
+			check("binary/"+enc.Scheme.String(), full2)
+		}
+	})
+}

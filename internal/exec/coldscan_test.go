@@ -1,0 +1,143 @@
+package exec
+
+import (
+	"context"
+	"path/filepath"
+	"testing"
+
+	"patchindex/internal/obs"
+	"patchindex/internal/storage"
+	"patchindex/internal/vector"
+)
+
+// flushAndReload compresses the single-partition table to a segment file and
+// reloads it through a fresh cache, so every column starts evicted (on disk).
+func flushAndReload(t *testing.T, vals []int64) *storage.Table {
+	t.Helper()
+	tab := buildTable(t, "t", vals)
+	c := storage.NewCache(0)
+	c.SetMetrics(obs.NewRegistry())
+	tab.AttachCache(c)
+	path := filepath.Join(t.TempDir(), "t.p0.seg")
+	if _, err := tab.FlushPartition(0, path, nil); err != nil {
+		t.Fatal(err)
+	}
+	tab.ReleaseStorage()
+	c2 := storage.NewCache(0)
+	c2.SetMetrics(obs.NewRegistry())
+	schema := storage.NewSchema(storage.Column{Name: "v", Typ: vector.Int64})
+	tab2, err := storage.LoadTable("t", schema, "", []string{path}, c2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tab2
+}
+
+// TestScanColdSelective: a scan whose ranges cover under 1/4 of an on-disk
+// partition must decode straight from the compressed payload — correct
+// values, cold_decoded_rows accounted, and nothing faulted into the cache.
+func TestScanColdSelective(t *testing.T) {
+	n := 20_000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i * 3)
+	}
+	tab := flushAndReload(t, vals)
+	if !tab.ColumnOnDisk(0, 0) {
+		t.Fatal("column should start evicted after LoadTable")
+	}
+	ranges := []storage.ScanRange{{Start: 1000, End: 3000}, {Start: 9000, End: 9100}}
+	sc, err := NewScan(tab, 0, []int{0}, ranges)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var want []int64
+	for _, r := range ranges {
+		for i := r.Start; i < r.End; i++ {
+			want = append(want, int64(i*3))
+		}
+	}
+	if !eqInts(intsOf(t, rows, 0), want) {
+		t.Fatalf("cold selective scan returned wrong rows (%d vs %d)", len(rows), len(want))
+	}
+	if sc.coldRows == 0 {
+		t.Error("cold path did not engage (coldRows = 0)")
+	}
+	if !tab.ColumnOnDisk(0, 0) {
+		t.Error("cold scan must not fault the column into the cache")
+	}
+}
+
+// TestScanColdChunkBoundary exercises a single cold range wider than
+// coldScanChunk so the scratch window refills mid-range.
+func TestScanColdChunkBoundary(t *testing.T) {
+	n := 300_000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tab := flushAndReload(t, vals)
+	lo, hi := uint64(100_000), uint64(170_000) // 70_000 rows > coldScanChunk
+	sc, err := NewScan(tab, 0, []int{0}, []storage.ScanRange{{Start: lo, End: hi}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sc.Open(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	defer sc.Close()
+	next := int64(lo)
+	for {
+		b, err := sc.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if b == nil {
+			break
+		}
+		for _, x := range b.Vecs[0].I64 {
+			if x != next {
+				t.Fatalf("row value %d, want %d", x, next)
+			}
+			next++
+		}
+	}
+	if next != int64(hi) {
+		t.Fatalf("scan stopped at %d, want %d", next, hi)
+	}
+	if sc.coldRows != int64(hi-lo) {
+		t.Errorf("coldRows = %d, want %d", sc.coldRows, hi-lo)
+	}
+}
+
+// TestScanWideFaultsIn: a scan covering most of the partition must fault the
+// column in through the cache instead of repeatedly decoding ranges.
+func TestScanWideFaultsIn(t *testing.T) {
+	n := 8000
+	vals := make([]int64, n)
+	for i := range vals {
+		vals[i] = int64(i)
+	}
+	tab := flushAndReload(t, vals)
+	sc, err := NewScan(tab, 0, []int{0}, []storage.ScanRange{{Start: 0, End: uint64(n - 100)}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rows, err := Collect(sc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != n-100 {
+		t.Fatalf("got %d rows, want %d", len(rows), n-100)
+	}
+	if sc.coldRows != 0 {
+		t.Errorf("wide scan used the cold path (coldRows = %d)", sc.coldRows)
+	}
+	if tab.ColumnOnDisk(0, 0) {
+		t.Error("wide scan should have faulted the column into the cache")
+	}
+}

@@ -22,6 +22,7 @@ type HashJoin struct {
 	buildLeft   bool
 	leftOuter   bool
 	types       []vector.Type
+	spill       SpillConfig
 
 	buildCols []*vector.Vector
 	table     map[string][]int
@@ -31,6 +32,17 @@ type HashJoin struct {
 	out       *vector.Batch
 	keyBuf    []byte
 	buildRows int64
+
+	// Grace mode (build side exceeded spill.Limit): both sides hash-
+	// partitioned to disk, partitions joined one at a time.
+	grace        bool
+	graceBuild   []*spillRun
+	graceProbe   []*spillRun
+	gracePart    int
+	graceCur     *spillRun
+	graceBatch   *vector.Batch
+	buildKey     int
+	spilledBytes int64
 }
 
 // NewHashJoin creates an inner hash join of left and right on
@@ -59,6 +71,11 @@ func NewLeftOuterHashJoin(left, right Operator, leftKey, rightKey int) (*HashJoi
 	return j, nil
 }
 
+// SetSpill bounds the build side's in-memory size: past cfg.Limit bytes the
+// join switches to Grace hash partitioning, spilling both sides to cfg.Dir
+// and joining partition pairs one at a time.
+func (j *HashJoin) SetSpill(cfg SpillConfig) { j.spill = cfg }
+
 // Name returns the operator name.
 func (j *HashJoin) Name() string {
 	side := "build=right"
@@ -77,9 +94,15 @@ func (j *HashJoin) Types() []vector.Type { return j.types }
 // Children returns both inputs, left first.
 func (j *HashJoin) Children() []Operator { return []Operator{j.left, j.right} }
 
-// ExtraStats reports the hash-table build size.
+// ExtraStats reports the hash-table build size and Grace spill activity.
 func (j *HashJoin) ExtraStats() []obs.KV {
-	return []obs.KV{{Key: "build_rows", Value: j.buildRows}}
+	kv := []obs.KV{{Key: "build_rows", Value: j.buildRows}}
+	if j.grace {
+		kv = append(kv,
+			obs.KV{Key: "grace_partitions", Value: int64(len(j.graceBuild))},
+			obs.KV{Key: "spilled_bytes", Value: j.spilledBytes})
+	}
+	return kv
 }
 
 // Open builds the hash table on the configured side. A cancelled context
@@ -94,24 +117,60 @@ func (j *HashJoin) Open(ctx context.Context) error {
 
 func (j *HashJoin) open(ctx context.Context) error {
 	var build Operator
-	var buildKey int
 	if j.buildLeft {
 		build, j.probe = j.left, j.right
-		buildKey, j.probeKey = j.leftKey, j.rightKey
+		j.buildKey, j.probeKey = j.leftKey, j.rightKey
 	} else {
 		build, j.probe = j.right, j.left
-		buildKey, j.probeKey = j.rightKey, j.leftKey
+		j.buildKey, j.probeKey = j.rightKey, j.leftKey
 	}
 	if err := build.Open(ctx); err != nil {
 		return err
 	}
-	cols, n, err := materialize(build, build.Types())
-	if err != nil {
-		return errOp(j, err)
+	// Materialize the build side, watching the byte budget: crossing it
+	// flips to Grace partitioning with the rows gathered so far.
+	types := build.Types()
+	cols := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		cols[i] = vector.New(t, vector.BatchSize)
 	}
+	var bytes int64
+	overflow := false
+	for {
+		b, err := build.Next()
+		if err != nil {
+			return errOp(j, err)
+		}
+		if b == nil {
+			break
+		}
+		bl := b.Len()
+		for c := range cols {
+			for i := 0; i < bl; i++ {
+				cols[c].Append(b.Vecs[c], i)
+			}
+			bytes += b.Vecs[c].ByteSize()
+		}
+		if j.spill.enabled() && bytes > j.spill.Limit {
+			overflow = true
+			break
+		}
+	}
+	if overflow {
+		return j.openGrace(ctx, build, cols)
+	}
+	n := cols[0].Len()
 	j.buildCols = cols
 	j.buildRows = int64(n)
-	keyVec := cols[buildKey]
+	j.buildHashTable(cols, n)
+	j.out = vector.NewBatch(j.types)
+	return j.probe.Open(ctx)
+}
+
+// buildHashTable (re)builds the probe table over the given build rows.
+func (j *HashJoin) buildHashTable(cols []*vector.Vector, n int) {
+	j.table, j.table64 = nil, nil
+	keyVec := cols[j.buildKey]
 	if keyVec.Typ == vector.Int64 || keyVec.Typ == vector.Date {
 		j.table64 = make(map[int64][]int32, n)
 		for i := 0; i < n; i++ {
@@ -131,8 +190,252 @@ func (j *HashJoin) open(ctx context.Context) error {
 			j.table[string(buf)] = append(j.table[string(buf)], i)
 		}
 	}
+}
+
+// gracePartitions is the Grace fan-out. With the build side just over the
+// limit each partition is ~1/16 of it; a partition that still exceeds the
+// limit is processed in memory regardless (no recursive repartitioning).
+const gracePartitions = 16
+
+// gracePartitioner hash-routes rows into per-partition spill files.
+type gracePartitioner struct {
+	files []*spillFile
+	stage [][]*vector.Vector
+	key   int
+	buf   []byte
+}
+
+func newGracePartitioner(dir string, types []vector.Type, key int) (*gracePartitioner, error) {
+	g := &gracePartitioner{key: key}
+	for p := 0; p < gracePartitions; p++ {
+		f, err := newSpillFile(dir)
+		if err != nil {
+			g.discard()
+			return nil, err
+		}
+		g.files = append(g.files, f)
+		cols := make([]*vector.Vector, len(types))
+		for i, t := range types {
+			cols[i] = vector.New(t, vector.BatchSize)
+		}
+		g.stage = append(g.stage, cols)
+	}
+	return g, nil
+}
+
+// add routes rows [0,n) of cols. dropNullKeys skips NULL-key rows (safe
+// whenever those rows can never appear in the output).
+func (g *gracePartitioner) add(cols []*vector.Vector, n int, dropNullKeys bool) error {
+	keyVec := cols[g.key]
+	for i := 0; i < n; i++ {
+		if dropNullKeys && keyVec.IsNull(i) {
+			continue
+		}
+		p := spillHash(keyVec, i, &g.buf, gracePartitions)
+		st := g.stage[p]
+		for c := range st {
+			st[c].Append(cols[c], i)
+		}
+		if st[0].Len() >= vector.BatchSize {
+			if err := g.flush(p); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+func (g *gracePartitioner) flush(p int) error {
+	if err := g.files[p].writeCols(g.stage[p]); err != nil {
+		return err
+	}
+	for _, v := range g.stage[p] {
+		v.Reset()
+	}
+	return nil
+}
+
+// finish flushes all staging buffers and returns per-partition runs.
+func (g *gracePartitioner) finish() ([]*spillRun, int64, error) {
+	runs := make([]*spillRun, len(g.files))
+	var bytes int64
+	for p := range g.files {
+		if err := g.flush(p); err != nil {
+			g.discard()
+			return nil, 0, err
+		}
+		r, err := g.files[p].finish()
+		if err != nil {
+			g.discard()
+			for _, rr := range runs {
+				rr.close()
+			}
+			return nil, 0, err
+		}
+		g.files[p] = nil
+		runs[p] = r
+		bytes += r.bytes
+	}
+	return runs, bytes, nil
+}
+
+func (g *gracePartitioner) discard() {
+	for _, f := range g.files {
+		if f != nil {
+			f.discard()
+		}
+	}
+}
+
+// openGrace partitions the build side (prefix already materialized in acc,
+// remainder still streaming) and then the whole probe side to disk.
+func (j *HashJoin) openGrace(ctx context.Context, build Operator, acc []*vector.Vector) error {
+	gp, err := newGracePartitioner(j.spill.Dir, build.Types(), j.buildKey)
+	if err != nil {
+		return errOp(j, err)
+	}
+	if err := gp.add(acc, acc[0].Len(), true); err != nil {
+		gp.discard()
+		return errOp(j, err)
+	}
+	j.buildRows = int64(acc[0].Len())
+	for {
+		b, err := build.Next()
+		if err != nil {
+			gp.discard()
+			return errOp(j, err)
+		}
+		if b == nil {
+			break
+		}
+		if err := gp.add(b.Vecs, b.Len(), true); err != nil {
+			gp.discard()
+			return errOp(j, err)
+		}
+		j.buildRows += int64(b.Len())
+	}
+	var bBytes int64
+	j.graceBuild, bBytes, err = gp.finish()
+	if err != nil {
+		return errOp(j, err)
+	}
+	if err := j.probe.Open(ctx); err != nil {
+		j.closeGrace()
+		return err
+	}
+	pp, err := newGracePartitioner(j.spill.Dir, j.probe.Types(), j.probeKey)
+	if err != nil {
+		j.closeGrace()
+		return errOp(j, err)
+	}
+	for {
+		b, err := j.probe.Next()
+		if err != nil {
+			pp.discard()
+			j.closeGrace()
+			return errOp(j, err)
+		}
+		if b == nil {
+			break
+		}
+		// Inner joins drop unmatched probe rows anyway, so NULL-key rows can
+		// be dropped here; a left outer join must keep them to pad them.
+		if err := pp.add(b.Vecs, b.Len(), !j.leftOuter); err != nil {
+			pp.discard()
+			j.closeGrace()
+			return errOp(j, err)
+		}
+	}
+	var pBytes int64
+	j.graceProbe, pBytes, err = pp.finish()
+	if err != nil {
+		j.closeGrace()
+		return errOp(j, err)
+	}
+	j.spilledBytes = bBytes + pBytes
+	j.grace = true
+	j.gracePart = -1
+	j.graceBatch = &vector.Batch{}
 	j.out = vector.NewBatch(j.types)
-	return j.probe.Open(ctx)
+	return nil
+}
+
+// loadGracePartition reads build partition p into memory, builds its hash
+// table, and positions the probe cursor on probe partition p.
+func (j *HashJoin) loadGracePartition(p int) error {
+	types := make([]vector.Type, 0, len(j.types))
+	if j.buildLeft {
+		types = append(types, j.left.Types()...)
+	} else {
+		types = append(types, j.right.Types()...)
+	}
+	cols := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		cols[i] = vector.New(t, vector.BatchSize)
+	}
+	for {
+		frame, err := j.graceBuild[p].next()
+		if err != nil {
+			return err
+		}
+		if frame == nil {
+			break
+		}
+		fl := frame[0].Len()
+		for c := range cols {
+			for i := 0; i < fl; i++ {
+				cols[c].Append(frame[c], i)
+			}
+		}
+	}
+	j.graceBuild[p].close()
+	j.buildCols = cols
+	j.buildHashTable(cols, cols[0].Len())
+	j.graceCur = j.graceProbe[p]
+	return nil
+}
+
+// nextProbeBatch returns the next probe-side batch: straight from the probe
+// child normally, from the current Grace partition's spill run otherwise
+// (advancing through partitions as they drain).
+func (j *HashJoin) nextProbeBatch() (*vector.Batch, error) {
+	if !j.grace {
+		return j.probe.Next()
+	}
+	for {
+		if j.graceCur != nil {
+			frame, err := j.graceCur.next()
+			if err != nil {
+				return nil, err
+			}
+			if frame != nil {
+				j.graceBatch.Vecs = frame
+				j.graceBatch.Sel = nil
+				j.graceBatch.Contiguous = false
+				return j.graceBatch, nil
+			}
+			j.graceCur.close()
+			j.graceCur = nil
+		}
+		j.gracePart++
+		if j.gracePart >= len(j.graceBuild) {
+			return nil, nil
+		}
+		if err := j.loadGracePartition(j.gracePart); err != nil {
+			return nil, err
+		}
+	}
+}
+
+// closeGrace releases all Grace spill runs.
+func (j *HashJoin) closeGrace() {
+	for _, r := range j.graceBuild {
+		r.close()
+	}
+	for _, r := range j.graceProbe {
+		r.close()
+	}
+	j.graceBuild, j.graceProbe, j.graceCur = nil, nil, nil
 }
 
 // Next probes the hash table with the next probe-side batch.
@@ -151,7 +454,7 @@ func (j *HashJoin) Next() (*vector.Batch, error) {
 
 func (j *HashJoin) next() (*vector.Batch, error) {
 	for {
-		b, err := j.probe.Next()
+		b, err := j.nextProbeBatch()
 		if err != nil {
 			return nil, errOp(j, err)
 		}
@@ -237,12 +540,15 @@ func (j *HashJoin) appendJoined(out *vector.Batch, probe *vector.Batch, pi, bi i
 	}
 }
 
-// Close closes both children and drops the hash table.
+// Close closes both children and drops the hash table and any spill runs.
 func (j *HashJoin) Close() error {
 	j.table = nil
 	j.table64 = nil
 	j.buildCols = nil
 	j.out = nil
+	if j.grace {
+		j.closeGrace()
+	}
 	err1 := j.left.Close()
 	err2 := j.right.Close()
 	if err1 != nil {

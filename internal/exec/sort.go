@@ -24,9 +24,13 @@ type Sort struct {
 	opStats
 	child Operator
 	keys  []SortKey
+	spill SpillConfig
 
-	emit       *sliceEmitter
-	sortedRows int64
+	emit         *sliceEmitter
+	merge        *runMerger
+	sortedRows   int64
+	spilledRuns  int64
+	spilledBytes int64
 }
 
 // NewSort creates a sort operator over the given keys.
@@ -43,6 +47,10 @@ func NewSort(child Operator, keys []SortKey) (*Sort, error) {
 	return &Sort{child: child, keys: keys}, nil
 }
 
+// SetSpill bounds the sort's in-memory working set: past cfg.Limit bytes the
+// materialized rows sort into runs spilled to cfg.Dir, k-way merged on emit.
+func (s *Sort) SetSpill(cfg SpillConfig) { s.spill = cfg }
+
 // Name returns the operator name.
 func (s *Sort) Name() string { return "Sort" }
 
@@ -52,9 +60,16 @@ func (s *Sort) Types() []vector.Type { return s.child.Types() }
 // Children returns the single input.
 func (s *Sort) Children() []Operator { return []Operator{s.child} }
 
-// ExtraStats reports the number of rows materialized and sorted.
+// ExtraStats reports the number of rows materialized and sorted, plus spill
+// activity when the external merge engaged.
 func (s *Sort) ExtraStats() []obs.KV {
-	return []obs.KV{{Key: "sorted_rows", Value: s.sortedRows}}
+	kv := []obs.KV{{Key: "sorted_rows", Value: s.sortedRows}}
+	if s.spilledRuns > 0 {
+		kv = append(kv,
+			obs.KV{Key: "spilled_runs", Value: s.spilledRuns},
+			obs.KV{Key: "spilled_bytes", Value: s.spilledBytes})
+	}
+	return kv
 }
 
 // Open materializes and sorts the entire input (pipeline breaker). A
@@ -71,27 +86,14 @@ func (s *Sort) open(ctx context.Context) error {
 	if err := s.child.Open(ctx); err != nil {
 		return err
 	}
+	if s.spill.enabled() {
+		return s.openSpilling(ctx)
+	}
 	cols, n, err := materialize(s.child, s.child.Types())
 	if err != nil {
 		return errOp(s, err)
 	}
-	idx := make([]int, n)
-	for i := range idx {
-		idx[i] = i
-	}
-	if key := cols[s.keys[0].Col]; len(s.keys) == 1 &&
-		(key.Typ == vector.Int64 || key.Typ == vector.Date) && !key.HasNulls() {
-		// Single non-null integer key: sort without interface dispatch.
-		vals := key.I64
-		if s.keys[0].Desc {
-			quicksort(idx, func(a, b int) bool { return vals[a] > vals[b] })
-		} else {
-			quicksort(idx, func(a, b int) bool { return vals[a] < vals[b] })
-		}
-	} else {
-		less := func(a, b int) bool { return compareRows(cols, s.keys, a, b) < 0 }
-		quicksort(idx, less)
-	}
+	idx := sortPermutation(cols, n, s.keys)
 	// Apply the permutation column-wise.
 	sorted := make([]*vector.Vector, len(cols))
 	for c, v := range cols {
@@ -104,16 +106,154 @@ func (s *Sort) open(ctx context.Context) error {
 	return nil
 }
 
+// openSpilling materializes the input in runs of at most spill.Limit bytes.
+// If everything fits in one run the sort degenerates to the in-memory path;
+// otherwise each run sorts independently, spills, and emit k-way merges.
+func (s *Sort) openSpilling(ctx context.Context) error {
+	types := s.child.Types()
+	var runs []*spillRun
+	fail := func(err error) error {
+		for _, r := range runs {
+			r.close()
+		}
+		return errOp(s, err)
+	}
+	newAcc := func() []*vector.Vector {
+		acc := make([]*vector.Vector, len(types))
+		for i, t := range types {
+			acc[i] = vector.New(t, vector.BatchSize)
+		}
+		return acc
+	}
+	acc := newAcc()
+	var accBytes int64
+	chunk := make([]*vector.Vector, len(types))
+	for i, t := range types {
+		chunk[i] = vector.New(t, vector.BatchSize)
+	}
+	flushRun := func() error {
+		n := acc[0].Len()
+		if n == 0 {
+			return nil
+		}
+		idx := sortPermutation(acc, n, s.keys)
+		sf, err := newSpillFile(s.spill.Dir)
+		if err != nil {
+			return err
+		}
+		for lo := 0; lo < n; lo += vector.BatchSize {
+			hi := lo + vector.BatchSize
+			if hi > n {
+				hi = n
+			}
+			for c := range chunk {
+				chunk[c].Reset()
+				chunk[c].Gather(acc[c], idx[lo:hi])
+			}
+			if err := sf.writeCols(chunk); err != nil {
+				sf.discard()
+				return err
+			}
+		}
+		run, err := sf.finish()
+		if err != nil {
+			sf.discard()
+			return err
+		}
+		runs = append(runs, run)
+		s.spilledRuns++
+		s.spilledBytes += run.bytes
+		acc, accBytes = newAcc(), 0
+		return nil
+	}
+	for {
+		b, err := s.child.Next()
+		if err != nil {
+			return fail(err)
+		}
+		if b == nil {
+			break
+		}
+		bl := b.Len()
+		for c := range acc {
+			for i := 0; i < bl; i++ {
+				acc[c].Append(b.Vecs[c], i)
+			}
+			accBytes += b.Vecs[c].ByteSize() // upper bound; re-priced per run
+		}
+		s.sortedRows += int64(bl)
+		if accBytes >= s.spill.Limit {
+			if err := flushRun(); err != nil {
+				return fail(err)
+			}
+		}
+	}
+	if len(runs) == 0 {
+		// Never crossed the limit: plain in-memory sort of the accumulation.
+		n := acc[0].Len()
+		idx := sortPermutation(acc, n, s.keys)
+		sorted := make([]*vector.Vector, len(acc))
+		for c, v := range acc {
+			nv := vector.New(v.Typ, n)
+			nv.Gather(v, idx)
+			sorted[c] = nv
+		}
+		s.emit = &sliceEmitter{cols: sorted, n: n}
+		return nil
+	}
+	if err := flushRun(); err != nil {
+		return fail(err)
+	}
+	m, err := newRunMerger(runs, s.keys, types)
+	if err != nil {
+		return fail(err)
+	}
+	s.merge = m
+	return nil
+}
+
+// sortPermutation returns the row permutation ordering cols under keys,
+// using the fast path for a single non-null integer key.
+func sortPermutation(cols []*vector.Vector, n int, keys []SortKey) []int {
+	idx := make([]int, n)
+	for i := range idx {
+		idx[i] = i
+	}
+	if key := cols[keys[0].Col]; len(keys) == 1 &&
+		(key.Typ == vector.Int64 || key.Typ == vector.Date) && !key.HasNulls() {
+		// Single non-null integer key: sort without interface dispatch.
+		vals := key.I64
+		if keys[0].Desc {
+			quicksort(idx, func(a, b int) bool { return vals[a] > vals[b] })
+		} else {
+			quicksort(idx, func(a, b int) bool { return vals[a] < vals[b] })
+		}
+	} else {
+		less := func(a, b int) bool { return compareRows(cols, keys, a, b) < 0 }
+		quicksort(idx, less)
+	}
+	return idx
+}
+
 // Next emits the next sorted batch.
 func (s *Sort) Next() (*vector.Batch, error) {
 	if err := s.ctxErr(); err != nil {
 		return nil, err
 	}
-	if s.emit == nil {
+	if s.emit == nil && s.merge == nil {
 		return nil, errOp(s, fmt.Errorf("not opened"))
 	}
 	start := time.Now()
-	b := s.emit.next()
+	var b *vector.Batch
+	var err error
+	if s.merge != nil {
+		b, err = s.merge.next()
+		if err != nil {
+			return nil, errOp(s, err)
+		}
+	} else {
+		b = s.emit.next()
+	}
 	s.stats.AddTime(start)
 	if b != nil {
 		s.stats.AddBatch(b.Len())
@@ -121,9 +261,13 @@ func (s *Sort) Next() (*vector.Batch, error) {
 	return b, nil
 }
 
-// Close closes the child and drops the sorted data.
+// Close closes the child and drops the sorted data (and any leftover runs).
 func (s *Sort) Close() error {
 	s.emit = nil
+	if s.merge != nil {
+		s.merge.close()
+		s.merge = nil
+	}
 	return s.child.Close()
 }
 

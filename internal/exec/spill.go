@@ -1,0 +1,246 @@
+// Operator spilling. Pipeline breakers (Sort, HashJoin's build side) bound
+// their in-memory working set with a SpillConfig: past the limit, batches
+// move to temp files in the vector binary codec and stream back for an
+// external merge (Sort) or a Grace-style partitioned join (HashJoin). Spill
+// files are unlinked as soon as they are closed; a crash leaves at most the
+// current statement's temp files behind.
+package exec
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+
+	"patchindex/internal/vector"
+)
+
+// SpillConfig bounds an operator's in-memory working set. Limit <= 0
+// disables spilling (the pre-spill behavior: everything materializes in
+// memory). Dir empty means os.TempDir().
+type SpillConfig struct {
+	Dir   string
+	Limit int64
+}
+
+func (c SpillConfig) enabled() bool { return c.Limit > 0 }
+
+// spillFile accumulates column batches into a temp file. Frames are
+// length-prefixed vector.AppendColumnsBinary images.
+type spillFile struct {
+	f     *os.File
+	w     *bufio.Writer
+	buf   []byte
+	rows  int64
+	bytes int64
+}
+
+func newSpillFile(dir string) (*spillFile, error) {
+	if dir == "" {
+		dir = os.TempDir()
+	}
+	f, err := os.CreateTemp(dir, "patchspill-*.run")
+	if err != nil {
+		return nil, fmt.Errorf("exec: spill: %w", err)
+	}
+	return &spillFile{f: f, w: bufio.NewWriterSize(f, 1<<16)}, nil
+}
+
+// writeCols appends one frame. All vectors must have equal length.
+func (s *spillFile) writeCols(cols []*vector.Vector) error {
+	if len(cols) == 0 || cols[0].Len() == 0 {
+		return nil
+	}
+	s.buf = vector.AppendColumnsBinary(s.buf[:0], cols)
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(s.buf)))
+	if _, err := s.w.Write(hdr[:]); err != nil {
+		return fmt.Errorf("exec: spill write: %w", err)
+	}
+	if _, err := s.w.Write(s.buf); err != nil {
+		return fmt.Errorf("exec: spill write: %w", err)
+	}
+	s.rows += int64(cols[0].Len())
+	s.bytes += int64(4 + len(s.buf))
+	return nil
+}
+
+// finish flushes and rewinds the file, returning a reader over its frames.
+// The spillFile must not be written afterwards.
+func (s *spillFile) finish() (*spillRun, error) {
+	if err := s.w.Flush(); err != nil {
+		return nil, fmt.Errorf("exec: spill flush: %w", err)
+	}
+	if _, err := s.f.Seek(0, io.SeekStart); err != nil {
+		return nil, fmt.Errorf("exec: spill rewind: %w", err)
+	}
+	return &spillRun{f: s.f, r: bufio.NewReaderSize(s.f, 1<<16), rows: s.rows, bytes: s.bytes}, nil
+}
+
+// discard closes and removes the file without reading it back.
+func (s *spillFile) discard() {
+	if s.f != nil {
+		name := s.f.Name()
+		s.f.Close()
+		os.Remove(name)
+		s.f = nil
+	}
+}
+
+// spillRun streams frames back from a finished spill file.
+type spillRun struct {
+	f     *os.File
+	r     *bufio.Reader
+	buf   []byte
+	rows  int64
+	bytes int64
+}
+
+// next returns the next frame's columns, or nil at EOF.
+func (r *spillRun) next() ([]*vector.Vector, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r.r, hdr[:]); err != nil {
+		if err == io.EOF {
+			return nil, nil
+		}
+		return nil, fmt.Errorf("exec: spill read: %w", err)
+	}
+	ln := binary.LittleEndian.Uint32(hdr[:])
+	if cap(r.buf) < int(ln) {
+		r.buf = make([]byte, ln)
+	}
+	r.buf = r.buf[:ln]
+	if _, err := io.ReadFull(r.r, r.buf); err != nil {
+		return nil, fmt.Errorf("exec: spill read: %w", err)
+	}
+	cols, _, err := vector.DecodeColumns(r.buf)
+	if err != nil {
+		return nil, fmt.Errorf("exec: spill decode: %w", err)
+	}
+	return cols, nil
+}
+
+// close closes and removes the underlying file.
+func (r *spillRun) close() {
+	if r != nil && r.f != nil {
+		name := r.f.Name()
+		r.f.Close()
+		os.Remove(name)
+		r.f = nil
+	}
+}
+
+// runCursor is one sorted run's read position during the external merge.
+type runCursor struct {
+	run  *spillRun
+	cols []*vector.Vector // current frame
+	pos  int
+}
+
+// advance moves to the next row, refilling the frame as needed. Returns
+// false at end of run.
+func (c *runCursor) advance() (bool, error) {
+	c.pos++
+	if c.cols != nil && c.pos < c.cols[0].Len() {
+		return true, nil
+	}
+	cols, err := c.run.next()
+	if err != nil {
+		return false, err
+	}
+	if cols == nil {
+		c.cols = nil
+		return false, nil
+	}
+	c.cols, c.pos = cols, 0
+	return true, nil
+}
+
+// runMerger k-way merges sorted runs, emitting batches in key order.
+type runMerger struct {
+	cursors []*runCursor
+	keys    []SortKey
+	types   []vector.Type
+	out     *vector.Batch
+}
+
+func newRunMerger(runs []*spillRun, keys []SortKey, types []vector.Type) (*runMerger, error) {
+	m := &runMerger{keys: keys, types: types, out: vector.NewBatch(types)}
+	for _, r := range runs {
+		c := &runCursor{run: r, pos: -1}
+		ok, err := c.advance()
+		if err != nil {
+			return nil, err
+		}
+		if ok {
+			m.cursors = append(m.cursors, c)
+		} else {
+			r.close()
+		}
+	}
+	return m, nil
+}
+
+// next emits the next merged batch, or nil when every run is drained. With
+// the run count bounded by workingset/limit a linear scan over cursors beats
+// heap bookkeeping for realistic run counts.
+func (m *runMerger) next() (*vector.Batch, error) {
+	if len(m.cursors) == 0 {
+		return nil, nil
+	}
+	m.out.Reset()
+	for m.out.Len() < vector.BatchSize && len(m.cursors) > 0 {
+		best := 0
+		for i := 1; i < len(m.cursors); i++ {
+			a, b := m.cursors[i], m.cursors[best]
+			if compareRowsAcross(a.cols, a.pos, b.cols, b.pos, m.keys) < 0 {
+				best = i
+			}
+		}
+		c := m.cursors[best]
+		for col, v := range m.out.Vecs {
+			v.Append(c.cols[col], c.pos)
+		}
+		ok, err := c.advance()
+		if err != nil {
+			return nil, err
+		}
+		if !ok {
+			c.run.close()
+			m.cursors = append(m.cursors[:best], m.cursors[best+1:]...)
+		}
+	}
+	if m.out.Len() == 0 {
+		return nil, nil
+	}
+	return m.out, nil
+}
+
+// close releases any runs not yet drained.
+func (m *runMerger) close() {
+	for _, c := range m.cursors {
+		c.run.close()
+	}
+	m.cursors = nil
+}
+
+// spillHash buckets row i of key vector v into one of n Grace partitions.
+// NULL keys go to partition 0 (they never match; outer joins still emit
+// them). Integer keys avoid the byte-encode path.
+func spillHash(v *vector.Vector, i int, buf *[]byte, n int) int {
+	if v.IsNull(i) {
+		return 0
+	}
+	if v.Typ == vector.Int64 || v.Typ == vector.Date {
+		h := uint64(v.I64[i]) * 0x9e3779b97f4a7c15
+		return int(h % uint64(n))
+	}
+	*buf = encodeValue((*buf)[:0], v, i)
+	var h uint64 = 14695981039346656037
+	for _, b := range *buf {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return int(h % uint64(n))
+}

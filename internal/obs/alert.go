@@ -126,6 +126,10 @@ func (r Rule) resolveAfter() int {
 //   - queue_depth: the admission queue is persistently deep.
 //   - tenant_shed_rate: a QoS tenant is being shed (rate limit or
 //     in-flight cap) at a sustained rate — its limits need a review.
+//   - cache_thrash: the storage cache is evicting payloads at a sustained
+//     rate — the working set exceeds the byte budget and scans are paying
+//     repeated decode faults; the budget needs a raise (or the workload a
+//     narrower projection).
 func DefaultRules() []Rule {
 	return []Rule{
 		{
@@ -153,6 +157,11 @@ func DefaultRules() []Rule {
 			Name: "tenant_shed_rate", Metric: "counter.tenant.*.shed",
 			Kind: KindRate, Severity: SeverityWarn,
 			Threshold: 1, Resolve: 0.1, FireAfter: 2, ResolveAfter: 3,
+		},
+		{
+			Name: "cache_thrash", Metric: "counter.storage_cache_evictions_total",
+			Kind: KindRate, Severity: SeverityWarn,
+			Threshold: 64, Resolve: 8, FireAfter: 2, ResolveAfter: 3,
 		},
 	}
 }

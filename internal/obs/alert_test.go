@@ -213,6 +213,35 @@ func TestRateRuleOnCounter(t *testing.T) {
 	}
 }
 
+// TestCacheThrashDefaultRule drives the built-in cache_thrash rate rule: a
+// sustained eviction storm past 64/s fires it, a quiet cache resolves it.
+func TestCacheThrashDefaultRule(t *testing.T) {
+	a := NewAlerter(nil) // defaults
+	set := NewSeriesSet(0, 0, 0)
+	s := set.Get("counter.storage_cache_evictions_total")
+	obs := func(sec int64, v float64) {
+		s.Observe(sec*int64(time.Second), v)
+		a.Evaluate(set, sec*int64(time.Second))
+	}
+	obs(1, 0)
+	obs(2, 10) // 10/s: normal churn
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("cache_thrash fired on mild churn: %+v", got)
+	}
+	obs(3, 510)  // 500/s
+	obs(4, 1010) // sustained: FireAfter=2
+	firing := a.Firing()
+	if len(firing) != 1 || firing[0].Rule != "cache_thrash" {
+		t.Fatalf("Firing = %+v, want cache_thrash", firing)
+	}
+	obs(5, 1010)
+	obs(6, 1010)
+	obs(7, 1010)
+	if got := a.Firing(); len(got) != 0 {
+		t.Fatalf("cache_thrash did not resolve after evictions stopped: %+v", got)
+	}
+}
+
 func TestAlertHistoryBounded(t *testing.T) {
 	a := NewAlerter([]Rule{})
 	for i := 0; i < alertHistoryCap+50; i++ {

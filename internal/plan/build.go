@@ -41,6 +41,10 @@ type Config struct {
 	// skipped by zone-map pruning (credited to the table's zone maps) and
 	// the executed plan's estimated root cost. Nil no-ops.
 	Workload *obs.StmtObs
+	// Spill bounds the in-memory working set of pipeline breakers (Sort,
+	// HashJoin build side); past the limit they spill to Spill.Dir. The
+	// zero value disables spilling.
+	Spill exec.SpillConfig
 
 	// pruned collects the (table, partition) pairs skipped by zone-map
 	// pruning during this build. Keyed rather than counted because the
@@ -194,7 +198,12 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 		if err != nil {
 			return nil, err
 		}
-		return exec.NewSort(child, x.Keys)
+		srt, err := exec.NewSort(child, x.Keys)
+		if err != nil {
+			return nil, err
+		}
+		srt.SetSpill(cfg.Spill)
+		return srt, nil
 	case *LimitNode:
 		child, err := buildNode(x.Input, cfg, nil)
 		if err != nil {
@@ -213,10 +222,17 @@ func buildNodeOp(n Node, cfg Config, bounds map[int]colBounds) (exec.Operator, e
 		if x.Method == JoinMerge {
 			return exec.NewMergeJoin(left, right, x.LeftKey, x.RightKey)
 		}
+		var hj *exec.HashJoin
 		if x.Outer {
-			return exec.NewLeftOuterHashJoin(left, right, x.LeftKey, x.RightKey)
+			hj, err = exec.NewLeftOuterHashJoin(left, right, x.LeftKey, x.RightKey)
+		} else {
+			hj, err = exec.NewHashJoin(left, right, x.LeftKey, x.RightKey, x.BuildLeft)
 		}
-		return exec.NewHashJoin(left, right, x.LeftKey, x.RightKey, x.BuildLeft)
+		if err != nil {
+			return nil, err
+		}
+		hj.SetSpill(cfg.Spill)
+		return hj, nil
 	case *UnionNode:
 		if !x.Merge && cfg.parallel() {
 			// Branches (e.g. a rewrite's exclude and patch sides) become

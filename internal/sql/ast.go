@@ -145,6 +145,14 @@ type AlterTunerStmt struct {
 
 func (*AlterTunerStmt) stmt() {}
 
+// CheckpointStmt is CHECKPOINT: flush dirty partitions to compressed
+// segment files, write the catalog manifest, and rotate the WAL so restart
+// replays only records after this point. Requires a durable engine
+// (Config.DataDir).
+type CheckpointStmt struct{}
+
+func (*CheckpointStmt) stmt() {}
+
 // Expr is an unbound AST expression.
 type Expr interface{ expr() }
 

@@ -191,6 +191,10 @@ func (p *Parser) parseStatement() (Statement, error) {
 		}
 	case t.Kind == TokKeyword && t.Text == "ALTER":
 		return p.parseAlter()
+	case t.Kind == TokIdent && t.Text == "checkpoint":
+		// CHECKPOINT is not a reserved word, so it arrives as an identifier.
+		p.advance()
+		return &CheckpointStmt{}, nil
 	default:
 		return nil, p.errorf("expected a statement, got %q", t.Text)
 	}

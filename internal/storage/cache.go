@@ -1,0 +1,295 @@
+// Clock cache over column payloads. When a table is attached to a Cache, the
+// decoded vector of every (partition, column) pair is charged against a byte
+// budget; under pressure a second-chance clock sweep unlinks cold, clean,
+// unpinned payloads, which reload lazily from their partition's segment file
+// on next touch. Block SMAs and zone maps are deliberately *not* cached —
+// they stay resident so planning and pruning never wait on disk.
+//
+// Safety model: eviction only unlinks (cd.vec = nil). A scan that pinned the
+// vector holds a real reference, so the memory stays alive until the pin is
+// released and Go's GC collects it; there is no use-after-free to race. Dirty
+// partitions (rows appended since the last checkpoint) are unevictable
+// because disk doesn't have their rows yet.
+package storage
+
+import (
+	"fmt"
+	"sync"
+
+	"patchindex/internal/obs"
+	"patchindex/internal/vector"
+)
+
+// Cache is a byte-budgeted clock (second-chance) cache shared by every table
+// of an engine. The zero budget means "no limit": payloads are still tracked
+// (so metrics stay honest) but never evicted.
+type Cache struct {
+	mu       sync.Mutex
+	budget   int64
+	resident int64
+	hand     int
+	ring     []clockSlot
+
+	hits       *obs.Counter
+	misses     *obs.Counter
+	evictions  *obs.Counter
+	overshoots *obs.Counter
+	residentG  *obs.Gauge
+	pinnedG    *obs.Gauge
+}
+
+// clockSlot is one cache-managed column payload.
+type clockSlot struct {
+	p   *Partition
+	col int
+}
+
+// NewCache creates a cache with the given byte budget (<=0 = unlimited).
+func NewCache(budgetBytes int64) *Cache {
+	return &Cache{budget: budgetBytes}
+}
+
+// SetMetrics wires the cache counters/gauges into the registry. The metric
+// names are mirrored automatically into /metrics, /stats, and the monitor
+// sampler by the registry snapshot.
+func (c *Cache) SetMetrics(r *obs.Registry) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.hits = r.Counter("storage_cache_hits_total")
+	c.misses = r.Counter("storage_cache_misses_total")
+	c.evictions = r.Counter("storage_cache_evictions_total")
+	c.overshoots = r.Counter("storage_cache_budget_overshoots_total")
+	c.residentG = r.Gauge("storage_cache_resident_bytes")
+	c.pinnedG = r.Gauge("storage_cache_pinned_bytes")
+}
+
+// Budget returns the configured byte budget (<=0 = unlimited).
+func (c *Cache) Budget() int64 { return c.budget }
+
+// ResidentBytes returns the bytes currently charged for decoded payloads.
+func (c *Cache) ResidentBytes() int64 {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.resident
+}
+
+// Stats is a point-in-time cache summary for /stats and benches.
+type Stats struct {
+	BudgetBytes   int64 `json:"budget_bytes"`
+	ResidentBytes int64 `json:"resident_bytes"`
+	PinnedBytes   int64 `json:"pinned_bytes"`
+	Slots         int   `json:"slots"`
+	Hits          int64 `json:"hits"`
+	Misses        int64 `json:"misses"`
+	Evictions     int64 `json:"evictions"`
+}
+
+// Stats returns a snapshot of the cache state.
+func (c *Cache) Stats() Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var pinned int64
+	for _, s := range c.ring {
+		cd := s.p.cols[s.col]
+		if cd.vec.Load() != nil && cd.pins > 0 {
+			pinned += cd.bytes
+		}
+	}
+	return Stats{
+		BudgetBytes:   c.budget,
+		ResidentBytes: c.resident,
+		PinnedBytes:   pinned,
+		Slots:         len(c.ring),
+		Hits:          c.hits.Value(),
+		Misses:        c.misses.Value(),
+		Evictions:     c.evictions.Value(),
+	}
+}
+
+// noopRelease is the shared release func for unmanaged pins, so the
+// cache-disabled fast path allocates nothing.
+var noopRelease = func() {}
+
+// pin returns the resident vector for (p, col), loading it from the
+// partition's segment file if evicted, and pins it against eviction until
+// the release func runs.
+func (c *Cache) pin(p *Partition, col int) (*vector.Vector, func(), error) {
+	c.mu.Lock()
+	cd := p.cols[col]
+	if cd.vec.Load() == nil {
+		if err := c.loadLocked(p, col); err != nil {
+			c.mu.Unlock()
+			return nil, nil, err
+		}
+	} else {
+		c.hits.Inc()
+	}
+	cd.refbit.Store(true)
+	cd.pins++
+	if cd.pins == 1 {
+		c.pinnedG.Add(cd.bytes)
+	}
+	v := cd.vec.Load()
+	c.mu.Unlock()
+	released := false
+	return v, func() {
+		c.mu.Lock()
+		if !released {
+			released = true
+			cd.pins--
+			if cd.pins == 0 {
+				c.pinnedG.Add(-cd.bytes)
+				// Loads that ran while this payload was pinned may have left
+				// the cache over budget; settle the debt now that eviction
+				// has a candidate again.
+				if c.budget > 0 && c.resident > c.budget {
+					c.evictLocked(c.resident-c.budget, nil)
+				}
+			}
+		}
+		c.mu.Unlock()
+	}, nil
+}
+
+// touch ensures (p, col) is resident without pinning — the legacy
+// Partition.Column path used by builders and maintainers that hold exclusive
+// access at the engine level.
+func (c *Cache) touch(p *Partition, col int) (*vector.Vector, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cd := p.cols[col]
+	if cd.vec.Load() == nil {
+		if err := c.loadLocked(p, col); err != nil {
+			return nil, err
+		}
+	} else {
+		c.hits.Inc()
+	}
+	cd.refbit.Store(true)
+	return cd.vec.Load(), nil
+}
+
+// register charges an already-resident column to the cache (table attach and
+// fresh appends) and enters it into the clock ring if new.
+func (c *Cache) register(p *Partition, col int) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	cd := p.cols[col]
+	newBytes := int64(0)
+	if v := cd.vec.Load(); v != nil {
+		newBytes = v.ByteSize()
+	}
+	delta := newBytes - cd.bytes
+	if !cd.inRing {
+		cd.inRing = true
+		c.ring = append(c.ring, clockSlot{p: p, col: col})
+	}
+	cd.bytes = newBytes
+	cd.refbit.Store(true)
+	c.resident += delta
+	c.residentG.Add(delta)
+	if cd.pins > 0 {
+		c.pinnedG.Add(delta)
+	}
+	if c.budget > 0 && c.resident > c.budget {
+		c.evictLocked(c.resident-c.budget, nil)
+	}
+}
+
+// forget drops all accounting for a partition's columns (table drop).
+func (c *Cache) forget(p *Partition) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	kept := c.ring[:0]
+	for _, s := range c.ring {
+		if s.p == p {
+			cd := s.p.cols[s.col]
+			c.resident -= cd.bytes
+			c.residentG.Add(-cd.bytes)
+			if cd.pins > 0 {
+				c.pinnedG.Add(-cd.bytes)
+			}
+			cd.bytes = 0
+			cd.inRing = false
+			continue
+		}
+		kept = append(kept, s)
+	}
+	c.ring = kept
+	if c.hand >= len(c.ring) {
+		c.hand = 0
+	}
+}
+
+// loadLocked reads one column payload from the partition's segment file and
+// decodes it, evicting first so the budget holds across the load.
+func (c *Cache) loadLocked(p *Partition, col int) error {
+	cd := p.cols[col]
+	if p.store == nil {
+		return fmt.Errorf("storage: column %d of partition %d evicted with no backing segment", col, p.ID)
+	}
+	c.misses.Inc()
+	enc, err := p.store.ReadColumn(col)
+	if err != nil {
+		return err
+	}
+	need := int64(8 * enc.Len()) // pre-decode estimate for evict-before-load
+	if c.budget > 0 && c.resident+need > c.budget {
+		c.evictLocked(c.resident+need-c.budget, nil)
+	}
+	v, err := enc.Decode()
+	if err != nil {
+		return fmt.Errorf("storage: partition %d column %d: %w", p.ID, col, err)
+	}
+	cd.vec.Store(v)
+	cd.refbit.Store(true)
+	cd.bytes = v.ByteSize()
+	if !cd.inRing {
+		cd.inRing = true
+		c.ring = append(c.ring, clockSlot{p: p, col: col})
+	}
+	c.resident += cd.bytes
+	c.residentG.Add(cd.bytes)
+	if c.budget > 0 && c.resident > c.budget {
+		// Still over after the sweep (everything else pinned or dirty):
+		// admit anyway — refusing the load would fail the query — and count
+		// the overshoot so the watchdog sees the pressure. The column just
+		// loaded is exempt, or the caller would receive the nil we stored.
+		c.evictLocked(c.resident-c.budget, cd)
+		if c.resident > c.budget {
+			c.overshoots.Inc()
+		}
+	}
+	return nil
+}
+
+// evictLocked runs the clock hand until `want` bytes were freed or every
+// slot was given its second chance twice (all survivors pinned/dirty/hot).
+// exempt, when non-nil, is never evicted — the column a load is about to
+// hand to its caller.
+func (c *Cache) evictLocked(want int64, exempt *columnData) {
+	if len(c.ring) == 0 {
+		return
+	}
+	freed := int64(0)
+	for sweeps := 0; freed < want && sweeps < 2*len(c.ring); sweeps++ {
+		if c.hand >= len(c.ring) {
+			c.hand = 0
+		}
+		s := c.ring[c.hand]
+		c.hand++
+		cd := s.p.cols[s.col]
+		if cd == exempt || cd.vec.Load() == nil || cd.pins > 0 || s.p.dirty || s.p.store == nil {
+			continue
+		}
+		if cd.refbit.Swap(false) {
+			continue
+		}
+		cd.vec.Store(nil)
+		c.resident -= cd.bytes
+		c.residentG.Add(-cd.bytes)
+		freed += cd.bytes
+		cd.bytes = 0
+		c.evictions.Inc()
+	}
+}

@@ -1,0 +1,7 @@
+//go:build race
+
+package storage
+
+// raceEnabled reports whether the race detector instruments this build; the
+// nanosecond-scale timing gate skips under it.
+const raceEnabled = true

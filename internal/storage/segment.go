@@ -1,0 +1,284 @@
+// Partition segment files. One file holds one partition's columns in
+// compressed form plus the always-resident metadata (block SMAs, zone map).
+// Layout, little endian:
+//
+//	magic   uint32  0x50534547 ("PSEG")
+//	ncols   uint32
+//	nrows   uint64
+//	metaLen uint32
+//	meta    per column: SMAs + zone entry (see appendSMA)
+//	dir     per column: off uint64, len uint32, crc uint32 (IEEE, payload)
+//	payloads, each a compress.Encoded binary image
+//
+// Metadata decodes eagerly at open — planning and pruning never touch disk —
+// while payloads read lazily via ReadColumn under the cache's direction.
+// Files are immutable once written; a checkpoint writes a new generation and
+// atomically renames it over a temp name, so a crash mid-write never damages
+// the generation a manifest points to.
+package storage
+
+import (
+	"encoding/binary"
+	"fmt"
+	"hash/crc32"
+	"os"
+	"path/filepath"
+
+	"patchindex/internal/compress"
+	"patchindex/internal/vector"
+)
+
+const segMagic uint32 = 0x50534547
+
+// payloadRef locates one column payload inside a segment file.
+type payloadRef struct {
+	off int64
+	ln  uint32
+	crc uint32
+}
+
+// PartStore is an open segment file: the disk half of a partition.
+type PartStore struct {
+	f    *os.File
+	path string
+	refs []payloadRef
+}
+
+// Path returns the segment file path.
+func (s *PartStore) Path() string { return s.path }
+
+// Close closes the underlying file.
+func (s *PartStore) Close() error {
+	if s == nil || s.f == nil {
+		return nil
+	}
+	err := s.f.Close()
+	s.f = nil
+	return err
+}
+
+// CompressedBytes returns the total payload bytes on disk.
+func (s *PartStore) CompressedBytes() int64 {
+	var total int64
+	for _, r := range s.refs {
+		total += int64(r.ln)
+	}
+	return total
+}
+
+// ReadColumn reads and parses one column's compressed payload.
+func (s *PartStore) ReadColumn(col int) (*compress.Encoded, error) {
+	if col < 0 || col >= len(s.refs) {
+		return nil, fmt.Errorf("storage: segment %s: column %d out of range", s.path, col)
+	}
+	r := s.refs[col]
+	buf := make([]byte, r.ln)
+	if _, err := s.f.ReadAt(buf, r.off); err != nil {
+		return nil, fmt.Errorf("storage: segment %s: read column %d: %w", s.path, col, err)
+	}
+	if crc32.ChecksumIEEE(buf) != r.crc {
+		return nil, fmt.Errorf("storage: segment %s: column %d payload crc mismatch", s.path, col)
+	}
+	enc, _, err := compress.DecodeEncoded(buf)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment %s: column %d: %w", s.path, col, err)
+	}
+	return enc, nil
+}
+
+// appendSMA serializes one sma entry: flags byte (bit0 valid, bit1 hasNull),
+// then min and max values when valid.
+func appendSMA(buf []byte, s *sma) []byte {
+	var flags byte
+	if s.valid {
+		flags |= 1
+	}
+	if s.hasNull {
+		flags |= 2
+	}
+	buf = append(buf, flags)
+	if s.valid {
+		buf = vector.AppendValueBinary(buf, s.min)
+		buf = vector.AppendValueBinary(buf, s.max)
+	}
+	return buf
+}
+
+func decodeSMA(data []byte) (sma, int, error) {
+	if len(data) < 1 {
+		return sma{}, 0, fmt.Errorf("truncated sma")
+	}
+	s := sma{valid: data[0]&1 != 0, hasNull: data[0]&2 != 0}
+	pos := 1
+	if s.valid {
+		var err error
+		var n int
+		if s.min, n, err = vector.DecodeValue(data[pos:]); err != nil {
+			return sma{}, 0, err
+		}
+		pos += n
+		if s.max, n, err = vector.DecodeValue(data[pos:]); err != nil {
+			return sma{}, 0, err
+		}
+		pos += n
+	}
+	return s, pos, nil
+}
+
+// WritePartitionFile encodes every column of p (all must be resident) and
+// writes the segment atomically: temp file, fsync, rename, fsync directory.
+// sortedHint[i] biases column i toward PFOR-DELTA (a PatchIndex or declared
+// sort key proves it nearly sorted). It returns the store opened on the new
+// file.
+func WritePartitionFile(path string, p *Partition, sortedHint []bool) (*PartStore, error) {
+	ncols := len(p.cols)
+	// Meta block.
+	meta := make([]byte, 0, 256)
+	for _, cd := range p.cols {
+		meta = binary.LittleEndian.AppendUint32(meta, uint32(len(cd.smas)))
+		for i := range cd.smas {
+			meta = appendSMA(meta, &cd.smas[i])
+		}
+		meta = appendSMA(meta, &cd.zone)
+	}
+	// Payloads.
+	payloads := make([][]byte, ncols)
+	for i, cd := range p.cols {
+		vec := cd.vec.Load()
+		if vec == nil {
+			return nil, fmt.Errorf("storage: partition %d column %d not resident at flush", p.ID, i)
+		}
+		hint := i < len(sortedHint) && sortedHint[i]
+		enc, err := compress.EncodeColumn(vec, hint)
+		if err != nil {
+			return nil, fmt.Errorf("storage: partition %d column %d: %w", p.ID, i, err)
+		}
+		payloads[i] = enc.AppendBinary(nil)
+	}
+	// Assemble.
+	hdrLen := 4 + 4 + 8 + 4 + len(meta) + ncols*16
+	buf := make([]byte, 0, hdrLen)
+	buf = binary.LittleEndian.AppendUint32(buf, segMagic)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(ncols))
+	buf = binary.LittleEndian.AppendUint64(buf, uint64(p.nrows))
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(meta)))
+	buf = append(buf, meta...)
+	off := int64(hdrLen)
+	for _, pl := range payloads {
+		buf = binary.LittleEndian.AppendUint64(buf, uint64(off))
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(pl)))
+		buf = binary.LittleEndian.AppendUint32(buf, crc32.ChecksumIEEE(pl))
+		off += int64(len(pl))
+	}
+	for _, pl := range payloads {
+		buf = append(buf, pl...)
+	}
+	// Write atomically.
+	tmp := path + ".tmp"
+	f, err := os.OpenFile(tmp, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, fmt.Errorf("storage: segment write: %w", err)
+	}
+	if _, err := f.Write(buf); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("storage: segment write: %w", err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return nil, fmt.Errorf("storage: segment sync: %w", err)
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("storage: segment close: %w", err)
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return nil, fmt.Errorf("storage: segment rename: %w", err)
+	}
+	if dir, err := os.Open(filepath.Dir(path)); err == nil {
+		dir.Sync()
+		dir.Close()
+	}
+	store, _, err := OpenPartitionFile(path)
+	return store, err
+}
+
+// partMeta is the eagerly decoded metadata of a segment file.
+type partMeta struct {
+	nrows int
+	smas  [][]sma
+	zones []sma
+}
+
+// OpenPartitionFile opens a segment, decoding the metadata block eagerly and
+// leaving payloads on disk.
+func OpenPartitionFile(path string) (*PartStore, *partMeta, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, fmt.Errorf("storage: segment open: %w", err)
+	}
+	var hdr [20]byte
+	if _, err := f.ReadAt(hdr[:], 0); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: segment %s: header: %w", path, err)
+	}
+	if binary.LittleEndian.Uint32(hdr[0:4]) != segMagic {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: segment %s: bad magic", path)
+	}
+	ncols := int(binary.LittleEndian.Uint32(hdr[4:8]))
+	nrows := int(binary.LittleEndian.Uint64(hdr[8:16]))
+	metaLen := int(binary.LittleEndian.Uint32(hdr[16:20]))
+	if ncols > 1<<16 || metaLen > 1<<30 {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: segment %s: implausible header", path)
+	}
+	rest := make([]byte, metaLen+ncols*16)
+	if _, err := f.ReadAt(rest, 20); err != nil {
+		f.Close()
+		return nil, nil, fmt.Errorf("storage: segment %s: meta: %w", path, err)
+	}
+	meta := &partMeta{nrows: nrows, smas: make([][]sma, ncols), zones: make([]sma, ncols)}
+	pos := 0
+	for c := 0; c < ncols; c++ {
+		if metaLen-pos < 4 {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: segment %s: truncated meta", path)
+		}
+		nsmas := int(binary.LittleEndian.Uint32(rest[pos:]))
+		pos += 4
+		if nsmas > nrows/BlockSize+1 {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: segment %s: implausible sma count", path)
+		}
+		meta.smas[c] = make([]sma, nsmas)
+		for i := 0; i < nsmas; i++ {
+			s, n, err := decodeSMA(rest[pos:metaLen])
+			if err != nil {
+				f.Close()
+				return nil, nil, fmt.Errorf("storage: segment %s: %w", path, err)
+			}
+			meta.smas[c][i] = s
+			pos += n
+		}
+		z, n, err := decodeSMA(rest[pos:metaLen])
+		if err != nil {
+			f.Close()
+			return nil, nil, fmt.Errorf("storage: segment %s: %w", path, err)
+		}
+		meta.zones[c] = z
+		pos += n
+	}
+	store := &PartStore{f: f, path: path, refs: make([]payloadRef, ncols)}
+	dir := rest[metaLen:]
+	for c := 0; c < ncols; c++ {
+		store.refs[c] = payloadRef{
+			off: int64(binary.LittleEndian.Uint64(dir[c*16:])),
+			ln:  binary.LittleEndian.Uint32(dir[c*16+8:]),
+			crc: binary.LittleEndian.Uint32(dir[c*16+12:]),
+		}
+	}
+	return store, meta, nil
+}

@@ -61,11 +61,24 @@ type sma struct {
 }
 
 // columnData holds the values of one column inside one partition, together
-// with its block SMAs and the partition-level zone map.
+// with its block SMAs and the partition-level zone map. The decoded payload
+// is an atomic pointer because, for cache-attached tables, eviction unlinks
+// it concurrently with lock-free readers: a reader that loaded the pointer
+// before the unlink keeps a valid (immutable, GC-protected) vector, it just
+// stops being charged against the budget. SMAs and the zone map are never
+// evicted — planning stays I/O-free.
 type columnData struct {
-	vec  *vector.Vector
+	vec  atomic.Pointer[vector.Vector]
 	smas []sma
 	zone sma // partition-level min/max: the zone map entry
+
+	// Cache state. pins/inRing/bytes are guarded by the owning Cache's
+	// mutex; refbit is atomic so the resident fast path can mark recency
+	// without taking it.
+	pins   int
+	inRing bool
+	bytes  int64
+	refbit atomic.Bool
 }
 
 func (c *columnData) updateSMA(row int) {
@@ -74,12 +87,13 @@ func (c *columnData) updateSMA(row int) {
 		c.smas = append(c.smas, sma{})
 	}
 	s := &c.smas[blk]
-	if c.vec.IsNull(row) {
+	vec := c.vec.Load()
+	if vec.IsNull(row) {
 		s.hasNull = true
 		c.zone.hasNull = true
 		return
 	}
-	v := c.vec.Value(row)
+	v := vec.Value(row)
 	if !s.valid {
 		s.min, s.max, s.valid = v, v, true
 	} else {
@@ -107,6 +121,7 @@ func (c *columnData) updateSMA(row int) {
 // are dense local offsets starting at zero.
 type Partition struct {
 	ID    int
+	tab   *Table
 	cols  []*columnData
 	nrows int
 	// staleRows counts rows appended since the last zone-map recompute.
@@ -114,13 +129,39 @@ type Partition struct {
 	// re-derive them, so a partition with many post-recompute rows is a
 	// drift signal: its zones may be far looser than a fresh build's.
 	staleRows int
+
+	// Disk state, meaningful only for cache-attached tables. dirty and
+	// store are guarded by the cache mutex: dirty partitions (rows not yet
+	// checkpointed to store) are unevictable.
+	dirty bool
+	store *PartStore
 }
 
 // NumRows returns the number of rows stored in the partition.
 func (p *Partition) NumRows() int { return p.nrows }
 
-// Column returns the full value vector of column col (shared, do not mutate).
-func (p *Partition) Column(col int) *vector.Vector { return p.cols[col].vec }
+// Column returns the full value vector of column col (shared, do not
+// mutate), reloading it from the partition's segment file if it was evicted.
+// Callers that scan concurrently with cache pressure should prefer
+// Table.PinColumn, which keeps the payload charged and unevictable for the
+// scan's lifetime; Column is the path for builders and maintainers running
+// under the engine's exclusive latches. It panics if a backing segment is
+// unreadable — on-disk corruption of checkpointed data is not recoverable
+// mid-operation.
+func (p *Partition) Column(col int) *vector.Vector {
+	cd := p.cols[col]
+	if v := cd.vec.Load(); v != nil {
+		if p.tab != nil && p.tab.cache != nil {
+			cd.refbit.Store(true)
+		}
+		return v
+	}
+	v, err := p.tab.cache.touch(p, col)
+	if err != nil {
+		panic(fmt.Sprintf("storage: reload %s partition %d column %d: %v", p.tab.name, p.ID, col, err))
+	}
+	return v
+}
 
 // ScanRange is a half-open row-id interval [Start,End) within a partition.
 type ScanRange struct {
@@ -147,6 +188,10 @@ type Table struct {
 	// result sets on the version vector of all referenced tables, so any
 	// row change invalidates them without scanning.
 	version atomic.Uint64
+	// cache, when non-nil, budgets this table's decoded payloads (durable
+	// mode). nil means pure in-memory: payloads are plain heap vectors and
+	// every residency fast path short-circuits.
+	cache *Cache
 }
 
 // NewTable creates an empty table with the given number of partitions.
@@ -167,9 +212,11 @@ func NewTable(name string, schema *Schema, numPartitions int) (*Table, error) {
 	t := &Table{name: name, schema: schema}
 	t.version.Store(versionCounter.Add(1))
 	for i := 0; i < numPartitions; i++ {
-		p := &Partition{ID: i, cols: make([]*columnData, len(schema.Columns))}
+		p := &Partition{ID: i, tab: t, cols: make([]*columnData, len(schema.Columns))}
 		for c := range schema.Columns {
-			p.cols[c] = &columnData{vec: vector.New(schema.Columns[c].Typ, 0)}
+			cd := &columnData{}
+			cd.vec.Store(vector.New(schema.Columns[c].Typ, 0))
+			p.cols[c] = cd
 		}
 		t.partitions = append(t.partitions, p)
 	}
@@ -231,8 +278,11 @@ func (t *Table) AppendRow(part int, vals []vector.Value) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	p := t.partitions[part]
+	if err := t.beginWrite(p); err != nil {
+		return err
+	}
 	for c, v := range vals {
-		if err := p.cols[c].vec.AppendValue(v); err != nil {
+		if err := p.cols[c].vec.Load().AppendValue(v); err != nil {
 			return fmt.Errorf("storage: table %s column %s: %w", t.name, t.schema.Columns[c].Name, err)
 		}
 		p.cols[c].updateSMA(p.nrows)
@@ -240,6 +290,7 @@ func (t *Table) AppendRow(part int, vals []vector.Value) error {
 	p.nrows++
 	p.staleRows++
 	t.version.Store(versionCounter.Add(1))
+	t.endWrite(p)
 	return nil
 }
 
@@ -255,16 +306,21 @@ func (t *Table) AppendBatch(part int, b *vector.Batch) error {
 	defer t.mu.Unlock()
 	p := t.partitions[part]
 	n := b.Len()
+	if err := t.beginWrite(p); err != nil {
+		return err
+	}
 	for c, src := range b.Vecs {
 		dst := p.cols[c]
+		vec := dst.vec.Load()
 		for i := 0; i < n; i++ {
-			dst.vec.Append(src, i)
+			vec.Append(src, i)
 			dst.updateSMA(p.nrows + i)
 		}
 	}
 	p.nrows += n
 	p.staleRows += n
 	t.version.Store(versionCounter.Add(1))
+	t.endWrite(p)
 	return nil
 }
 
@@ -289,16 +345,21 @@ func (t *Table) AppendColumns(part int, cols []*vector.Vector) error {
 	t.mu.Lock()
 	defer t.mu.Unlock()
 	p := t.partitions[part]
+	if err := t.beginWrite(p); err != nil {
+		return err
+	}
 	for c, v := range cols {
 		dst := p.cols[c]
+		vec := dst.vec.Load()
 		for i := 0; i < n; i++ {
-			dst.vec.Append(v, i)
+			vec.Append(v, i)
 			dst.updateSMA(p.nrows + i)
 		}
 	}
 	p.nrows += n
 	p.staleRows += n
 	t.version.Store(versionCounter.Add(1))
+	t.endWrite(p)
 	return nil
 }
 
@@ -453,4 +514,252 @@ func (t *Table) FullRange(part int) []ScanRange {
 	t.mu.RLock()
 	defer t.mu.RUnlock()
 	return []ScanRange{{Start: 0, End: uint64(t.partitions[part].nrows)}}
+}
+
+// AttachCache puts the table's decoded payloads under the cache's budget.
+// Already-resident columns are charged immediately; partitions without a
+// backing segment stay dirty (unevictable) until the first checkpoint writes
+// them out.
+func (t *Table) AttachCache(c *Cache) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	t.cache = c
+	for _, p := range t.partitions {
+		c.mu.Lock()
+		p.dirty = p.store == nil
+		c.mu.Unlock()
+		for col := range p.cols {
+			c.register(p, col)
+		}
+	}
+}
+
+// CacheAttached reports whether the table's payloads are cache-managed.
+func (t *Table) CacheAttached() bool { return t.cache != nil }
+
+// PinColumn returns the resident vector of (part, col) pinned against
+// eviction; the caller must run the release func when the scan is done. For
+// cache-less tables this is a single atomic load — the disabled path stays
+// nanosecond-cheap.
+func (t *Table) PinColumn(part, col int) (*vector.Vector, func(), error) {
+	p := t.partitions[part]
+	if t.cache == nil {
+		return p.cols[col].vec.Load(), noopRelease, nil
+	}
+	return t.cache.pin(p, col)
+}
+
+// ColumnOnDisk reports whether (part, col) currently has no decoded payload
+// in memory — a cold read would hit the segment file. The scan planner uses
+// it to choose between pinning through the cache and streaming a range
+// decode that bypasses it.
+func (t *Table) ColumnOnDisk(part, col int) bool {
+	return t.partitions[part].cols[col].vec.Load() == nil
+}
+
+// PartitionClean reports whether the partition's segment file covers all its
+// rows (no appends since the last checkpoint). Only clean partitions may be
+// scanned from their compressed image.
+func (t *Table) PartitionClean(part int) bool {
+	if t.cache == nil {
+		return false
+	}
+	p := t.partitions[part]
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	return !p.dirty && p.store != nil
+}
+
+// OpenSegment returns the partition's segment store for direct compressed
+// reads, or nil if none. Combined with PartitionClean, selective scans use
+// this to decode just the pruned ranges without charging the cache.
+func (t *Table) OpenSegment(part int) *PartStore {
+	p := t.partitions[part]
+	if t.cache == nil {
+		return nil
+	}
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	if p.dirty {
+		return nil
+	}
+	return p.store
+}
+
+// beginWrite prepares a partition for appends: all columns resident and the
+// partition marked dirty so the clock sweep leaves it alone. No-op without a
+// cache. Caller holds t.mu exclusively.
+func (t *Table) beginWrite(p *Partition) error {
+	c := t.cache
+	if c == nil {
+		return nil
+	}
+	c.mu.Lock()
+	p.dirty = true
+	for col := range p.cols {
+		if p.cols[col].vec.Load() == nil {
+			if err := c.loadLocked(p, col); err != nil {
+				c.mu.Unlock()
+				return err
+			}
+		}
+	}
+	c.mu.Unlock()
+	return nil
+}
+
+// endWrite recharges the grown payloads after an append. Caller holds t.mu
+// exclusively.
+func (t *Table) endWrite(p *Partition) {
+	if t.cache == nil {
+		return
+	}
+	for col := range p.cols {
+		t.cache.register(p, col)
+	}
+}
+
+// Dirty reports whether the partition has rows its segment file doesn't.
+func (t *Table) Dirty(part int) bool {
+	if t.cache == nil {
+		return true
+	}
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	return t.partitions[part].dirty || t.partitions[part].store == nil
+}
+
+// FlushPartition compresses the partition into a new segment file at path
+// (atomically) and swaps it in as the backing store, clearing the dirty
+// flag. sortedHint marks columns a PatchIndex or sort key proves nearly
+// sorted. Returns the on-disk payload size. The table must be cache-attached
+// and the caller must hold the engine-level exclusive latch.
+func (t *Table) FlushPartition(part int, path string, sortedHint []bool) (int64, error) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	p := t.partitions[part]
+	c := t.cache
+	if c == nil {
+		return 0, fmt.Errorf("storage: table %s is not cache-attached", t.name)
+	}
+	c.mu.Lock()
+	for col := range p.cols {
+		if p.cols[col].vec.Load() == nil {
+			if err := c.loadLocked(p, col); err != nil {
+				c.mu.Unlock()
+				return 0, err
+			}
+		}
+	}
+	c.mu.Unlock()
+	store, err := WritePartitionFile(path, p, sortedHint)
+	if err != nil {
+		return 0, err
+	}
+	c.mu.Lock()
+	old := p.store
+	p.store = store
+	p.dirty = false
+	c.mu.Unlock()
+	old.Close()
+	return store.CompressedBytes(), nil
+}
+
+// SegmentPath returns the partition's current segment file path ("" if
+// none) — recorded in checkpoint manifests.
+func (t *Table) SegmentPath(part int) string {
+	if t.cache == nil {
+		return ""
+	}
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	if s := t.partitions[part].store; s != nil {
+		return s.path
+	}
+	return ""
+}
+
+// CompressedBytes returns the total on-disk payload bytes across partitions.
+func (t *Table) CompressedBytes() int64 {
+	if t.cache == nil {
+		return 0
+	}
+	t.cache.mu.Lock()
+	defer t.cache.mu.Unlock()
+	var total int64
+	for _, p := range t.partitions {
+		if p.store != nil {
+			total += p.store.CompressedBytes()
+		}
+	}
+	return total
+}
+
+// RawBytes returns the decoded in-memory size the table would occupy fully
+// resident: the sum of resident payload sizes plus, for evicted columns,
+// the 8-byte-per-row estimate.
+func (t *Table) RawBytes() int64 {
+	t.mu.RLock()
+	defer t.mu.RUnlock()
+	var total int64
+	for _, p := range t.partitions {
+		for _, cd := range p.cols {
+			if v := cd.vec.Load(); v != nil {
+				total += v.ByteSize()
+			} else {
+				total += int64(8 * p.nrows)
+			}
+		}
+	}
+	return total
+}
+
+// ReleaseStorage detaches the table from its cache (dropping all charges)
+// and closes its segment files. Called on table drop and engine close; the
+// files themselves are removed by the next checkpoint's orphan sweep.
+func (t *Table) ReleaseStorage() {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	c := t.cache
+	if c == nil {
+		return
+	}
+	for _, p := range t.partitions {
+		c.forget(p)
+		c.mu.Lock()
+		store := p.store
+		p.store = nil
+		c.mu.Unlock()
+		store.Close()
+	}
+	t.cache = nil
+}
+
+// LoadTable reconstructs a table from its checkpointed segment files, one
+// per partition, leaving every payload on disk: metadata (row counts, SMAs,
+// zone maps) loads eagerly, vectors fault in through the cache on first
+// touch. This is what makes restart-after-checkpoint fast — no WAL replay of
+// checkpointed history and no payload decode until a query needs one.
+func LoadTable(name string, schema *Schema, sortKey string, partPaths []string, c *Cache) (*Table, error) {
+	if c == nil {
+		return nil, fmt.Errorf("storage: LoadTable %s: nil cache", name)
+	}
+	t := &Table{name: name, schema: schema, sortKey: sortKey, cache: c}
+	t.version.Store(versionCounter.Add(1))
+	for i, path := range partPaths {
+		store, meta, err := OpenPartitionFile(path)
+		if err != nil {
+			return nil, err
+		}
+		if len(meta.smas) != len(schema.Columns) {
+			store.Close()
+			return nil, fmt.Errorf("storage: segment %s has %d columns, schema has %d", path, len(meta.smas), len(schema.Columns))
+		}
+		p := &Partition{ID: i, tab: t, cols: make([]*columnData, len(schema.Columns)), nrows: meta.nrows, store: store}
+		for col := range schema.Columns {
+			p.cols[col] = &columnData{smas: meta.smas[col], zone: meta.zones[col]}
+		}
+		t.partitions = append(t.partitions, p)
+	}
+	return t, nil
 }

@@ -39,6 +39,14 @@ const (
 	RecordCreateIndex RecordKind = iota + 1
 	// RecordDropIndex logs a PatchIndex drop.
 	RecordDropIndex
+	// RecordCreateTable logs a table creation (durable mode only).
+	RecordCreateTable
+	// RecordDropTable logs a table drop (durable mode only).
+	RecordDropTable
+	// RecordAppend logs an ingest batch: whole column vectors bound for one
+	// partition (durable mode only). Checkpoints truncate these away, so the
+	// log holds just the suffix since the last checkpoint.
+	RecordAppend
 )
 
 // CreateIndexRecord is the payload of a RecordCreateIndex entry.
@@ -55,6 +63,30 @@ type CreateIndexRecord struct {
 type DropIndexRecord struct {
 	Table  string
 	Column string
+}
+
+// CreateTableRecord is the payload of a RecordCreateTable entry.
+type CreateTableRecord struct {
+	Table      string
+	ColNames   []string
+	ColTypes   []uint8 // vector.Type
+	Partitions uint32
+	SortKey    string
+}
+
+// DropTableRecord is the payload of a RecordDropTable entry.
+type DropTableRecord struct {
+	Table string
+}
+
+// AppendRecord is the payload of a RecordAppend entry. Cols is the raw
+// column-list image in the vector codec's binary format; the engine decodes
+// it with vector.DecodeColumns so the wal package stays ignorant of vector
+// internals.
+type AppendRecord struct {
+	Table     string
+	Partition uint32
+	Cols      []byte
 }
 
 // ErrCorrupt reports a CRC or framing failure during replay.
@@ -131,6 +163,59 @@ func (l *Log) AppendDropIndex(r DropIndexRecord) error {
 	return l.append(RecordDropIndex, buf.Bytes())
 }
 
+// AppendCreateTable logs a table creation and syncs.
+func (l *Log) AppendCreateTable(r CreateTableRecord) error {
+	var buf bytes.Buffer
+	writeString(&buf, r.Table)
+	writeString(&buf, r.SortKey)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], r.Partitions)
+	buf.Write(n[:])
+	binary.LittleEndian.PutUint32(n[:], uint32(len(r.ColNames)))
+	buf.Write(n[:])
+	for i, name := range r.ColNames {
+		writeString(&buf, name)
+		buf.WriteByte(r.ColTypes[i])
+	}
+	return l.append(RecordCreateTable, buf.Bytes())
+}
+
+// AppendDropTable logs a table drop and syncs.
+func (l *Log) AppendDropTable(r DropTableRecord) error {
+	var buf bytes.Buffer
+	writeString(&buf, r.Table)
+	return l.append(RecordDropTable, buf.Bytes())
+}
+
+// AppendData logs an ingest batch and syncs.
+func (l *Log) AppendData(r AppendRecord) error {
+	var buf bytes.Buffer
+	writeString(&buf, r.Table)
+	var n [4]byte
+	binary.LittleEndian.PutUint32(n[:], r.Partition)
+	buf.Write(n[:])
+	buf.Write(r.Cols)
+	return l.append(RecordAppend, buf.Bytes())
+}
+
+// Reset truncates the log to empty — called after a checkpoint has made
+// everything before the truncation point durable elsewhere. The truncation
+// is synced before returning.
+func (l *Log) Reset() error {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return fmt.Errorf("wal: log is closed")
+	}
+	if err := l.f.Truncate(0); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	if _, err := l.f.Seek(0, io.SeekStart); err != nil {
+		return fmt.Errorf("wal: reset: %w", err)
+	}
+	return l.f.Sync()
+}
+
 func (l *Log) append(kind RecordKind, payload []byte) error {
 	l.mu.Lock()
 	defer l.mu.Unlock()
@@ -166,9 +251,12 @@ func (l *Log) append(kind RecordKind, payload []byte) error {
 
 // Entry is one decoded WAL record.
 type Entry struct {
-	Kind   RecordKind
-	Create *CreateIndexRecord
-	Drop   *DropIndexRecord
+	Kind        RecordKind
+	Create      *CreateIndexRecord
+	Drop        *DropIndexRecord
+	CreateTable *CreateTableRecord
+	DropTable   *DropTableRecord
+	Append      *AppendRecord
 }
 
 // Replay reads the log at path from the beginning and invokes fn for every
@@ -268,6 +356,60 @@ func decode(kind RecordKind, payload []byte) (Entry, error) {
 			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
 		}
 		return Entry{Kind: kind, Drop: &rec}, nil
+	case RecordCreateTable:
+		var rec CreateTableRecord
+		var err error
+		if rec.Table, err = readString(buf); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		if rec.SortKey, err = readString(buf); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		var b [8]byte
+		if _, err := io.ReadFull(buf, b[:]); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		rec.Partitions = binary.LittleEndian.Uint32(b[0:4])
+		ncols := binary.LittleEndian.Uint32(b[4:8])
+		if ncols > 1<<16 {
+			return Entry{}, fmt.Errorf("%w: implausible column count %d", ErrCorrupt, ncols)
+		}
+		for i := uint32(0); i < ncols; i++ {
+			name, err := readString(buf)
+			if err != nil {
+				return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			typ, err := buf.ReadByte()
+			if err != nil {
+				return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+			}
+			rec.ColNames = append(rec.ColNames, name)
+			rec.ColTypes = append(rec.ColTypes, typ)
+		}
+		return Entry{Kind: kind, CreateTable: &rec}, nil
+	case RecordDropTable:
+		var rec DropTableRecord
+		var err error
+		if rec.Table, err = readString(buf); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return Entry{Kind: kind, DropTable: &rec}, nil
+	case RecordAppend:
+		var rec AppendRecord
+		var err error
+		if rec.Table, err = readString(buf); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		var b [4]byte
+		if _, err := io.ReadFull(buf, b[:]); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		rec.Partition = binary.LittleEndian.Uint32(b[:])
+		rec.Cols = make([]byte, buf.Len())
+		if _, err := io.ReadFull(buf, rec.Cols); err != nil {
+			return Entry{}, fmt.Errorf("%w: %v", ErrCorrupt, err)
+		}
+		return Entry{Kind: kind, Append: &rec}, nil
 	default:
 		return Entry{}, fmt.Errorf("%w: unknown record kind %d", ErrCorrupt, kind)
 	}
